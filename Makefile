@@ -1,0 +1,41 @@
+# NEVERMIND reproduction — standard workflows.
+
+GO ?= go
+
+.PHONY: all build vet test bench experiments examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure plus ablations; writes the artifacts
+# the repository documents.
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate every table and figure at full scale (~2 min on one core).
+experiments:
+	$(GO) run ./cmd/experiments -exp all
+
+# Run every example end to end.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/troubleshoot
+	$(GO) run ./examples/outagewatch
+	$(GO) run ./examples/capacity
+	$(GO) run ./examples/weeklyloop
+
+# Short fuzzing pass over the CSV importers.
+fuzz:
+	$(GO) test ./internal/data/ -fuzz FuzzReadMeasurementsCSV -fuzztime 20s
+	$(GO) test ./internal/data/ -fuzz FuzzReadTicketsCSV -fuzztime 20s
+
+clean:
+	rm -f test_output.txt bench_output.txt dsl-year.gob.gz

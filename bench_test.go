@@ -1,0 +1,361 @@
+package nevermind
+
+// One benchmark per table and figure of the paper's evaluation, each
+// regenerating its artifact at reduced scale and reporting the headline
+// value as a custom metric, plus ablation benches for the design choices
+// called out in DESIGN.md. Full-scale renderings come from
+// `go run ./cmd/experiments`.
+
+import (
+	"sync"
+	"testing"
+
+	"nevermind/internal/core"
+	"nevermind/internal/data"
+	"nevermind/internal/dsl"
+	"nevermind/internal/eval"
+	"nevermind/internal/faults"
+	"nevermind/internal/features"
+	"nevermind/internal/ml"
+	"nevermind/internal/rng"
+	"nevermind/internal/sim"
+)
+
+// benchCtx builds one shared small-scale experiment context.
+var (
+	benchOnce sync.Once
+	benchC    *eval.Context
+	benchErr  error
+)
+
+func benchContext(b *testing.B) *eval.Context {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchC, benchErr = eval.NewContext(eval.Config{
+			Lines: 4000, Seed: 17, Rounds: 80, LocRounds: 40,
+			MaxSelectExamples: 15000, TestWeeks: []int{43, 44},
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchC
+}
+
+func BenchmarkSimulateYear(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.DefaultConfig(4000, uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the per-feature AP(N) distributions (Fig. 4) and
+// reports how many product features beat the selection threshold.
+func BenchmarkFig4(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.RunFig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.ProductKept), "products-kept")
+		b.ReportMetric(topScore(res.HistCust), "best-histcust-AP")
+	}
+}
+
+func topScore(xs []eval.NamedScore) float64 {
+	best := 0.0
+	for _, x := range xs {
+		if x.Score > best {
+			best = x.Score
+		}
+	}
+	return best
+}
+
+// BenchmarkFig6 regenerates the feature-selection comparison (Fig. 6) and
+// reports the budget-point accuracy of the paper's method and the AUC
+// baseline.
+func BenchmarkFig6(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.RunFig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Curves["top-N AP"][2], "topNAP-acc@budget")
+		b.ReportMetric(res.Curves["AUC"][2], "AUC-acc@budget")
+	}
+}
+
+// BenchmarkFig7 regenerates the derived-features comparison (Fig. 7).
+func BenchmarkFig7(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.RunFig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WithAtBudget, "acc-with-derived")
+		b.ReportMetric(res.WithoutAtBudget, "acc-without")
+	}
+}
+
+// BenchmarkFig8 regenerates the time-to-ticket CDF (Fig. 8) and reports the
+// share of predicted tickets arriving within two weeks.
+func BenchmarkFig8(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.RunFig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.At(1, 14), "cdf-14d")
+		b.ReportMetric(res.At(1, 2), "missed-if-fixed-2d")
+	}
+}
+
+// BenchmarkTable5 regenerates the outage/IVR analysis (Table 5).
+func BenchmarkTable5(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.RunTable5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ExplainedByOutage[0], "explained-1wk")
+		b.ReportMetric(res.ExplainedByOutage[3], "explained-4wk")
+		b.ReportMetric(res.Coef[3], "logit-coef-4wk")
+	}
+}
+
+// BenchmarkNotOnSite regenerates the §5.2 zero-traffic analysis.
+func BenchmarkNotOnSite(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.RunNotOnSite()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Fraction, "notonsite-frac")
+	}
+}
+
+// BenchmarkLocator50 regenerates the §6.3 headline (tests to locate 50% of
+// problems) and the Fig. 10 deep-bin improvement.
+func BenchmarkLocator50(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.RunLocator()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.MedianRank["basic"]), "median-basic")
+		b.ReportMetric(float64(res.MedianRank["combined"]), "median-combined")
+	}
+}
+
+// BenchmarkFig10 reports the deep-bin rank improvements of Fig. 10.
+func BenchmarkFig10(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.RunLocator()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(res.FlatImprovement) - 1
+		b.ReportMetric(res.FlatImprovement[last], "flat-improve-deep")
+		b.ReportMetric(res.CombImprovement[last], "combined-improve-deep")
+	}
+}
+
+// BenchmarkTable1 regenerates the disposition-mix summary.
+func BenchmarkTable1(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LocationShare["HN"], "HN-share")
+	}
+}
+
+// BenchmarkTrend regenerates the weekly arrival pattern (§3.3).
+func BenchmarkTrend(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.RunTrend()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.ByWeekday[1])/float64(res.Total), "monday-share")
+	}
+}
+
+// --- ablations ---------------------------------------------------------------
+
+// BenchmarkAblationRounds sweeps the boosting budget (the paper settles on
+// 800 by cross-validation) and reports accuracy at the operating budget.
+func BenchmarkAblationRounds(b *testing.B) {
+	ctx := benchContext(b)
+	for _, rounds := range []int{20, 80, 250} {
+		b.Run(benchName("rounds", rounds), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultPredictorConfig(ctx.DS.NumLines, 17)
+				cfg.Rounds = rounds
+				cfg.MaxSelectExamples = 15000
+				pred, err := core.TrainPredictor(ctx.DS, features.WeekRange(30, 38), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc, err := budgetAccuracy(ctx, pred, 43, cfg.BudgetN)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(acc, "acc@budget")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSelection compares keeping everything against the
+// selected compact feature set (the scalability-accuracy trade of §4.3).
+func BenchmarkAblationSelection(b *testing.B) {
+	ctx := benchContext(b)
+	for _, topK := range []int{8, 40, 120} {
+		b.Run(benchName("topk", topK), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultPredictorConfig(ctx.DS.NumLines, 17)
+				cfg.Rounds = 80
+				cfg.SelectTopK = topK
+				cfg.MaxSelectExamples = 15000
+				pred, err := core.TrainPredictor(ctx.DS, features.WeekRange(30, 38), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc, err := budgetAccuracy(ctx, pred, 43, cfg.BudgetN)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(acc, "acc@budget")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDepth tests the paper's §4.4 argument for a linear model:
+// with unreported problems mislabelled as negatives, deeper weak learners
+// should gain little or lose. It trains stump boosting and depth-2 tree
+// boosting on the same features and reports held-out budget accuracy.
+func BenchmarkAblationDepth(b *testing.B) {
+	ctx := benchContext(b)
+	// Shared encoding: Table 3 history+customer features.
+	trainEx := features.ExamplesForWeeks(ctx.DS, features.WeekRange(30, 38))
+	enc, err := features.Encode(ctx.DS, ctx.Ix, trainEx, features.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	yTrain := features.Labels(ctx.Ix, trainEx, 28)
+	q, err := ml.FitQuantizer(enc.Cols, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bmTrain, err := q.Transform(enc.Cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	testEx := features.ExamplesForWeeks(ctx.DS, []int{43})
+	encT, err := features.Encode(ctx.DS, ctx.Ix, testEx, features.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	yTest := features.Labels(ctx.Ix, testEx, 28)
+	bmTest, err := q.Transform(encT.Cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := ctx.Cfg.BudgetN
+
+	b.Run("depth=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := ml.TrainBStump(bmTrain, q, yTrain, ml.TrainOptions{Rounds: 80})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(ml.PrecisionAtK(m.ScoreAll(bmTest), yTest, budget), "acc@budget")
+		}
+	})
+	b.Run("depth=2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := ml.TrainBTree(bmTrain, q, yTrain, ml.TrainOptions{Rounds: 80})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(ml.PrecisionAtK(m.ScoreAll(bmTest), yTest, budget), "acc@budget")
+		}
+	})
+}
+
+func budgetAccuracy(ctx *eval.Context, pred *core.TicketPredictor, week, budget int) (float64, error) {
+	ex := features.ExamplesForWeeks(ctx.DS, []int{week})
+	scores, err := pred.ScoreExamples(ctx.DS, ex)
+	if err != nil {
+		return 0, err
+	}
+	y := features.Labels(ctx.Ix, ex, 28)
+	return ml.PrecisionAtK(scores, y, budget), nil
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- core-path micro benchmarks ----------------------------------------------
+
+// BenchmarkWeeklyRanking measures the production Saturday run: scoring and
+// ranking the whole population with a trained model (the paper: under 15
+// minutes for several million lines).
+func BenchmarkWeeklyRanking(b *testing.B) {
+	ctx := benchContext(b)
+	pred, err := ctx.StandardPredictor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pred.Rank(ctx.DS, 43); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ctx.DS.NumLines), "lines")
+}
+
+// BenchmarkMeasurement measures the physical-layer line-test model.
+func BenchmarkMeasurement(b *testing.B) {
+	net, err := dsl.Build(dsl.Config{NumLines: 100, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eff := faults.Catalog[4].Effect.Scale(1.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := &net.Lines[i%len(net.Lines)]
+		_ = dsl.Measure(l, eff, false, i%data.Weeks, rng.Derive(9, uint64(i)))
+	}
+}

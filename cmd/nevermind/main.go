@@ -1,0 +1,255 @@
+// Command nevermind runs the full proactive-troubleshooting pipeline the way
+// the paper's Fig. 3 (bottom box) wires it into operations: simulate (or
+// load) a year of network data, train the ticket predictor and the trouble
+// locator, then produce the Saturday operator report for one week — the
+// budgeted list of lines predicted to file tickets, each with its ranked
+// trouble locations, plus DSLAM-level outage early warnings from prediction
+// clustering.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"nevermind/internal/core"
+	"nevermind/internal/data"
+	"nevermind/internal/faults"
+	"nevermind/internal/features"
+	"nevermind/internal/ml"
+	"nevermind/internal/sim"
+)
+
+func main() {
+	var (
+		lines    = flag.Int("lines", 20000, "subscriber population to simulate (ignored with -data)")
+		seed     = flag.Uint64("seed", 42, "simulation and training seed")
+		dataPath = flag.String("data", "", "load a dataset written by dslsim instead of simulating")
+		week     = flag.Int("week", 43, "measurement week to rank (0-51)")
+		budget   = flag.Int("budget", 0, "ATDS capacity for predicted tickets (default population/50)")
+		rounds   = flag.Int("rounds", 250, "predictor boosting rounds")
+		cv       = flag.Bool("cv", false, "pick the boosting rounds by cross-validation (the paper's procedure)")
+		show     = flag.Int("show", 15, "predictions to print in the report")
+		locate   = flag.Bool("locate", true, "train the trouble locator and print ranked dispositions")
+		model    = flag.String("model", "", "load a trained predictor instead of training")
+		saveTo   = flag.String("savemodel", "", "save the trained predictor to this path")
+	)
+	flag.Parse()
+
+	ds, err := loadOrSimulate(*dataPath, *lines, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *week < 1 || *week >= data.Weeks {
+		fatal(fmt.Errorf("week %d outside [1,%d)", *week, data.Weeks))
+	}
+
+	var pred *core.TicketPredictor
+	if *model != "" {
+		fmt.Fprintf(os.Stderr, "loading predictor %s...\n", *model)
+		pred, err = core.LoadPredictor(*model)
+		if err != nil {
+			fatal(err)
+		}
+		if *budget > 0 {
+			pred.Cfg.BudgetN = *budget
+		}
+	} else {
+		// Train the predictor on the weeks preceding the target ranking
+		// week, leaving a 4-week gap so training labels never peek past it.
+		hi := *week - 5
+		lo := hi - 8
+		if lo < 1 {
+			fatal(fmt.Errorf("week %d leaves no room for training; use a later week", *week))
+		}
+		cfg := core.DefaultPredictorConfig(ds.NumLines, *seed)
+		cfg.Rounds = *rounds
+		if *budget > 0 {
+			cfg.BudgetN = *budget
+		}
+		if *cv {
+			cfg.Rounds = crossValidateRounds(ds, lo, hi, cfg)
+			fmt.Fprintf(os.Stderr, "cross-validation picked %d boosting rounds\n", cfg.Rounds)
+		}
+		fmt.Fprintf(os.Stderr, "training ticket predictor on weeks %d-%d (%d lines)...\n", lo, hi, ds.NumLines)
+		t0 := time.Now()
+		pred, err = core.TrainPredictor(ds, features.WeekRange(lo, hi), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trained in %v; model uses %d features + %d products\n",
+			time.Since(t0).Round(time.Millisecond), len(pred.SelectedCols), len(pred.ProductPairs))
+		if *saveTo != "" {
+			if err := pred.Save(*saveTo); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "saved predictor to %s\n", *saveTo)
+		}
+	}
+
+	top, err := pred.TopN(ds, *week)
+	if err != nil {
+		fatal(err)
+	}
+
+	var loc *core.TroubleLocator
+	if *locate {
+		cases := core.CasesFromNotes(ds, data.FirstSaturday, data.SaturdayOf(*week)-1)
+		lcfg := core.DefaultLocatorConfig(*seed)
+		fmt.Fprintf(os.Stderr, "training trouble locator on %d dispatches...\n", len(cases))
+		t0 := time.Now()
+		loc, err = core.TrainLocator(ds, cases, lcfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trained %d disposition models in %v\n",
+			len(loc.Dispositions), time.Since(t0).Round(time.Millisecond))
+	}
+
+	report(ds, pred, loc, top, *week, *show)
+}
+
+func loadOrSimulate(path string, lines int, seed uint64) (*data.Dataset, error) {
+	if path != "" {
+		fmt.Fprintf(os.Stderr, "loading dataset %s...\n", path)
+		return data.Load(path)
+	}
+	fmt.Fprintf(os.Stderr, "simulating %d lines for one year...\n", lines)
+	res, err := sim.Run(sim.DefaultConfig(lines, seed))
+	if err != nil {
+		return nil, err
+	}
+	return res.Dataset, nil
+}
+
+func report(ds *data.Dataset, pred *core.TicketPredictor, loc *core.TroubleLocator, top []core.Prediction, week, show int) {
+	day := data.SaturdayOf(week)
+	fmt.Printf("NEVERMIND weekly report — %s (week %d)\n", data.DateString(day), week)
+	fmt.Printf("predicted tickets submitted to ATDS: %d\n\n", len(top))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tline\tDSLAM\tP(ticket in 4wk)\ttop suspect locations")
+	for i, p := range top {
+		if i >= show {
+			break
+		}
+		suspects := "-"
+		if loc != nil {
+			suspects = topSuspects(ds, loc, p, 3)
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.2f\t%s\n", i+1, p.Line, ds.DSLAMOf[p.Line], p.Probability, suspects)
+	}
+	tw.Flush()
+	if len(top) > show {
+		fmt.Printf("... and %d more\n", len(top)-show)
+	}
+
+	// Model highlights: which line features carry the prediction (the
+	// Fig. 5 walkthrough, aggregated).
+	fmt.Printf("\nmodel highlights — most influential features:\n")
+	for _, tf := range pred.Model.TopFeatures(5) {
+		fmt.Printf("  %-40s swing %.2f\n", tf.Name, tf.Weight)
+	}
+	fmt.Printf("  first learned rule: %s\n", pred.Model.Explain(0))
+
+	// DSLAM-level early warning: prediction clusters presage outages (§5.2).
+	byDSLAM := map[int32]int{}
+	for _, p := range top {
+		byDSLAM[ds.DSLAMOf[p.Line]]++
+	}
+	type hot struct {
+		dslam int32
+		n     int
+	}
+	var hots []hot
+	for d, n := range byDSLAM {
+		if n >= 5 {
+			hots = append(hots, hot{d, n})
+		}
+	}
+	sort.Slice(hots, func(a, b int) bool {
+		if hots[a].n != hots[b].n {
+			return hots[a].n > hots[b].n
+		}
+		return hots[a].dslam < hots[b].dslam
+	})
+	if len(hots) > 0 {
+		fmt.Printf("\noutage early warning — DSLAMs with clustered predictions (dispatch one truck):\n")
+		for _, h := range hots {
+			fmt.Printf("  DSLAM %-6d %d predicted problems\n", h.dslam, h.n)
+		}
+	}
+}
+
+// topSuspects runs the combined locator model for one predicted line.
+func topSuspects(ds *data.Dataset, loc *core.TroubleLocator, p core.Prediction, k int) string {
+	cases := []core.DispatchCase{{Line: p.Line, Week: p.Week}}
+	post, err := loc.Posteriors(ds, cases, core.ModelCombined)
+	if err != nil {
+		return "-"
+	}
+	type cand struct {
+		name string
+		prob float64
+	}
+	var cands []cand
+	for j, d := range loc.Dispositions {
+		cands = append(cands, cand{faults.Catalog[d].Name, post[0][j]})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].prob != cands[b].prob {
+			return cands[a].prob > cands[b].prob
+		}
+		return cands[a].name < cands[b].name
+	})
+	out := ""
+	for i := 0; i < k && i < len(cands); i++ {
+		if i > 0 {
+			out += ", "
+		}
+		out += cands[i].name
+	}
+	return out
+}
+
+// crossValidateRounds runs the paper's procedure for the boosting budget:
+// 3-fold cross-validation on (a subsample of) the training examples,
+// scored by top-N average precision at the operational budget.
+func crossValidateRounds(ds *data.Dataset, lo, hi int, cfg core.PredictorConfig) int {
+	ix := data.NewTicketIndex(ds)
+	ex := features.ExamplesForWeeks(ds, features.WeekRange(lo, hi))
+	const maxExamples = 30000
+	if len(ex) > maxExamples {
+		stride := len(ex)/maxExamples + 1
+		var sub []features.Example
+		for i := 0; i < len(ex); i += stride {
+			sub = append(sub, ex[i])
+		}
+		ex = sub
+	}
+	enc, err := features.Encode(ds, ix, ex, features.Config{HistoryWeeks: cfg.HistoryWeeks})
+	if err != nil {
+		fatal(err)
+	}
+	y := features.Labels(ix, ex, cfg.WindowDays)
+	// The per-fold validation slice is a third of the examples; scale the
+	// budget to it.
+	foldN := cfg.BudgetN * len(ex) / (3 * ds.NumLines)
+	if foldN < 5 {
+		foldN = 5
+	}
+	res, err := ml.CrossValidateRounds(enc.Cols, y, []int{60, 150, 250, 400}, 3, 64, cfg.Seed,
+		func(s []float64, l []bool) float64 { return ml.TopNAveragePrecision(s, l, foldN) })
+	if err != nil {
+		fatal(err)
+	}
+	return res.Best
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nevermind:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,23 @@
+// Package nevermind reproduces "NEVERMIND, the problem is already fixed:
+// proactively detecting and troubleshooting customer DSL problems" (Jin,
+// Duffield, Gerber, Haffner, Sen, Zhang — ACM CoNEXT 2010) as a Go library
+// on a synthetic DSL-network substrate.
+//
+// The implementation lives under internal/: the access-network and
+// physical-layer simulator (internal/dsl), the fault and disposition model
+// (internal/faults), the operational-year simulator (internal/sim), the
+// Table 3 feature encoders (internal/features), the from-scratch ML
+// substrate — confidence-rated AdaBoost over decision stumps, logistic
+// regression, PCA, ranking metrics, feature selection (internal/ml) — the
+// NEVERMIND ticket predictor and trouble locator (internal/core), and the
+// experiment harness that regenerates every table and figure of the paper's
+// evaluation (internal/eval).
+//
+// Entry points: cmd/nevermind (weekly operator report), cmd/experiments
+// (regenerate the paper's tables and figures), cmd/dslsim (dataset
+// generator), and the runnable walkthroughs under examples/.
+//
+// The benchmarks in this package (bench_test.go) regenerate each paper
+// artifact at reduced scale and report its headline number as a custom
+// benchmark metric.
+package nevermind

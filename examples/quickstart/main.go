@@ -1,0 +1,71 @@
+// Quickstart: the smallest end-to-end NEVERMIND run.
+//
+// It simulates a small DSL network for a year, trains the ticket predictor
+// on late-summer weeks, ranks every line at Halloween week (the paper's test
+// split), and prints the lines the operator should proactively fix — before
+// the customers call.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nevermind/internal/core"
+	"nevermind/internal/data"
+	"nevermind/internal/features"
+	"nevermind/internal/sim"
+)
+
+func main() {
+	// One simulated operational year: weekly line tests, customer tickets,
+	// dispatches, outages.
+	res, err := sim.Run(sim.DefaultConfig(4000, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := res.Dataset
+	fmt.Printf("simulated %d lines: %d tickets, %d dispatches\n",
+		ds.NumLines, len(ds.Tickets), len(ds.Notes))
+
+	// Train the §4 pipeline: encode Table 3 features, select them with
+	// top-N average precision, boost decision stumps, calibrate.
+	cfg := core.DefaultPredictorConfig(ds.NumLines, 7)
+	cfg.Rounds = 120 // quick demo; the paper uses 800
+	pred, err := core.TrainPredictor(ds, features.WeekRange(30, 38), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predictor uses %d selected features; the first learned rule is:\n  %s\n",
+		len(pred.SelectedCols), pred.Model.Explain(0))
+
+	// Saturday run: rank all lines, submit the budgeted top N to dispatch.
+	week := 43
+	top, err := pred.TopN(ds, week)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop predicted tickets for %s:\n", data.DateString(data.SaturdayOf(week)))
+	for i, p := range top {
+		if i >= 10 {
+			fmt.Printf("  ... and %d more within the ATDS budget\n", len(top)-i)
+			break
+		}
+		fmt.Printf("  line %-5d P(ticket within 4 weeks) = %.2f\n", p.Line, p.Probability)
+	}
+
+	// Score the predictions against what actually happened.
+	ix := data.NewTicketIndex(ds)
+	day := data.SaturdayOf(week)
+	hits := 0
+	for _, p := range top {
+		if ix.Within(p.Line, day, 28) {
+			hits++
+		}
+	}
+	fmt.Printf("\n%d of %d predictions filed a real ticket within 4 weeks (%.0f%%)\n",
+		hits, len(top), 100*float64(hits)/float64(len(top)))
+}

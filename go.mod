@@ -1,0 +1,3 @@
+module nevermind
+
+go 1.24

@@ -1,0 +1,220 @@
+// Package atds models the Automatic Testing and Dispatching System of
+// Fig. 3: the operational funnel every ticket — customer-reported or
+// NEVERMIND-predicted — passes through on its way to a field technician.
+//
+// ATDS is the reason the whole prediction problem is budgeted: its daily
+// diagnosis capacity is consumed first by customer-reported tickets (which
+// always take priority, §3.2) and only the remainder is available for
+// predicted problems. The queue model here reproduces that contention so
+// deployment studies can ask the operational questions the paper raises:
+// how many predicted tickets actually get worked, how dispatch latency
+// behaves under load, and how much spare weekend capacity the Saturday
+// prediction run can exploit (§3.3).
+package atds
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"nevermind/internal/data"
+)
+
+// Priority orders work in the queue. Customer tickets always outrank
+// predicted ones; within a class, earlier submissions go first, and
+// predicted tickets preserve their ranking order.
+type Priority uint8
+
+const (
+	// PriorityCustomer is a customer-reported problem.
+	PriorityCustomer Priority = iota
+	// PriorityPredicted is a NEVERMIND prediction.
+	PriorityPredicted
+)
+
+// Job is one diagnosis request.
+type Job struct {
+	ID       int
+	Line     data.LineID
+	Priority Priority
+	// SubmitDay is when the job entered the queue.
+	SubmitDay int
+	// Rank is the prediction rank (lower = more likely); 0 for customer
+	// tickets.
+	Rank int
+}
+
+// Outcome records how a job left the system.
+type Outcome struct {
+	Job
+	// StartDay is when a technician picked the job up; -1 if it expired.
+	StartDay int
+	// Expired jobs aged out of the queue unworked.
+	Expired bool
+}
+
+// Config sizes the system.
+type Config struct {
+	// DailyCapacity is how many diagnoses the workforce completes per day.
+	DailyCapacity int
+	// WeekendFactor scales capacity on Saturday/Sunday; the paper notes
+	// ticket volume bottoms out on weekends, freeing capacity for
+	// predicted problems (§3.3).
+	WeekendFactor float64
+	// MaxAgeDays drops predicted jobs that waited too long: a stale
+	// prediction is worthless once the four-week horizon has passed.
+	MaxAgeDays int
+}
+
+// DefaultConfig returns a workforce sized the way the paper describes the
+// real one: enough for the reactive ticket load with *limited* remaining
+// capacity for predictions ("the number of predicted tickets that can be
+// handled daily by ATDS is usually upper bounded", §3.2) — so the budget
+// genuinely binds.
+func DefaultConfig(numLines int) Config {
+	cap := numLines / 250
+	if cap < 4 {
+		cap = 4
+	}
+	return Config{DailyCapacity: cap, WeekendFactor: 1.25, MaxAgeDays: 14}
+}
+
+// Queue is the ATDS work queue. It is a deterministic discrete-day
+// simulator: Submit jobs, then Advance a day at a time; completed and
+// expired jobs come back as Outcomes.
+type Queue struct {
+	cfg    Config
+	day    int
+	nextID int
+	pq     jobHeap
+}
+
+// NewQueue creates an empty queue starting at the given day.
+func NewQueue(cfg Config, startDay int) (*Queue, error) {
+	if cfg.DailyCapacity < 1 {
+		return nil, fmt.Errorf("atds: DailyCapacity must be positive")
+	}
+	if cfg.WeekendFactor <= 0 {
+		return nil, fmt.Errorf("atds: WeekendFactor must be positive")
+	}
+	if cfg.MaxAgeDays < 1 {
+		return nil, fmt.Errorf("atds: MaxAgeDays must be positive")
+	}
+	return &Queue{cfg: cfg, day: startDay}, nil
+}
+
+// Day returns the current simulation day.
+func (q *Queue) Day() int { return q.day }
+
+// Pending returns the number of queued jobs.
+func (q *Queue) Pending() int { return q.pq.Len() }
+
+// Submit enqueues a job at the current day and returns its ID.
+func (q *Queue) Submit(line data.LineID, pri Priority, rank int) int {
+	id := q.nextID
+	q.nextID++
+	heap.Push(&q.pq, Job{ID: id, Line: line, Priority: pri, SubmitDay: q.day, Rank: rank})
+	return id
+}
+
+// Advance works one day of capacity and moves the clock forward, returning
+// the day's outcomes (completions first, then expiries).
+func (q *Queue) Advance() []Outcome {
+	capacity := q.cfg.DailyCapacity
+	switch data.Weekday(q.day) {
+	case time.Saturday, time.Sunday:
+		capacity = int(float64(capacity) * q.cfg.WeekendFactor)
+	}
+	var out []Outcome
+	for i := 0; i < capacity && q.pq.Len() > 0; i++ {
+		j := heap.Pop(&q.pq).(Job)
+		if q.expired(j) {
+			out = append(out, Outcome{Job: j, StartDay: -1, Expired: true})
+			i-- // an expiry consumes no capacity
+			continue
+		}
+		out = append(out, Outcome{Job: j, StartDay: q.day})
+	}
+	// Purge whatever else expired today so the queue cannot grow without
+	// bound under sustained overload.
+	var keep jobHeap
+	for _, j := range q.pq {
+		if q.expired(j) {
+			out = append(out, Outcome{Job: j, StartDay: -1, Expired: true})
+		} else {
+			keep = append(keep, j)
+		}
+	}
+	heap.Init(&keep)
+	q.pq = keep
+	q.day++
+	return out
+}
+
+func (q *Queue) expired(j Job) bool {
+	return j.Priority == PriorityPredicted && q.day-j.SubmitDay > q.cfg.MaxAgeDays
+}
+
+// jobHeap orders by (priority, submit day, rank, id).
+type jobHeap []Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(a, b int) bool {
+	ja, jb := h[a], h[b]
+	if ja.Priority != jb.Priority {
+		return ja.Priority < jb.Priority
+	}
+	if ja.SubmitDay != jb.SubmitDay {
+		return ja.SubmitDay < jb.SubmitDay
+	}
+	if ja.Rank != jb.Rank {
+		return ja.Rank < jb.Rank
+	}
+	return ja.ID < jb.ID
+}
+func (h jobHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(Job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	*h = old[:n-1]
+	return j
+}
+
+// Stats summarises a batch of outcomes.
+type Stats struct {
+	Customer, Predicted       int
+	ExpiredPredicted          int
+	MeanCustomerWaitDays      float64
+	MeanPredictedWaitDays     float64
+	WorkedWithinBudgetHorizon int // predicted jobs started within 7 days
+}
+
+// Summarize aggregates outcomes.
+func Summarize(outcomes []Outcome) Stats {
+	var s Stats
+	var cw, pw float64
+	for _, o := range outcomes {
+		switch {
+		case o.Expired:
+			s.ExpiredPredicted++
+		case o.Priority == PriorityCustomer:
+			s.Customer++
+			cw += float64(o.StartDay - o.SubmitDay)
+		default:
+			s.Predicted++
+			pw += float64(o.StartDay - o.SubmitDay)
+			if o.StartDay-o.SubmitDay <= 7 {
+				s.WorkedWithinBudgetHorizon++
+			}
+		}
+	}
+	if s.Customer > 0 {
+		s.MeanCustomerWaitDays = cw / float64(s.Customer)
+	}
+	if s.Predicted > 0 {
+		s.MeanPredictedWaitDays = pw / float64(s.Predicted)
+	}
+	return s
+}

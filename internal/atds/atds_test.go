@@ -1,0 +1,231 @@
+package atds
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nevermind/internal/data"
+)
+
+func mustQueue(t *testing.T, cfg Config, day int) *Queue {
+	t.Helper()
+	q, err := NewQueue(cfg, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewQueue(Config{DailyCapacity: 0, WeekendFactor: 1, MaxAgeDays: 1}, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewQueue(Config{DailyCapacity: 1, WeekendFactor: 0, MaxAgeDays: 1}, 0); err == nil {
+		t.Fatal("zero weekend factor accepted")
+	}
+	if _, err := NewQueue(Config{DailyCapacity: 1, WeekendFactor: 1, MaxAgeDays: 0}, 0); err == nil {
+		t.Fatal("zero max age accepted")
+	}
+}
+
+func TestDefaultConfigScales(t *testing.T) {
+	c := DefaultConfig(20000)
+	// Sized to cover the reactive load (~0.55 tickets/line-year ≈ 30/day
+	// at 20k lines) with limited prediction headroom.
+	if c.DailyCapacity < 40 || c.DailyCapacity > 200 {
+		t.Fatalf("capacity %d outside the binding range for 20k lines", c.DailyCapacity)
+	}
+	if c := DefaultConfig(10); c.DailyCapacity < 1 {
+		t.Fatal("tiny population got no capacity")
+	}
+}
+
+func TestCustomerTicketsAlwaysFirst(t *testing.T) {
+	q := mustQueue(t, Config{DailyCapacity: 2, WeekendFactor: 1, MaxAgeDays: 30}, 0)
+	// Predicted jobs arrive first but must wait behind a later customer.
+	q.Submit(1, PriorityPredicted, 1)
+	q.Submit(2, PriorityPredicted, 2)
+	q.Submit(3, PriorityCustomer, 0)
+	out := q.Advance()
+	if len(out) != 2 {
+		t.Fatalf("worked %d jobs with capacity 2", len(out))
+	}
+	if out[0].Line != 3 {
+		t.Fatalf("customer ticket not worked first: %+v", out[0])
+	}
+	if out[1].Line != 1 {
+		t.Fatal("predicted jobs not worked in rank order")
+	}
+}
+
+func TestRankOrderWithinPredicted(t *testing.T) {
+	q := mustQueue(t, Config{DailyCapacity: 3, WeekendFactor: 1, MaxAgeDays: 30}, 0)
+	q.Submit(10, PriorityPredicted, 7)
+	q.Submit(11, PriorityPredicted, 2)
+	q.Submit(12, PriorityPredicted, 5)
+	out := q.Advance()
+	if out[0].Line != 11 || out[1].Line != 12 || out[2].Line != 10 {
+		t.Fatalf("rank order violated: %v %v %v", out[0].Line, out[1].Line, out[2].Line)
+	}
+}
+
+func TestFIFOAcrossDays(t *testing.T) {
+	q := mustQueue(t, Config{DailyCapacity: 1, WeekendFactor: 1, MaxAgeDays: 30}, 0)
+	q.Submit(1, PriorityCustomer, 0)
+	q.Advance() // day 0: works line 1... queue empty now
+	q.Submit(2, PriorityCustomer, 0)
+	q.Submit(3, PriorityCustomer, 0)
+	out := q.Advance()
+	if len(out) != 1 || out[0].Line != 2 {
+		t.Fatalf("day-1 outcome %+v", out)
+	}
+	out = q.Advance()
+	if len(out) != 1 || out[0].Line != 3 {
+		t.Fatalf("day-2 outcome %+v", out)
+	}
+}
+
+func TestWeekendCapacityBoost(t *testing.T) {
+	// Day 2 of 2009 is the first Saturday.
+	q := mustQueue(t, Config{DailyCapacity: 4, WeekendFactor: 1.5, MaxAgeDays: 30}, data.FirstSaturday)
+	if data.Weekday(q.Day()) != time.Saturday {
+		t.Fatal("fixture day is not Saturday")
+	}
+	for i := 0; i < 20; i++ {
+		q.Submit(data.LineID(i), PriorityCustomer, 0)
+	}
+	out := q.Advance()
+	if len(out) != 6 { // 4 * 1.5
+		t.Fatalf("Saturday worked %d jobs, want 6", len(out))
+	}
+	// Monday is back to 4.
+	q.Advance() // Sunday
+	out = q.Advance()
+	if len(out) != 4 {
+		t.Fatalf("Monday worked %d jobs, want 4", len(out))
+	}
+}
+
+func TestPredictedJobsExpire(t *testing.T) {
+	q := mustQueue(t, Config{DailyCapacity: 1, WeekendFactor: 1, MaxAgeDays: 3}, 0)
+	q.Submit(1, PriorityPredicted, 1)
+	// Saturate with customer tickets so the prediction starves.
+	for day := 0; day < 6; day++ {
+		q.Submit(data.LineID(100+day), PriorityCustomer, 0)
+		for _, o := range q.Advance() {
+			if o.Line == 1 && !o.Expired {
+				t.Fatal("starved prediction should not be worked")
+			}
+			if o.Line == 1 && o.Expired {
+				if q.Day() <= 3 {
+					t.Fatal("expired too early")
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("prediction never expired under starvation")
+}
+
+func TestCustomerTicketsNeverExpire(t *testing.T) {
+	q := mustQueue(t, Config{DailyCapacity: 1, WeekendFactor: 1, MaxAgeDays: 2}, 0)
+	q.Submit(1, PriorityCustomer, 0)
+	for i := 0; i < 5; i++ {
+		q.Submit(data.LineID(10+i), PriorityCustomer, 0)
+	}
+	worked := map[data.LineID]bool{}
+	for day := 0; day < 10 && q.Pending() > 0; day++ {
+		for _, o := range q.Advance() {
+			if o.Expired {
+				t.Fatalf("customer ticket expired: %+v", o)
+			}
+			worked[o.Line] = true
+		}
+	}
+	if !worked[1] {
+		t.Fatal("first customer ticket never worked")
+	}
+}
+
+func TestConservation(t *testing.T) {
+	// Every submitted job comes back exactly once, worked or expired.
+	err := quick.Check(func(seed uint8) bool {
+		q, err := NewQueue(Config{DailyCapacity: 2, WeekendFactor: 1, MaxAgeDays: 4}, int(seed)%300)
+		if err != nil {
+			return false
+		}
+		n := int(seed)%17 + 3
+		for i := 0; i < n; i++ {
+			pri := PriorityCustomer
+			if i%2 == 0 {
+				pri = PriorityPredicted
+			}
+			q.Submit(data.LineID(i), pri, i)
+		}
+		seen := map[int]int{}
+		for day := 0; day < 40; day++ {
+			for _, o := range q.Advance() {
+				seen[o.ID]++
+			}
+		}
+		if q.Pending() != 0 {
+			return false
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	outcomes := []Outcome{
+		{Job: Job{Priority: PriorityCustomer, SubmitDay: 0}, StartDay: 2},
+		{Job: Job{Priority: PriorityCustomer, SubmitDay: 1}, StartDay: 3},
+		{Job: Job{Priority: PriorityPredicted, SubmitDay: 0}, StartDay: 4},
+		{Job: Job{Priority: PriorityPredicted, SubmitDay: 0}, StartDay: 9},
+		{Job: Job{Priority: PriorityPredicted, SubmitDay: 0}, StartDay: -1, Expired: true},
+	}
+	s := Summarize(outcomes)
+	if s.Customer != 2 || s.Predicted != 2 || s.ExpiredPredicted != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.MeanCustomerWaitDays != 2 {
+		t.Fatalf("customer wait %v", s.MeanCustomerWaitDays)
+	}
+	if s.MeanPredictedWaitDays != 6.5 {
+		t.Fatalf("predicted wait %v", s.MeanPredictedWaitDays)
+	}
+	if s.WorkedWithinBudgetHorizon != 1 {
+		t.Fatalf("within-horizon %d", s.WorkedWithinBudgetHorizon)
+	}
+}
+
+func TestExpiryConsumesNoCapacity(t *testing.T) {
+	q := mustQueue(t, Config{DailyCapacity: 1, WeekendFactor: 1, MaxAgeDays: 1}, 0)
+	q.Submit(1, PriorityPredicted, 1)
+	q.Submit(2, PriorityPredicted, 2)
+	q.Advance() // day 0: works job 1
+	q.Advance() // day 1: nothing new; job 2 not yet expired (age 1 <= 1)... works it
+	// Refill: expired + fresh; the fresh one must still be worked today.
+	q.Submit(3, PriorityPredicted, 1)
+	out := q.Advance()
+	workedFresh := false
+	for _, o := range out {
+		if o.Line == 3 && !o.Expired {
+			workedFresh = true
+		}
+	}
+	if !workedFresh {
+		t.Fatalf("expiries stole capacity: %+v", out)
+	}
+}

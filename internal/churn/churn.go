@@ -1,0 +1,153 @@
+// Package churn quantifies the paper's motivating economics: "a lengthy
+// resolution can lead to customer dissatisfaction and ultimately lead to
+// churn, i.e., customers terminating their contracts" (§1). It attaches a
+// churn hazard to every customer-edge ticket — growing with resolution
+// latency and with repeat tickets — and prices the outcome in support opex
+// and lost subscription revenue, so a deployment study can state what a
+// predicted-and-prevented ticket is actually worth.
+package churn
+
+import (
+	"fmt"
+	"math"
+
+	"nevermind/internal/data"
+)
+
+// Model prices tickets and churn.
+type Model struct {
+	// BaseChurnProb is the churn probability a promptly-resolved, first
+	// ticket carries.
+	BaseChurnProb float64
+	// PerDayDelay adds churn probability per day between the ticket and
+	// its dispatch ("it may take one or more days... lead to churn").
+	PerDayDelay float64
+	// RepeatMultiplier scales the hazard for each prior ticket within the
+	// repeat window ("the customer needs to call multiple times").
+	RepeatMultiplier float64
+	// RepeatWindowDays defines what counts as a repeat.
+	RepeatWindowDays int
+	// MonthlyRevenueUSD per subscriber, and the horizon of months a
+	// churned subscriber's revenue is lost for.
+	MonthlyRevenueUSD float64
+	HorizonMonths     float64
+	// TruckRollUSD and CallUSD price the reactive machinery.
+	TruckRollUSD, CallUSD float64
+}
+
+// Default reflects 2009 US DSL economics: ~$35/month plans, ~$150 truck
+// rolls, ~$8 handled calls, and a 1-2% per-bad-experience churn hazard.
+func Default() Model {
+	return Model{
+		BaseChurnProb:     0.01,
+		PerDayDelay:       0.004,
+		RepeatMultiplier:  1.8,
+		RepeatWindowDays:  60,
+		MonthlyRevenueUSD: 35,
+		HorizonMonths:     18,
+		TruckRollUSD:      150,
+		CallUSD:           8,
+	}
+}
+
+// Validate checks the model is usable.
+func (m Model) Validate() error {
+	switch {
+	case m.BaseChurnProb < 0 || m.BaseChurnProb > 1:
+		return fmt.Errorf("churn: base probability %v", m.BaseChurnProb)
+	case m.PerDayDelay < 0:
+		return fmt.Errorf("churn: negative delay hazard")
+	case m.RepeatMultiplier < 1:
+		return fmt.Errorf("churn: repeat multiplier below 1")
+	case m.RepeatWindowDays < 1:
+		return fmt.Errorf("churn: repeat window %d", m.RepeatWindowDays)
+	case m.MonthlyRevenueUSD < 0 || m.HorizonMonths < 0 || m.TruckRollUSD < 0 || m.CallUSD < 0:
+		return fmt.Errorf("churn: negative prices")
+	}
+	return nil
+}
+
+// TicketChurnProb is the churn hazard of one ticket given its resolution
+// latency in days and how many tickets preceded it within the repeat
+// window. Clamped to [0, 0.9].
+func (m Model) TicketChurnProb(latencyDays, priorRepeats int) float64 {
+	if latencyDays < 0 {
+		latencyDays = 0
+	}
+	p := (m.BaseChurnProb + m.PerDayDelay*float64(latencyDays)) *
+		math.Pow(m.RepeatMultiplier, float64(priorRepeats))
+	if p > 0.9 {
+		p = 0.9
+	}
+	return p
+}
+
+// Assessment is the priced outcome of a ticket stream.
+type Assessment struct {
+	Tickets          int
+	Dispatches       int
+	ExpectedChurners float64
+	OpexUSD          float64 // calls + truck rolls
+	ChurnUSD         float64 // lost subscription revenue
+}
+
+// TotalUSD is the full cost of the assessed stream.
+func (a Assessment) TotalUSD() float64 { return a.OpexUSD + a.ChurnUSD }
+
+// Assess prices the dataset's customer-edge tickets between loDay and hiDay
+// inclusive.
+func (m Model) Assess(ds *data.Dataset, loDay, hiDay int) (Assessment, error) {
+	if err := m.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	dispatchDay := make(map[int]int, len(ds.Notes))
+	for _, n := range ds.Notes {
+		dispatchDay[n.TicketID] = n.Day
+	}
+	// Ticket history per line for repeat counting.
+	history := map[data.LineID][]int{}
+	var a Assessment
+	for _, t := range ds.Tickets {
+		if t.Category != data.CatCustomerEdge {
+			continue
+		}
+		// Repeat count looks at the line's full history, including tickets
+		// before the assessment window.
+		priors := 0
+		for _, d := range history[t.Line] {
+			if t.Day-d <= m.RepeatWindowDays {
+				priors++
+			}
+		}
+		history[t.Line] = append(history[t.Line], t.Day)
+
+		if t.Day < loDay || t.Day > hiDay {
+			continue
+		}
+		a.Tickets++
+		a.OpexUSD += m.CallUSD
+		latency := 0
+		if dd, ok := dispatchDay[t.ID]; ok {
+			a.Dispatches++
+			a.OpexUSD += m.TruckRollUSD
+			latency = dd - t.Day
+		} else {
+			// Never dispatched: the problem dragged on; charge the full
+			// repeat window as perceived latency.
+			latency = m.RepeatWindowDays / 4
+		}
+		p := m.TicketChurnProb(latency, priors)
+		a.ExpectedChurners += p
+		a.ChurnUSD += p * m.MonthlyRevenueUSD * m.HorizonMonths
+	}
+	return a, nil
+}
+
+// ValuePerEliminatedTicket is the expected saving from one ticket that never
+// happens: the call, the likely truck roll, and the averted churn hazard of
+// a typical (promptly-resolved, first-occurrence) ticket.
+func (m Model) ValuePerEliminatedTicket(dispatchFraction, meanLatencyDays float64) float64 {
+	v := m.CallUSD + dispatchFraction*m.TruckRollUSD
+	v += m.TicketChurnProb(int(meanLatencyDays), 0) * m.MonthlyRevenueUSD * m.HorizonMonths
+	return v
+}

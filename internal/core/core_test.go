@@ -1,0 +1,394 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"nevermind/internal/data"
+	"nevermind/internal/faults"
+	"nevermind/internal/features"
+	"nevermind/internal/ml"
+	"nevermind/internal/sim"
+)
+
+// The shared fixture simulates a mid-sized network once and trains one
+// predictor; individual tests probe different properties. Training is the
+// expensive part (~seconds), so tests share it.
+var (
+	fixtureRes  *sim.Result
+	fixturePred *TicketPredictor
+)
+
+func fixture(t *testing.T) (*sim.Result, *TicketPredictor) {
+	t.Helper()
+	if fixtureRes == nil {
+		res, err := sim.Run(sim.DefaultConfig(6000, 21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtureRes = res
+		cfg := DefaultPredictorConfig(res.Dataset.NumLines, 5)
+		cfg.Rounds = 120
+		cfg.MaxSelectExamples = 25000
+		pred, err := TrainPredictor(res.Dataset, features.WeekRange(30, 36), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixturePred = pred
+	}
+	return fixtureRes, fixturePred
+}
+
+func TestPredictorConfigValidation(t *testing.T) {
+	ds := &data.Dataset{}
+	bad := []PredictorConfig{
+		{},
+		{WindowDays: 28},
+		{WindowDays: 28, BudgetN: 10},
+		{WindowDays: 28, BudgetN: 10, Rounds: 5},
+		{WindowDays: 28, BudgetN: 10, Rounds: 5, SelectTopK: 3, Bins: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := TrainPredictor(ds, []int{30}, cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	good := DefaultPredictorConfig(1000, 1)
+	if _, err := TrainPredictor(ds, nil, good); err == nil {
+		t.Fatal("empty training weeks accepted")
+	}
+}
+
+func TestDefaultPredictorConfigScalesBudget(t *testing.T) {
+	if cfg := DefaultPredictorConfig(1000000, 1); cfg.BudgetN != 20000 {
+		t.Fatalf("1M lines → budget %d, want the paper's 20K", cfg.BudgetN)
+	}
+	if cfg := DefaultPredictorConfig(100, 1); cfg.BudgetN < 1 {
+		t.Fatal("tiny population got zero budget")
+	}
+}
+
+func TestPredictorBeatsBaseRateOnHeldOutWeek(t *testing.T) {
+	res, pred := fixture(t)
+	ds := res.Dataset
+	week := 43
+	ex := features.ExamplesForWeeks(ds, []int{week})
+	scores, err := pred.ScoreExamples(ds, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := data.NewTicketIndex(ds)
+	y := features.Labels(ix, ex, pred.Cfg.WindowDays)
+	var pos float64
+	for _, v := range y {
+		if v {
+			pos++
+		}
+	}
+	base := pos / float64(len(y))
+	p := ml.PrecisionAtK(scores, y, pred.Cfg.BudgetN)
+	if p < 4*base {
+		t.Fatalf("budget precision %.3f under 4x base rate %.3f: predictor is not learning", p, base)
+	}
+	if p < 0.2 {
+		t.Fatalf("budget precision %.3f; the paper's operating point is ~0.4", p)
+	}
+}
+
+func TestRankAndTopNConsistent(t *testing.T) {
+	res, pred := fixture(t)
+	ds := res.Dataset
+	all, err := pred.Rank(ds, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != ds.NumLines {
+		t.Fatalf("Rank returned %d predictions", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Score > all[i-1].Score {
+			t.Fatal("Rank not sorted by score")
+		}
+	}
+	top, err := pred.TopN(ds, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != pred.Cfg.BudgetN {
+		t.Fatalf("TopN returned %d, budget %d", len(top), pred.Cfg.BudgetN)
+	}
+	for i := range top {
+		if top[i] != all[i] {
+			t.Fatal("TopN is not the prefix of Rank")
+		}
+	}
+	for _, p := range top {
+		if p.Probability <= 0 || p.Probability >= 1 {
+			t.Fatalf("probability %v out of (0,1)", p.Probability)
+		}
+		if p.Week != 43 {
+			t.Fatalf("prediction carries week %d", p.Week)
+		}
+	}
+	// Probabilities must be monotone in score.
+	for i := 1; i < len(top); i++ {
+		if top[i].Probability > top[i-1].Probability+1e-12 {
+			t.Fatal("probability not monotone in rank")
+		}
+	}
+}
+
+func TestPredictorSelectedMeaningfulFeatures(t *testing.T) {
+	_, pred := fixture(t)
+	if len(pred.SelectedCols) == 0 {
+		t.Fatal("no features selected")
+	}
+	// The error counters and noise margin drive the simulator's faults;
+	// at least one such feature must survive selection.
+	signal := false
+	for _, n := range pred.SelectedCols {
+		if strings.Contains(n, "cv") || strings.Contains(n, "nmr") ||
+			strings.Contains(n, "escnt") || strings.Contains(n, "fec") {
+			signal = true
+			break
+		}
+	}
+	if !signal {
+		t.Fatalf("selection missed every error-counter feature: %v", pred.SelectedCols)
+	}
+	if len(pred.ProductPairs) == 0 {
+		t.Fatal("no product features survived with UseDerived")
+	}
+	for _, name := range pred.SelectedCols {
+		if _, ok := pred.SelectionScores[name]; !ok {
+			t.Fatalf("selected column %q has no recorded score", name)
+		}
+	}
+}
+
+func TestPredictorDeterministic(t *testing.T) {
+	res, _ := fixture(t)
+	cfg := DefaultPredictorConfig(res.Dataset.NumLines, 5)
+	cfg.Rounds = 25
+	cfg.MaxSelectExamples = 8000
+	a, err := TrainPredictor(res.Dataset, []int{31, 32}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainPredictor(res.Dataset, []int{31, 32}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(a.SelectedCols, ",") != strings.Join(b.SelectedCols, ",") {
+		t.Fatal("selection differs across identical trainings")
+	}
+	ra, _ := a.Rank(res.Dataset, 40)
+	rb, _ := b.Rank(res.Dataset, 40)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("ranking differs at %d", i)
+		}
+	}
+}
+
+func TestPredictorWithoutDerivedFeatures(t *testing.T) {
+	res, _ := fixture(t)
+	cfg := DefaultPredictorConfig(res.Dataset.NumLines, 5)
+	cfg.Rounds = 60
+	cfg.UseDerived = false
+	cfg.MaxSelectExamples = 15000
+	pred, err := TrainPredictor(res.Dataset, []int{31, 32, 33}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.ProductPairs) != 0 {
+		t.Fatal("products present with UseDerived=false")
+	}
+	for _, n := range pred.SelectedCols {
+		if strings.HasPrefix(n, "quad:") || strings.HasPrefix(n, "prod:") {
+			t.Fatalf("derived column %q selected with UseDerived=false", n)
+		}
+	}
+}
+
+// --- Locator ---------------------------------------------------------------
+
+var fixtureLoc *TroubleLocator
+
+func locatorFixture(t *testing.T) (*sim.Result, *TroubleLocator, []DispatchCase) {
+	t.Helper()
+	res, _ := fixture(t)
+	ds := res.Dataset
+	train := CasesFromNotes(ds, data.FirstSaturday, data.DayOfDate(10, 1)-1)
+	if fixtureLoc == nil {
+		cfg := DefaultLocatorConfig(3)
+		cfg.Rounds = 80
+		cfg.MinCases = 10
+		loc, err := TrainLocator(ds, train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtureLoc = loc
+	}
+	test := CasesFromNotes(ds, data.DayOfDate(10, 1), data.DaysInYear-1)
+	return res, fixtureLoc, test
+}
+
+func TestCasesFromNotes(t *testing.T) {
+	res, _ := fixture(t)
+	ds := res.Dataset
+	cases := CasesFromNotes(ds, 100, 200)
+	if len(cases) == 0 {
+		t.Fatal("no cases in a 100-day window")
+	}
+	dayOf := map[int]int{}
+	for _, tk := range ds.Tickets {
+		dayOf[tk.ID] = tk.Day
+	}
+	for _, c := range cases {
+		if c.Week < 0 || c.Week >= data.Weeks {
+			t.Fatalf("case week %d", c.Week)
+		}
+		if c.Disp < 0 || int(c.Disp) >= faults.NumDispositions {
+			t.Fatalf("case disposition %d", c.Disp)
+		}
+	}
+}
+
+func TestLocatorBeatsBasicModel(t *testing.T) {
+	res, loc, test := locatorFixture(t)
+	meanRank := func(model LocatorModel) float64 {
+		ranks, err := loc.RankOfTruth(res.Dataset, test, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, n := 0, 0
+		for _, r := range ranks {
+			if r > 0 {
+				sum += r
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("no rankable cases")
+		}
+		return float64(sum) / float64(n)
+	}
+	basic := meanRank(ModelBasic)
+	flat := meanRank(ModelFlat)
+	combined := meanRank(ModelCombined)
+	if flat >= basic {
+		t.Fatalf("flat model mean rank %.1f not better than basic %.1f", flat, basic)
+	}
+	if combined >= basic {
+		t.Fatalf("combined model mean rank %.1f not better than basic %.1f", combined, basic)
+	}
+	// §6.3: the models substantially cut the tests needed (the full-scale
+	// experiment roughly halves them; this fixture trains on a fraction of
+	// the data, so demand a 15% mean improvement here).
+	if flat > 0.85*basic {
+		t.Fatalf("flat model mean rank %.1f is a weak improvement on basic %.1f", flat, basic)
+	}
+}
+
+func TestLocatorMedianRankHalved(t *testing.T) {
+	res, loc, test := locatorFixture(t)
+	medianRank := func(model LocatorModel) int {
+		ranks, err := loc.RankOfTruth(res.Dataset, test, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v []int
+		for _, r := range ranks {
+			if r > 0 {
+				v = append(v, r)
+			}
+		}
+		sort.Ints(v)
+		return v[len(v)/2]
+	}
+	// The paper's headline: locating 50% of problems takes ~9 tests with
+	// the basic ranks and ~4 with either model. The small fixture trains on
+	// a fraction of the data; demand at least a one-third cut here (the
+	// full-scale run in cmd/experiments shows the halving).
+	if b, f := medianRank(ModelBasic), medianRank(ModelFlat); 3*f > 2*b {
+		t.Fatalf("median tests: basic %d, flat %d; expected at most two-thirds", b, f)
+	}
+}
+
+func TestLocatorPosteriorsShape(t *testing.T) {
+	res, loc, test := locatorFixture(t)
+	short := test[:5]
+	for _, model := range []LocatorModel{ModelBasic, ModelFlat, ModelCombined} {
+		post, err := loc.Posteriors(res.Dataset, short, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(post) != len(short) {
+			t.Fatalf("%v: %d rows", model, len(post))
+		}
+		for _, row := range post {
+			if len(row) != len(loc.Dispositions) {
+				t.Fatalf("%v: row width %d", model, len(row))
+			}
+			for _, p := range row {
+				if p < 0 || p > 1 {
+					t.Fatalf("%v: posterior %v out of [0,1]", model, p)
+				}
+			}
+		}
+	}
+}
+
+func TestBasicOrderSortedByPrior(t *testing.T) {
+	_, loc, _ := locatorFixture(t)
+	order := loc.BasicOrder()
+	if len(order) != len(loc.Dispositions) {
+		t.Fatal("BasicOrder lost dispositions")
+	}
+	for i := 1; i < len(order); i++ {
+		if loc.Priors[order[i]] > loc.Priors[order[i-1]] {
+			t.Fatal("BasicOrder not descending by prior")
+		}
+	}
+}
+
+func TestLocatorRejectsBadInput(t *testing.T) {
+	res, _ := fixture(t)
+	if _, err := TrainLocator(res.Dataset, nil, DefaultLocatorConfig(1)); err == nil {
+		t.Fatal("no cases accepted")
+	}
+	cfg := DefaultLocatorConfig(1)
+	cfg.Rounds = 0
+	if _, err := TrainLocator(res.Dataset, make([]DispatchCase, 100), cfg); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestLocatorModelString(t *testing.T) {
+	if ModelBasic.String() != "basic" || ModelFlat.String() != "flat" || ModelCombined.String() != "combined" {
+		t.Fatal("model names wrong")
+	}
+	if LocatorModel(9).String() != "LocatorModel(9)" {
+		t.Fatal("unknown model string")
+	}
+}
+
+func TestExplainCombined(t *testing.T) {
+	_, loc, _ := locatorFixture(t)
+	d := loc.Dispositions[0]
+	text, err := loc.ExplainCombined(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, faults.Catalog[d].Name) {
+		t.Fatalf("explanation misses the disposition name:\n%s", text)
+	}
+	if !strings.Contains(text, "f_disp") || !strings.Contains(text, "if ") {
+		t.Fatalf("explanation misses model structure:\n%s", text)
+	}
+	if _, err := loc.ExplainCombined(faults.DispositionID(999), 3); err == nil {
+		t.Fatal("unknown disposition accepted")
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nevermind/internal/faults"
+)
+
+// Cost-aware test ordering — the second and third improvements §6.1 lists
+// but defers ("the time/cost for testing a location, and the time/cost for
+// moving from one location to another are not available and considered as
+// constants"). Given per-disposition test times and per-location travel
+// times, the locator's posterior can be turned into the ordering that
+// minimises the technician's expected time to find the fault, rather than
+// just the expected number of tests.
+//
+// With independent per-test costs, sorting by probability/cost is optimal
+// (the classic exchange argument: swapping adjacent tests i,j changes the
+// expected time by p_j·c_i − p_i·c_j). Travel makes the problem sequence-
+// dependent, so Order adds it greedily: the next test is the one maximising
+// posterior / (test time + travel time from the technician's current
+// location).
+
+// CostModel prices the technician's actions in minutes.
+type CostModel struct {
+	// TestMinutes is the time to test and rule out one disposition.
+	TestMinutes []float64 // indexed by faults.DispositionID
+	// TravelMinutes is the time to move between major locations; indexed
+	// [from][to]. The diagonal is zero.
+	TravelMinutes [faults.NumLocations][faults.NumLocations]float64
+}
+
+// DefaultCostModel reflects field reality: home-network checks are quick
+// swap tests, outside-plant work needs ladders and splice cases, DSLAM work
+// happens at the central office across town.
+func DefaultCostModel() CostModel {
+	cm := CostModel{TestMinutes: make([]float64, faults.NumDispositions)}
+	perLoc := map[faults.Location]float64{
+		faults.HN: 8,  // swap the modem, bypass the filter...
+		faults.F2: 18, // drop, protector, DEMARC
+		faults.F1: 25, // crossbox, cable pairs, splice cases
+		faults.DS: 15, // card reseat, port checks
+	}
+	for i := range faults.Catalog {
+		cm.TestMinutes[i] = perLoc[faults.Catalog[i].Loc]
+	}
+	travel := map[[2]faults.Location]float64{
+		{faults.HN, faults.F2}: 5, {faults.HN, faults.F1}: 15, {faults.HN, faults.DS}: 30,
+		{faults.F2, faults.F1}: 12, {faults.F2, faults.DS}: 28, {faults.F1, faults.DS}: 20,
+	}
+	for a := faults.HN; a < faults.NumLocations; a++ {
+		for b := faults.HN; b < faults.NumLocations; b++ {
+			if a == b {
+				continue
+			}
+			key := [2]faults.Location{a, b}
+			if a > b {
+				key = [2]faults.Location{b, a}
+			}
+			cm.TravelMinutes[a][b] = travel[key]
+		}
+	}
+	return cm
+}
+
+// Validate checks the model covers the catalog with positive times.
+func (cm *CostModel) Validate() error {
+	if len(cm.TestMinutes) != faults.NumDispositions {
+		return fmt.Errorf("core: cost model covers %d of %d dispositions", len(cm.TestMinutes), faults.NumDispositions)
+	}
+	for i, m := range cm.TestMinutes {
+		if m <= 0 {
+			return fmt.Errorf("core: non-positive test time for %q", faults.Catalog[i].Name)
+		}
+	}
+	for a := range cm.TravelMinutes {
+		for b := range cm.TravelMinutes[a] {
+			if cm.TravelMinutes[a][b] < 0 {
+				return fmt.Errorf("core: negative travel time %v→%v", a, b)
+			}
+			if a == b && cm.TravelMinutes[a][b] != 0 {
+				return fmt.Errorf("core: non-zero self travel at %v", faults.Location(a))
+			}
+		}
+	}
+	return nil
+}
+
+// Order returns the test sequence (indices into disps) that the greedy
+// ratio rule produces: start at startLoc (dispatches start at the customer
+// premises, HN), repeatedly pick the untested disposition maximising
+// posterior / (test + travel minutes).
+func (cm *CostModel) Order(disps []faults.DispositionID, post []float64, startLoc faults.Location) ([]int, error) {
+	if err := cm.Validate(); err != nil {
+		return nil, err
+	}
+	if len(disps) != len(post) {
+		return nil, fmt.Errorf("core: %d dispositions with %d posteriors", len(disps), len(post))
+	}
+	n := len(disps)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	cur := startLoc
+	for len(order) < n {
+		best, bestRatio := -1, -1.0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			d := disps[i]
+			cost := cm.TestMinutes[d] + cm.TravelMinutes[cur][faults.Catalog[d].Loc]
+			ratio := post[i] / cost
+			if ratio > bestRatio || (ratio == bestRatio && best >= 0 && disps[i] < disps[best]) {
+				best, bestRatio = i, ratio
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		cur = faults.Catalog[disps[best]].Loc
+	}
+	return order, nil
+}
+
+// OrderByPosterior is the §6.2 baseline: descending posterior, ignoring
+// costs (ties broken by disposition ID for determinism).
+func OrderByPosterior(disps []faults.DispositionID, post []float64) []int {
+	idx := make([]int, len(disps))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if post[idx[a]] != post[idx[b]] {
+			return post[idx[a]] > post[idx[b]]
+		}
+		return disps[idx[a]] < disps[idx[b]]
+	})
+	return idx
+}
+
+// ExpectedMinutes returns the expected time until the fault is found when
+// following the order: Σ_k P(truth = order_k) · (time through test k). The
+// posterior is normalised internally; any residual mass (dispositions not
+// modelled) is charged the full sweep.
+func (cm *CostModel) ExpectedMinutes(disps []faults.DispositionID, post []float64, order []int, startLoc faults.Location) (float64, error) {
+	if err := cm.Validate(); err != nil {
+		return 0, err
+	}
+	if len(order) != len(disps) || len(post) != len(disps) {
+		return 0, fmt.Errorf("core: mismatched order/posterior lengths")
+	}
+	total := 0.0
+	for _, p := range post {
+		if p < 0 {
+			return 0, fmt.Errorf("core: negative posterior")
+		}
+		total += p
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("core: zero posterior mass")
+	}
+	cur := startLoc
+	elapsed := 0.0
+	expected := 0.0
+	for _, i := range order {
+		d := disps[i]
+		elapsed += cm.TestMinutes[d] + cm.TravelMinutes[cur][faults.Catalog[d].Loc]
+		cur = faults.Catalog[d].Loc
+		expected += (post[i] / total) * elapsed
+	}
+	return expected, nil
+}

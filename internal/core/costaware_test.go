@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nevermind/internal/faults"
+	"nevermind/internal/rng"
+)
+
+func TestDefaultCostModelValid(t *testing.T) {
+	cm := DefaultCostModel()
+	if err := cm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// F1 plant work must cost more than a home-network swap test.
+	hn := faults.ByLocation(faults.HN)[0]
+	f1 := faults.ByLocation(faults.F1)[0]
+	if cm.TestMinutes[f1] <= cm.TestMinutes[hn] {
+		t.Fatal("outside-plant tests should cost more than home swaps")
+	}
+	// Travel is symmetric.
+	for a := range cm.TravelMinutes {
+		for b := range cm.TravelMinutes[a] {
+			if cm.TravelMinutes[a][b] != cm.TravelMinutes[b][a] {
+				t.Fatalf("asymmetric travel %v↔%v", a, b)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	cm := DefaultCostModel()
+	cm.TestMinutes = cm.TestMinutes[:3]
+	if cm.Validate() == nil {
+		t.Fatal("short test-time table accepted")
+	}
+	cm = DefaultCostModel()
+	cm.TestMinutes[0] = 0
+	if cm.Validate() == nil {
+		t.Fatal("zero test time accepted")
+	}
+	cm = DefaultCostModel()
+	cm.TravelMinutes[0][0] = 5
+	if cm.Validate() == nil {
+		t.Fatal("self travel accepted")
+	}
+}
+
+func TestOrderByPosterior(t *testing.T) {
+	disps := []faults.DispositionID{3, 1, 2}
+	post := []float64{0.2, 0.5, 0.3}
+	order := OrderByPosterior(disps, post)
+	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// Without travel and with uniform costs, the greedy ratio rule must agree
+// with plain posterior ordering.
+func TestOrderReducesToPosteriorWithUniformCosts(t *testing.T) {
+	cm := CostModel{TestMinutes: make([]float64, faults.NumDispositions)}
+	for i := range cm.TestMinutes {
+		cm.TestMinutes[i] = 10
+	}
+	disps := []faults.DispositionID{0, 20, 45} // HN, F2/F1, DS mix
+	post := []float64{0.2, 0.5, 0.3}
+	order, err := cm.Order(disps, post, faults.HN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := OrderByPosterior(disps, post)
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("uniform-cost order %v != posterior order %v", order, want)
+		}
+	}
+}
+
+// The exchange-argument guarantee: with independent costs (no travel), the
+// ratio order's expected time is no worse than the posterior order's.
+func TestRatioOrderBeatsPosteriorOrder(t *testing.T) {
+	cm := DefaultCostModel()
+	// Remove travel so the greedy rule is provably optimal.
+	var noTravel CostModel
+	noTravel.TestMinutes = cm.TestMinutes
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 8
+		disps := make([]faults.DispositionID, n)
+		post := make([]float64, n)
+		for i := range disps {
+			disps[i] = faults.DispositionID(r.Intn(faults.NumDispositions))
+			post[i] = r.Float64() + 0.01
+		}
+		ratio, err := noTravel.Order(disps, post, faults.HN)
+		if err != nil {
+			return false
+		}
+		byP := OrderByPosterior(disps, post)
+		eRatio, err1 := noTravel.ExpectedMinutes(disps, post, ratio, faults.HN)
+		eByP, err2 := noTravel.ExpectedMinutes(disps, post, byP, faults.HN)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return eRatio <= eByP+1e-9
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedMinutesKnownCase(t *testing.T) {
+	var cm CostModel
+	cm.TestMinutes = make([]float64, faults.NumDispositions)
+	for i := range cm.TestMinutes {
+		cm.TestMinutes[i] = 10
+	}
+	disps := []faults.DispositionID{0, 1}
+	post := []float64{0.5, 0.5}
+	// Order [0,1]: E = 0.5*10 + 0.5*20 = 15.
+	e, err := cm.ExpectedMinutes(disps, post, []int{0, 1}, faults.HN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-15) > 1e-12 {
+		t.Fatalf("expected minutes %v, want 15", e)
+	}
+}
+
+func TestExpectedMinutesIncludesTravel(t *testing.T) {
+	cm := DefaultCostModel()
+	hn := faults.ByLocation(faults.HN)[0]
+	ds := faults.ByLocation(faults.DS)[0]
+	disps := []faults.DispositionID{ds, hn}
+	post := []float64{1, 0}
+	// Testing the DS disposition first requires HN→DS travel (30) + test (15).
+	e, err := cm.ExpectedMinutes(disps, post, []int{0, 1}, faults.HN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-45) > 1e-12 {
+		t.Fatalf("expected minutes %v, want 45 (travel 30 + test 15)", e)
+	}
+}
+
+func TestTravelAwareGreedyPrefersNearbyFirst(t *testing.T) {
+	cm := DefaultCostModel()
+	hn := faults.ByLocation(faults.HN)[0]
+	ds := faults.ByLocation(faults.DS)[0]
+	disps := []faults.DispositionID{ds, hn}
+	// The DS disposition is slightly more likely, but reaching the central
+	// office costs 30 minutes of travel; the greedy rule tests the
+	// at-premises suspect first.
+	post := []float64{0.55, 0.45}
+	order, err := cm.Order(disps, post, faults.HN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disps[order[0]] != hn {
+		t.Fatalf("greedy should test the HN suspect first; order %v", order)
+	}
+}
+
+func TestExpectedMinutesValidation(t *testing.T) {
+	cm := DefaultCostModel()
+	disps := []faults.DispositionID{0}
+	if _, err := cm.ExpectedMinutes(disps, []float64{-1}, []int{0}, faults.HN); err == nil {
+		t.Fatal("negative posterior accepted")
+	}
+	if _, err := cm.ExpectedMinutes(disps, []float64{0}, []int{0}, faults.HN); err == nil {
+		t.Fatal("zero posterior mass accepted")
+	}
+	if _, err := cm.ExpectedMinutes(disps, []float64{1}, []int{0, 0}, faults.HN); err == nil {
+		t.Fatal("mismatched order accepted")
+	}
+}
+
+// End-to-end: cost-aware ordering should cut the expected minutes of real
+// dispatches relative to pure posterior ordering.
+func TestCostAwareSavesMinutesOnRealPosteriors(t *testing.T) {
+	res, loc, test := locatorFixture(t)
+	if len(test) > 120 {
+		test = test[:120]
+	}
+	post, err := loc.Posteriors(res.Dataset, test, ModelCombined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := DefaultCostModel()
+	var sumP, sumC float64
+	for i := range test {
+		byP := OrderByPosterior(loc.Dispositions, post[i])
+		eP, err := cm.ExpectedMinutes(loc.Dispositions, post[i], byP, faults.HN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aware, err := cm.Order(loc.Dispositions, post[i], faults.HN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eC, err := cm.ExpectedMinutes(loc.Dispositions, post[i], aware, faults.HN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumP += eP
+		sumC += eC
+	}
+	if sumC >= sumP {
+		t.Fatalf("cost-aware ordering saves nothing: %.1f vs %.1f minutes", sumC, sumP)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// Model persistence: the paper's deployment trains on a server in ~2 hours
+// and then ranks every line in minutes each Saturday — which requires the
+// trained pipeline to outlive the training process. SavePredictor/
+// LoadPredictor serialise the full TicketPredictor (selected schema,
+// product pairs, quantizer cuts, stump ensemble, calibration) as gzipped
+// gob.
+
+// Save writes the trained predictor to path.
+func (p *TicketPredictor) Save(path string) error {
+	if p.Model == nil || p.Quant == nil {
+		return fmt.Errorf("core: cannot save an untrained predictor")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(p); err != nil {
+		return fmt.Errorf("core: encode predictor: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("core: flush: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadPredictor reads a predictor written by Save and sanity-checks it.
+func LoadPredictor(path string) (*TicketPredictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: gzip: %w", err)
+	}
+	defer zr.Close()
+	var p TicketPredictor
+	if err := gob.NewDecoder(zr).Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: decode predictor: %w", err)
+	}
+	if p.Model == nil || len(p.Model.Stumps) == 0 {
+		return nil, fmt.Errorf("core: loaded predictor has no model")
+	}
+	if p.Quant == nil || len(p.Quant.Cuts) == 0 {
+		return nil, fmt.Errorf("core: loaded predictor has no quantizer")
+	}
+	if len(p.SelectedCols)+len(p.ProductPairs) != len(p.Quant.Cuts) {
+		return nil, fmt.Errorf("core: loaded predictor schema mismatch: %d+%d columns vs %d cuts",
+			len(p.SelectedCols), len(p.ProductPairs), len(p.Quant.Cuts))
+	}
+	return &p, nil
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	res, pred := fixture(t)
+	path := filepath.Join(t.TempDir(), "predictor.gob.gz")
+	if err := pred.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPredictor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded pipeline must rank identically to the original.
+	a, err := pred.Rank(res.Dataset, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Rank(res.Dataset, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("ranking lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ranking differs at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSaveRejectsUntrained(t *testing.T) {
+	p := &TicketPredictor{}
+	if err := p.Save(filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Fatal("untrained predictor saved")
+	}
+}
+
+func TestLoadPredictorErrors(t *testing.T) {
+	if _, err := LoadPredictor(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// A corrupt file must not load.
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a gzip stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPredictor(path); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+}

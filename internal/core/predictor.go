@@ -1,0 +1,351 @@
+// Package core implements NEVERMIND itself (§3.2): the ticket predictor,
+// which ranks every DSL line by the probability of a customer trouble ticket
+// in the next T weeks and hands the top N to the dispatch system, and the
+// trouble locator, which ranks the 52 candidate dispositions for a dispatch
+// so the technician tests the likely locations first.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nevermind/internal/data"
+	"nevermind/internal/features"
+	"nevermind/internal/ml"
+)
+
+// PredictorConfig tunes the ticket-prediction pipeline of §4.
+type PredictorConfig struct {
+	// WindowDays is T, the label horizon (§4.1). The paper uses 4 weeks to
+	// cover hard-to-perceive problems and absent customers.
+	WindowDays int
+	// BudgetN is the operational budget: how many predicted tickets ATDS
+	// can absorb per ranking. The paper's network allows 20K out of
+	// millions of lines; the default scales that ratio to the population.
+	BudgetN int
+	// Rounds is the number of boosting iterations (paper: 800 by
+	// cross-validation; the default trades a sliver of accuracy for
+	// minutes of wall-clock).
+	Rounds int
+	// SelectTopK is how many history+customer features survive selection
+	// (paper's Fig. 6 uses the top 50). Families are selected separately,
+	// as in Fig. 4's per-family thresholds, so derived features never
+	// displace base ones.
+	SelectTopK int
+	// QuadTopK keeps the best quadratic features when UseDerived is set.
+	QuadTopK int
+	// ProductBaseK crosses the top-K selected base features into candidate
+	// product features.
+	ProductBaseK int
+	// ProductTopK keeps the best-scoring products.
+	ProductTopK int
+	// Criterion picks the feature-selection method; the paper's method is
+	// top-N AP (the default). Fig. 6 swaps in the Table 4 baselines.
+	Criterion ml.Criterion
+	// UseDerived enables the quadratic and product features of Table 3;
+	// Fig. 7's dotted curve disables them.
+	UseDerived bool
+	// MaxSelectExamples subsamples the per-feature selection pass.
+	MaxSelectExamples int
+	// CandidateGroups restricts the candidate columns to the given Table 3
+	// groups (nil = all). Fig. 6 compares selection methods on history
+	// features only.
+	CandidateGroups []features.Group
+	// Bins is the stump quantizer resolution for the final model.
+	Bins int
+	// HistoryWeeks is the long-term feature window.
+	HistoryWeeks int
+	// Seed drives every random choice in the pipeline.
+	Seed uint64
+}
+
+// DefaultPredictorConfig sizes the pipeline for a population of numLines.
+func DefaultPredictorConfig(numLines int, seed uint64) PredictorConfig {
+	budget := numLines / 50 // 2%: the 20K-of-millions operating point
+	if budget < 10 {
+		budget = 10
+	}
+	return PredictorConfig{
+		WindowDays:        28,
+		BudgetN:           budget,
+		Rounds:            250,
+		SelectTopK:        40,
+		QuadTopK:          10,
+		ProductBaseK:      16,
+		ProductTopK:       15,
+		Criterion:         ml.CritTopNAP,
+		UseDerived:        true,
+		MaxSelectExamples: 60000,
+		Bins:              128,
+		HistoryWeeks:      26,
+		Seed:              seed,
+	}
+}
+
+// TicketPredictor is the trained §4 pipeline. It remembers the selected
+// column names and product pairs so new weeks re-encode identically.
+type TicketPredictor struct {
+	Cfg PredictorConfig
+
+	Model *ml.BStump
+	Quant *ml.Quantizer
+
+	// SelectedCols are the names of the surviving base (history, customer,
+	// quadratic) columns, in training order.
+	SelectedCols []string
+	// ProductPairs are the surviving products, by base-column name.
+	ProductPairs [][2]string
+	// Scores of each candidate column from selection, for inspection.
+	SelectionScores map[string]float64
+}
+
+// Prediction is one ranked line.
+type Prediction struct {
+	Line        data.LineID
+	Week        int
+	Score       float64
+	Probability float64
+}
+
+// TrainPredictor learns the full pipeline on the given training weeks of a
+// dataset: encode → select features → train BStump → calibrate.
+func TrainPredictor(ds *data.Dataset, trainWeeks []int, cfg PredictorConfig) (*TicketPredictor, error) {
+	if err := validatePredictorConfig(cfg); err != nil {
+		return nil, err
+	}
+	if len(trainWeeks) == 0 {
+		return nil, fmt.Errorf("core: no training weeks")
+	}
+	ix := data.NewTicketIndex(ds)
+	examples := features.ExamplesForWeeks(ds, trainWeeks)
+	enc, err := features.Encode(ds, ix, examples, features.Config{
+		HistoryWeeks: cfg.HistoryWeeks, Quadratic: cfg.UseDerived,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CandidateGroups != nil {
+		enc, err = enc.Subset(enc.IndicesOfGroups(cfg.CandidateGroups...))
+		if err != nil {
+			return nil, err
+		}
+	}
+	y := features.Labels(ix, examples, cfg.WindowDays)
+
+	// The selection budget is the per-ranking budget scaled to the number
+	// of rankings stacked in the training set.
+	selN := cfg.BudgetN * len(trainWeeks)
+	selOpt := ml.SelectOptions{
+		N: selN, Seed: cfg.Seed, MaxExamples: cfg.MaxSelectExamples,
+	}
+
+	// Score every candidate column, then select per family (Fig. 4 applies
+	// separate thresholds to history/customer, quadratic and product
+	// features): the top SelectTopK history+customer columns plus the top
+	// QuadTopK quadratic columns.
+	scores, err := ml.FeatureScores(enc.Cols, y, cfg.Criterion, selOpt)
+	if err != nil {
+		return nil, fmt.Errorf("core: feature selection: %w", err)
+	}
+	p := &TicketPredictor{Cfg: cfg, SelectionScores: map[string]float64{}}
+	for i, c := range enc.Cols {
+		p.SelectionScores[c.Name] = scores[i]
+	}
+	order := ml.RankDesc(scores)
+	var keep []int
+	baseTaken, quadTaken := 0, 0
+	for _, i := range order {
+		if enc.Groups[i] == features.GroupQuad {
+			if quadTaken < cfg.QuadTopK {
+				keep = append(keep, i)
+				quadTaken++
+			}
+		} else if baseTaken < cfg.SelectTopK {
+			keep = append(keep, i)
+			baseTaken++
+		}
+	}
+	sort.Ints(keep)
+	for _, i := range keep {
+		p.SelectedCols = append(p.SelectedCols, enc.Cols[i].Name)
+	}
+
+	finalEnc, err := enc.Subset(keep)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.UseDerived && cfg.ProductBaseK > 1 && cfg.ProductTopK > 0 {
+		// Cross the best history+customer features, score the candidate
+		// products, keep the winners (the Fig. 4c step).
+		var baseOrder []int
+		for _, i := range order {
+			if enc.Groups[i] != features.GroupQuad {
+				baseOrder = append(baseOrder, i)
+			}
+		}
+		baseK := cfg.ProductBaseK
+		if baseK > len(baseOrder) {
+			baseK = len(baseOrder)
+		}
+		pairs := features.AllPairs(baseOrder[:baseK])
+		prodCols, err := features.ProductColumns(enc, pairs)
+		if err != nil {
+			return nil, err
+		}
+		prodScores, err := ml.FeatureScores(prodCols, y, cfg.Criterion, selOpt)
+		if err != nil {
+			return nil, fmt.Errorf("core: product selection: %w", err)
+		}
+		prodOrder := ml.RankDesc(prodScores)
+		var kept []ml.Column
+		for _, pi := range prodOrder {
+			if len(kept) >= cfg.ProductTopK {
+				break
+			}
+			// A product only earns a slot by beating both of its parents
+			// with margin — the paper's rationale for the higher product
+			// threshold in Fig. 4c. This filters the winner's-curse
+			// products that merely matched their best parent on the
+			// selection subsample.
+			parentBest := math.Max(scores[pairs[pi].A], scores[pairs[pi].B])
+			if prodScores[pi] <= 1.15*parentBest {
+				continue
+			}
+			kept = append(kept, prodCols[pi])
+			p.ProductPairs = append(p.ProductPairs, [2]string{
+				enc.Cols[pairs[pi].A].Name, enc.Cols[pairs[pi].B].Name,
+			})
+			p.SelectionScores[prodCols[pi].Name] = prodScores[pi]
+		}
+		if err := finalEnc.AppendColumns(kept, features.GroupProd); err != nil {
+			return nil, err
+		}
+	}
+
+	// Final model.
+	q, err := ml.FitQuantizer(finalEnc.Cols, cfg.Bins)
+	if err != nil {
+		return nil, err
+	}
+	bm, err := q.Transform(finalEnc.Cols)
+	if err != nil {
+		return nil, err
+	}
+	model, err := ml.TrainBStump(bm, q, y, ml.TrainOptions{Rounds: cfg.Rounds})
+	if err != nil {
+		return nil, fmt.Errorf("core: boosting: %w", err)
+	}
+	if err := model.Calibrate(model.ScoreAll(bm), y); err != nil {
+		return nil, fmt.Errorf("core: calibration: %w", err)
+	}
+	p.Model = model
+	p.Quant = q
+	return p, nil
+}
+
+// encodeFor re-encodes arbitrary examples into the predictor's column
+// schema.
+func (p *TicketPredictor) encodeFor(ds *data.Dataset, ix *data.TicketIndex, examples []features.Example) (*ml.BinnedMatrix, error) {
+	enc, err := features.Encode(ds, ix, examples, features.Config{
+		HistoryWeeks: p.Cfg.HistoryWeeks, Quadratic: p.Cfg.UseDerived,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var keep []int
+	for _, name := range p.SelectedCols {
+		i := enc.ColumnIndex(name)
+		if i < 0 {
+			return nil, fmt.Errorf("core: schema drift: column %q missing", name)
+		}
+		keep = append(keep, i)
+	}
+	finalEnc, err := enc.Subset(keep)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.ProductPairs) > 0 {
+		var pairs []features.Pair
+		for _, pp := range p.ProductPairs {
+			a, b := enc.ColumnIndex(pp[0]), enc.ColumnIndex(pp[1])
+			if a < 0 || b < 0 {
+				return nil, fmt.Errorf("core: schema drift: product pair %v missing", pp)
+			}
+			pairs = append(pairs, features.Pair{A: a, B: b})
+		}
+		prodCols, err := features.ProductColumns(enc, pairs)
+		if err != nil {
+			return nil, err
+		}
+		if err := finalEnc.AppendColumns(prodCols, features.GroupProd); err != nil {
+			return nil, err
+		}
+	}
+	return p.Quant.Transform(finalEnc.Cols)
+}
+
+// Rank scores every line at the given week and returns the full ranking,
+// best first. This is the Saturday run: ranking several million lines takes
+// the paper's system under 15 minutes; here it is seconds.
+func (p *TicketPredictor) Rank(ds *data.Dataset, week int) ([]Prediction, error) {
+	ix := data.NewTicketIndex(ds)
+	examples := features.ExamplesForWeeks(ds, []int{week})
+	bm, err := p.encodeFor(ds, ix, examples)
+	if err != nil {
+		return nil, err
+	}
+	scores := p.Model.ScoreAll(bm)
+	order := ml.RankDesc(scores)
+	out := make([]Prediction, len(order))
+	for rank, i := range order {
+		out[rank] = Prediction{
+			Line:        examples[i].Line,
+			Week:        week,
+			Score:       scores[i],
+			Probability: p.Model.Probability(scores[i]),
+		}
+	}
+	return out, nil
+}
+
+// TopN returns the budgeted prediction list for a week: the lines NEVERMIND
+// submits to ATDS.
+func (p *TicketPredictor) TopN(ds *data.Dataset, week int) ([]Prediction, error) {
+	all, err := p.Rank(ds, week)
+	if err != nil {
+		return nil, err
+	}
+	n := p.Cfg.BudgetN
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n], nil
+}
+
+// ScoreExamples scores arbitrary (line, week) examples, for evaluation.
+func (p *TicketPredictor) ScoreExamples(ds *data.Dataset, examples []features.Example) ([]float64, error) {
+	ix := data.NewTicketIndex(ds)
+	bm, err := p.encodeFor(ds, ix, examples)
+	if err != nil {
+		return nil, err
+	}
+	return p.Model.ScoreAll(bm), nil
+}
+
+func validatePredictorConfig(cfg PredictorConfig) error {
+	switch {
+	case cfg.WindowDays <= 0:
+		return fmt.Errorf("core: WindowDays must be positive")
+	case cfg.BudgetN <= 0:
+		return fmt.Errorf("core: BudgetN must be positive")
+	case cfg.Rounds <= 0:
+		return fmt.Errorf("core: Rounds must be positive")
+	case cfg.SelectTopK <= 0:
+		return fmt.Errorf("core: SelectTopK must be positive")
+	case cfg.Bins < 2:
+		return fmt.Errorf("core: Bins must be at least 2")
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+// Package data defines the dataset vocabulary shared by every NEVERMIND
+// subsystem: the simulated 2009 calendar, line measurements, customer trouble
+// tickets, disposition notes and subscriber profiles, plus CSV/gob
+// persistence so generated datasets can be stored and re-used.
+//
+// The paper's four information sources (§3.3) map onto the four record types
+// here: DSL line measurements (weekly Saturday line tests), customer trouble
+// tickets, ticket disposition notes, and subscriber profiles.
+package data
+
+import (
+	"fmt"
+	"time"
+)
+
+// The simulation calendar covers the year 2009, matching the paper's dataset.
+// Days are numbered 0..364 with day 0 = Thursday, January 1, 2009. Line tests
+// run every Saturday (§3.3), giving 52 measurement weeks; week w's test falls
+// on day SaturdayOf(w).
+const (
+	DaysInYear = 365
+	// firstWeekday is the weekday of day 0. January 1, 2009 was a Thursday.
+	firstWeekday = time.Thursday
+	// FirstSaturday is the day index of the first Saturday of 2009 (Jan 3).
+	FirstSaturday = 2
+	// Weeks is the number of Saturday line tests in the year.
+	Weeks = 52
+)
+
+// Weekday returns the day of week for a day index.
+func Weekday(day int) time.Weekday {
+	return time.Weekday((int(firstWeekday) + day) % 7)
+}
+
+// SaturdayOf returns the day index of measurement week w (0-based).
+// It panics if w is outside [0, Weeks).
+func SaturdayOf(week int) int {
+	if week < 0 || week >= Weeks {
+		panic(fmt.Sprintf("data: week %d out of range [0,%d)", week, Weeks))
+	}
+	return FirstSaturday + 7*week
+}
+
+// WeekOf returns the index of the most recent measurement week whose Saturday
+// is <= day, and false if day precedes the first Saturday.
+func WeekOf(day int) (int, bool) {
+	if day < FirstSaturday {
+		return 0, false
+	}
+	w := (day - FirstSaturday) / 7
+	if w >= Weeks {
+		w = Weeks - 1
+	}
+	return w, true
+}
+
+// Date returns the calendar date of a day index.
+func Date(day int) time.Time {
+	return time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, day)
+}
+
+// DateString formats a day index as YYYY-MM-DD.
+func DateString(day int) string {
+	return Date(day).Format("2006-01-02")
+}
+
+// DayOfDate returns the day index of a month/day in 2009.
+func DayOfDate(month time.Month, dayOfMonth int) int {
+	d := time.Date(2009, month, dayOfMonth, 0, 0, 0, 0, time.UTC)
+	return int(d.Sub(time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC)).Hours() / 24)
+}

@@ -1,0 +1,81 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCalendarAnchors(t *testing.T) {
+	if wd := Weekday(0); wd != time.Thursday {
+		t.Fatalf("Jan 1 2009 weekday = %v, want Thursday", wd)
+	}
+	if wd := Weekday(FirstSaturday); wd != time.Saturday {
+		t.Fatalf("day %d weekday = %v, want Saturday", FirstSaturday, wd)
+	}
+	if got := DateString(0); got != "2009-01-01" {
+		t.Fatalf("day 0 = %s", got)
+	}
+	if got := DateString(DaysInYear - 1); got != "2009-12-31" {
+		t.Fatalf("last day = %s", got)
+	}
+}
+
+func TestAllSaturdaysAreSaturdays(t *testing.T) {
+	for w := 0; w < Weeks; w++ {
+		d := SaturdayOf(w)
+		if Weekday(d) != time.Saturday {
+			t.Fatalf("week %d day %d is %v", w, d, Weekday(d))
+		}
+		if d >= DaysInYear {
+			t.Fatalf("week %d falls outside the year", w)
+		}
+	}
+}
+
+func TestWeekOfInvertsSaturdayOf(t *testing.T) {
+	for w := 0; w < Weeks; w++ {
+		got, ok := WeekOf(SaturdayOf(w))
+		if !ok || got != w {
+			t.Fatalf("WeekOf(SaturdayOf(%d)) = %d, %v", w, got, ok)
+		}
+	}
+	if _, ok := WeekOf(FirstSaturday - 1); ok {
+		t.Fatal("WeekOf before first Saturday should report false")
+	}
+}
+
+func TestWeekOfMonotone(t *testing.T) {
+	err := quick.Check(func(a uint16) bool {
+		day := int(a) % DaysInYear
+		w, ok := WeekOf(day)
+		if !ok {
+			return day < FirstSaturday
+		}
+		return SaturdayOf(w) <= day && (w == Weeks-1 || day < SaturdayOf(w)+7)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaturdayOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SaturdayOf(-1) should panic")
+		}
+	}()
+	SaturdayOf(-1)
+}
+
+func TestDayOfDate(t *testing.T) {
+	if d := DayOfDate(time.January, 1); d != 0 {
+		t.Fatalf("Jan 1 = day %d", d)
+	}
+	if d := DayOfDate(time.August, 1); DateString(d) != "2009-08-01" {
+		t.Fatalf("Aug 1 maps to %s", DateString(d))
+	}
+	if d := DayOfDate(time.December, 31); d != DaysInYear-1 {
+		t.Fatalf("Dec 31 = day %d", d)
+	}
+}

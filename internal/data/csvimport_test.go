@@ -1,0 +1,120 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMeasurementsCSVRoundTrip(t *testing.T) {
+	d := tinyDataset()
+	// Give a couple of records distinguishing values and a missing flag.
+	d.At(1, 5).F[FDnNMR] = 7.25
+	d.At(2, 10).Missing = true
+
+	var buf bytes.Buffer
+	if err := d.WriteMeasurementsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	grid, numLines, err := ReadMeasurementsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numLines != d.NumLines {
+		t.Fatalf("inferred %d lines, want %d", numLines, d.NumLines)
+	}
+	if len(grid) != len(d.Measurements) {
+		t.Fatalf("grid size %d, want %d", len(grid), len(d.Measurements))
+	}
+	for i := range grid {
+		if grid[i] != d.Measurements[i] {
+			t.Fatalf("record %d differs after round trip: %+v vs %+v", i, grid[i], d.Measurements[i])
+		}
+	}
+}
+
+func TestTicketsCSVRoundTrip(t *testing.T) {
+	d := tinyDataset()
+	var buf bytes.Buffer
+	if err := d.WriteTicketsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tickets, notes, err := ReadTicketsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tickets) != len(d.Tickets) {
+		t.Fatalf("%d tickets, want %d", len(tickets), len(d.Tickets))
+	}
+	for i := range tickets {
+		if tickets[i] != d.Tickets[i] {
+			t.Fatalf("ticket %d differs: %+v vs %+v", i, tickets[i], d.Tickets[i])
+		}
+	}
+	if len(notes) != len(d.Notes) {
+		t.Fatalf("%d notes, want %d", len(notes), len(d.Notes))
+	}
+	for i := range notes {
+		if notes[i] != d.Notes[i] {
+			t.Fatalf("note %d differs: %+v vs %+v", i, notes[i], d.Notes[i])
+		}
+	}
+}
+
+func TestReadMeasurementsCSVFillsAbsentRowsAsMissing(t *testing.T) {
+	// A file with a single present record: everything else must be a
+	// Missing placeholder.
+	d := tinyDataset()
+	var buf bytes.Buffer
+	if err := d.WriteMeasurementsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(buf.String(), "\n")
+	one := strings.Join(lines[:2], "") // header + first record
+	grid, numLines, err := ReadMeasurementsCSV(strings.NewReader(one))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numLines != 1 {
+		t.Fatalf("inferred %d lines from a single line-0 row", numLines)
+	}
+	present := 0
+	for i := range grid {
+		if !grid[i].Missing {
+			present++
+		}
+	}
+	if present != 1 {
+		t.Fatalf("%d present records, want 1", present)
+	}
+}
+
+func TestReadMeasurementsCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"no columns":  "a,b,c\n1,2,3\n",
+		"bad line id": "line,week,missing," + strings.Join(BasicFeatureNames[:], ",") + "\nx,0,false" + strings.Repeat(",0", NumBasicFeatures) + "\n",
+		"bad week":    "line,week,missing," + strings.Join(BasicFeatureNames[:], ",") + "\n0,99,false" + strings.Repeat(",0", NumBasicFeatures) + "\n",
+		"no rows":     "line,week,missing," + strings.Join(BasicFeatureNames[:], ",") + "\n",
+	}
+	for name, csv := range cases {
+		if _, _, err := ReadMeasurementsCSV(strings.NewReader(csv)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadTicketsCSVErrors(t *testing.T) {
+	header := "ticket,line,day,date,category,disposition,dispatch_day,tests_run\n"
+	cases := map[string]string{
+		"empty":        "",
+		"bad category": header + "0,1,5,2009-01-06,unknown,,,\n",
+		"bad day":      header + "0,1,999,x,billing,,,\n",
+		"bad disp":     header + "0,1,5,x,customer-edge,zzz,6,1\n",
+	}
+	for name, csv := range cases {
+		if _, _, err := ReadTicketsCSV(strings.NewReader(csv)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzzing for the CSV importers: whatever bytes arrive, the parsers must
+// return a clean error or a structurally sound result — never panic, never
+// emit out-of-range records.
+
+func FuzzReadMeasurementsCSV(f *testing.F) {
+	// Seed with a real export and mutations of it.
+	d := tinyDataset()
+	var buf bytes.Buffer
+	if err := d.WriteMeasurementsCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add(valid)
+	f.Add(strings.Replace(valid, "false", "maybe", 1))
+	f.Add("line,week,missing\n0,0,false\n")
+	f.Add("")
+	f.Add("line,week,missing," + strings.Join(BasicFeatureNames[:], ",") + "\n-1,0,false" + strings.Repeat(",0", NumBasicFeatures))
+
+	f.Fuzz(func(t *testing.T, csv string) {
+		grid, numLines, err := ReadMeasurementsCSV(strings.NewReader(csv))
+		if err != nil {
+			return
+		}
+		if numLines <= 0 {
+			t.Fatalf("accepted input with %d lines", numLines)
+		}
+		if len(grid) != Weeks*numLines {
+			t.Fatalf("grid %d records for %d lines", len(grid), numLines)
+		}
+		for i := range grid {
+			m := &grid[i]
+			if int(m.Line) < 0 || int(m.Line) >= numLines || m.Week < 0 || m.Week >= Weeks {
+				t.Fatalf("out-of-range record %+v", m)
+			}
+		}
+	})
+}
+
+func FuzzReadTicketsCSV(f *testing.F) {
+	d := tinyDataset()
+	var buf bytes.Buffer
+	if err := d.WriteTicketsCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("ticket,line,day,date,category,disposition,dispatch_day,tests_run\n1,2,3,x,billing,,,\n")
+	f.Add("garbage")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, csv string) {
+		tickets, notes, err := ReadTicketsCSV(strings.NewReader(csv))
+		if err != nil {
+			return
+		}
+		for _, tk := range tickets {
+			if tk.Day < 0 || tk.Day >= DaysInYear {
+				t.Fatalf("ticket day %d accepted", tk.Day)
+			}
+		}
+		byID := map[int]bool{}
+		for _, tk := range tickets {
+			byID[tk.ID] = true
+		}
+		for _, n := range notes {
+			if !byID[n.TicketID] {
+				t.Fatalf("note for unknown ticket %d", n.TicketID)
+			}
+		}
+	})
+}

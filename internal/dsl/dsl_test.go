@@ -1,0 +1,307 @@
+package dsl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nevermind/internal/data"
+	"nevermind/internal/faults"
+	"nevermind/internal/rng"
+)
+
+func testNet(t *testing.T, n int) *Network {
+	t.Helper()
+	net, err := Build(Config{NumLines: n, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestBuildShape(t *testing.T) {
+	net := testNet(t, 1000)
+	if len(net.Lines) != 1000 {
+		t.Fatalf("built %d lines", len(net.Lines))
+	}
+	if net.NumDSLAMs != 21 { // ceil(1000/48)
+		t.Fatalf("NumDSLAMs = %d, want 21", net.NumDSLAMs)
+	}
+	if net.NumATMs != 2 || net.NumBRAS != 1 {
+		t.Fatalf("aggregation levels: ATMs=%d BRAS=%d", net.NumATMs, net.NumBRAS)
+	}
+}
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	if _, err := Build(Config{NumLines: -5}); err == nil {
+		t.Fatal("negative NumLines accepted")
+	}
+	if _, err := Build(Config{NumLines: 10, LinesPerDSLAM: 2, CrossboxesPerDSLAM: 4}); err == nil {
+		t.Fatal("LinesPerDSLAM < CrossboxesPerDSLAM accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := testNet(t, 500)
+	b := testNet(t, 500)
+	for i := range a.Lines {
+		if a.Lines[i] != b.Lines[i] {
+			t.Fatalf("line %d differs across identical builds", i)
+		}
+	}
+}
+
+func TestHierarchyConsistent(t *testing.T) {
+	net := testNet(t, 3000)
+	cfg := net.Cfg
+	for i, l := range net.Lines {
+		if int(l.ID) != i {
+			t.Fatalf("line %d has ID %d", i, l.ID)
+		}
+		if int(l.DSLAM) != i/cfg.LinesPerDSLAM {
+			t.Fatalf("line %d on DSLAM %d", i, l.DSLAM)
+		}
+		if l.Crossbox/int32(cfg.CrossboxesPerDSLAM) != l.DSLAM {
+			t.Fatalf("line %d crossbox %d not under DSLAM %d", i, l.Crossbox, l.DSLAM)
+		}
+		if l.ATM != l.DSLAM/int32(cfg.DSLAMsPerATM) {
+			t.Fatalf("line %d ATM %d", i, l.ATM)
+		}
+		if l.BRAS != l.ATM/int32(cfg.ATMsPerBRAS) {
+			t.Fatalf("line %d BRAS %d", i, l.BRAS)
+		}
+		if l.LoopFt < 600 || l.LoopFt > 18500 {
+			t.Fatalf("line %d loop %v ft out of range", i, l.LoopFt)
+		}
+		if l.Usage < 0.02 || l.Usage >= 0.98 {
+			t.Fatalf("line %d usage %v", i, l.Usage)
+		}
+		if int(l.Profile) >= len(data.Profiles) {
+			t.Fatalf("line %d profile %d", i, l.Profile)
+		}
+	}
+}
+
+func TestLinesOfDSLAM(t *testing.T) {
+	net := testNet(t, 100) // 3 DSLAMs: 48, 48, 4
+	lo, hi := net.LinesOfDSLAM(0)
+	if lo != 0 || hi != 48 {
+		t.Fatalf("DSLAM 0 range [%d,%d)", lo, hi)
+	}
+	lo, hi = net.LinesOfDSLAM(2)
+	if lo != 96 || hi != 100 {
+		t.Fatalf("last DSLAM range [%d,%d)", lo, hi)
+	}
+}
+
+func TestLongLoopsGetSlowTiers(t *testing.T) {
+	net := testNet(t, 20000)
+	long, longFast := 0, 0
+	for _, l := range net.Lines {
+		if l.LoopFt > 14000 {
+			long++
+			if data.Profiles[l.Profile].DnKbps > 1500 {
+				longFast++
+			}
+		}
+	}
+	if long == 0 {
+		t.Fatal("no long loops in a 20k-line build")
+	}
+	// A small mis-provisioned residue is intended — it feeds the "reduce
+	// speed to stabilize the line" disposition — but fast tiers must be
+	// rare on long loops.
+	if frac := float64(longFast) / float64(long); frac > 0.05 {
+		t.Fatalf("%.1f%% of >14kft loops sold fast tiers", 100*frac)
+	}
+}
+
+func TestMeasureHealthyLine(t *testing.T) {
+	net := testNet(t, 100)
+	l := &net.Lines[0]
+	m := Measure(l, faults.NoEffect, false, 5, rng.New(7))
+	for m.Missing { // retry different streams until the modem is on
+		m = Measure(l, faults.NoEffect, false, 5, rng.New(uint64(m.Week)+99))
+	}
+	prof := data.Profiles[l.Profile]
+	if m.F[data.FDnBR] <= 0 || float64(m.F[data.FDnBR]) > prof.DnKbps+1 {
+		t.Fatalf("dnbr %v outside (0, %v]", m.F[data.FDnBR], prof.DnKbps)
+	}
+	if m.F[data.FUpBR] <= 0 || float64(m.F[data.FUpBR]) > prof.UpKbps+1 {
+		t.Fatalf("upbr %v outside (0, %v]", m.F[data.FUpBR], prof.UpKbps)
+	}
+	if m.F[data.FDnRelCap] <= 0 || m.F[data.FDnRelCap] > 100 {
+		t.Fatalf("relcap %v outside (0,100]", m.F[data.FDnRelCap])
+	}
+	if m.F[data.FState] != 1 {
+		t.Fatal("state should be 1 when not missing")
+	}
+	if m.F[data.FDnMaxAttainFBR] < m.F[data.FDnBR] {
+		t.Fatalf("attainable %v below sync %v", m.F[data.FDnMaxAttainFBR], m.F[data.FDnBR])
+	}
+	if m.F[data.FDnCVCnt2] > m.F[data.FDnCVCnt1] || m.F[data.FDnCVCnt3] > m.F[data.FDnCVCnt2] {
+		t.Fatal("CV counters must be ordered by threshold")
+	}
+	if m.F[data.FDnESCnt2] > m.F[data.FDnESCnt1] {
+		t.Fatal("ES counters must be ordered by threshold")
+	}
+}
+
+func TestMeasureDeterministicGivenStream(t *testing.T) {
+	net := testNet(t, 10)
+	l := &net.Lines[3]
+	a := Measure(l, faults.NoEffect, false, 2, rng.Derive(9, 3, 2))
+	b := Measure(l, faults.NoEffect, false, 2, rng.Derive(9, 3, 2))
+	if a != b {
+		t.Fatal("Measure is not deterministic for a fixed stream")
+	}
+}
+
+// Severe faults must visibly degrade the line: that correlation is what the
+// whole prediction pipeline learns.
+func TestFaultsDegradeLine(t *testing.T) {
+	net := testNet(t, 200)
+	wet := faults.Catalog[4] // inside wire wet: margin and error counters
+	var healthyNMR, faultyNMR, healthyCV, faultyCV float64
+	samples := 0
+	for i := 0; i < 200; i++ {
+		l := &net.Lines[i]
+		h := Measure(l, faults.NoEffect, false, 0, rng.Derive(1, uint64(i), 0))
+		f := Measure(l, wet.Effect.Scale(1.2), false, 0, rng.Derive(1, uint64(i), 1))
+		if h.Missing || f.Missing {
+			continue
+		}
+		samples++
+		healthyNMR += float64(h.F[data.FDnNMR])
+		faultyNMR += float64(f.F[data.FDnNMR])
+		healthyCV += float64(h.F[data.FDnCVCnt1])
+		faultyCV += float64(f.F[data.FDnCVCnt1])
+	}
+	if samples < 100 {
+		t.Fatalf("only %d paired samples", samples)
+	}
+	if faultyNMR/float64(samples) > healthyNMR/float64(samples)-3 {
+		t.Fatalf("wet wiring should eat noise margin: healthy %.1f vs faulty %.1f",
+			healthyNMR/float64(samples), faultyNMR/float64(samples))
+	}
+	if faultyCV < 3*healthyCV {
+		t.Fatalf("wet wiring should multiply code violations: healthy %.0f vs faulty %.0f",
+			healthyCV, faultyCV)
+	}
+}
+
+func TestCutKillsSync(t *testing.T) {
+	net := testNet(t, 50)
+	cut := faults.Catalog[6] // inside wire cut: OffProb 0.8
+	missing := 0
+	for i := 0; i < 400; i++ {
+		m := Measure(&net.Lines[i%50], cut.Effect.Scale(1.2), false, 0, rng.Derive(2, uint64(i)))
+		if m.Missing {
+			missing++
+		}
+	}
+	if missing < 280 {
+		t.Fatalf("cut wire left only %d/400 tests without sync", missing)
+	}
+}
+
+func TestOutageKillsSync(t *testing.T) {
+	net := testNet(t, 50)
+	missing := 0
+	for i := 0; i < 200; i++ {
+		m := Measure(&net.Lines[i%50], faults.NoEffect, true, 0, rng.Derive(3, uint64(i)))
+		if m.Missing {
+			missing++
+		}
+	}
+	if missing < 180 {
+		t.Fatalf("outage left only %d/200 tests without sync", missing)
+	}
+}
+
+func TestBridgeTapFlagPropagates(t *testing.T) {
+	net := testNet(t, 2000)
+	bt := faults.Catalog[27] // bridge tap removal: BridgeTap signature
+	if !bt.Effect.BridgeTap {
+		t.Fatal("catalog entry 27 should carry a bridge-tap signature")
+	}
+	for i := range net.Lines {
+		l := &net.Lines[i]
+		if l.StaticBT {
+			continue
+		}
+		m := Measure(l, bt.Effect.Scale(1), false, 0, rng.Derive(4, uint64(i)))
+		if !m.Missing && m.F[data.FBT] != 1 {
+			t.Fatal("active bridge-tap fault not reflected in bt feature")
+		}
+		return // one non-static line is enough
+	}
+}
+
+func TestAttenuationGrowsWithLoop(t *testing.T) {
+	net := testNet(t, 5000)
+	type pt struct{ loop, aten float64 }
+	var pts []pt
+	for i := range net.Lines {
+		m := Measure(&net.Lines[i], faults.NoEffect, false, 0, rng.Derive(5, uint64(i)))
+		if m.Missing {
+			continue
+		}
+		pts = append(pts, pt{net.Lines[i].LoopFt, float64(m.F[data.FDnAten])})
+	}
+	// Pearson correlation should be strongly positive.
+	var sx, sy, sxx, syy, sxy float64
+	for _, p := range pts {
+		sx += p.loop
+		sy += p.aten
+		sxx += p.loop * p.loop
+		syy += p.aten * p.aten
+		sxy += p.loop * p.aten
+	}
+	n := float64(len(pts))
+	corr := (n*sxy - sx*sy) / math.Sqrt((n*sxx-sx*sx)*(n*syy-sy*sy))
+	if corr < 0.95 {
+		t.Fatalf("loop/attenuation correlation %.3f, want > 0.95", corr)
+	}
+}
+
+func TestMeasureBoundsProperty(t *testing.T) {
+	net := testNet(t, 64)
+	err := quick.Check(func(seed uint64, li uint8, sev uint8, di uint8) bool {
+		l := &net.Lines[int(li)%len(net.Lines)]
+		d := faults.Catalog[int(di)%faults.NumDispositions]
+		eff := d.Effect.Scale(float64(sev) / 64)
+		m := Measure(l, eff, false, 1, rng.New(seed))
+		if m.Missing {
+			return m.F[data.FState] == 0
+		}
+		return m.F[data.FDnBR] >= 0 && m.F[data.FUpBR] >= 0 &&
+			m.F[data.FDnRelCap] >= 0 && m.F[data.FDnRelCap] <= 100.01 &&
+			m.F[data.FDnCVCnt1] >= 0 && m.F[data.FHiCar] >= 32 && m.F[data.FHiCar] <= 255 &&
+			m.F[data.FDnAten] >= 1 && m.F[data.FDnAten] <= 90 &&
+			m.F[data.FDnCells] >= 0 && m.F[data.FUpCells] >= 0
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingRateReflectsUsage(t *testing.T) {
+	net := testNet(t, 1)
+	l := net.Lines[0]
+	low, high := l, l
+	low.Usage = 0.2
+	high.Usage = 0.95
+	missLow, missHigh := 0, 0
+	for i := 0; i < 2000; i++ {
+		if Measure(&low, faults.NoEffect, false, 0, rng.Derive(6, uint64(i))).Missing {
+			missLow++
+		}
+		if Measure(&high, faults.NoEffect, false, 0, rng.Derive(7, uint64(i))).Missing {
+			missHigh++
+		}
+	}
+	if missLow <= missHigh {
+		t.Fatalf("low-usage line missing %d, high-usage %d; modem-off should track usage", missLow, missHigh)
+	}
+}

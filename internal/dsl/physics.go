@@ -1,0 +1,170 @@
+package dsl
+
+import (
+	"math"
+
+	"nevermind/internal/data"
+	"nevermind/internal/faults"
+	"nevermind/internal/rng"
+)
+
+// The physical-layer model. Measure turns a line's static plant plus the
+// combined active fault effect into one Table 2 line-test record, the same
+// sparse, noisy view the DSLAM gets from its weekly conversation with the
+// modem (§3.3). The formulas are not a transmission-line solver; they are a
+// monotone caricature that preserves the relationships operators actually
+// use: attenuation grows with loop length, attainable rate falls with
+// attenuation, the noise margin reflects headroom between attainable and
+// provisioned rate, low margin breeds code violations and errored seconds,
+// and relative capacity near 100% means the line has no headroom left.
+const (
+	dnAtenPerFt = 0.0040 // dB of downstream attenuation per foot of loop
+	upAtenPerFt = 0.0026
+	dnRateCeil  = 24000.0 // kbps attainable on a zero-length loop
+	upRateCeil  = 3300.0
+	trainFrac   = 0.92 // modems train slightly below attainable
+)
+
+// Measure produces the line-test record for one line in one week. eff is the
+// combined effect of all faults active on the line (faults.NoEffect when
+// healthy), outage reports whether the serving DSLAM has an active network
+// outage (which kills sync entirely), and r must be a stream private to
+// (line, week).
+func Measure(l *Line, eff faults.Effect, outage bool, week int, r *rng.RNG) data.Measurement {
+	m := data.Measurement{Line: l.ID, Week: week}
+	prof := data.Profiles[l.Profile]
+
+	// Is the modem reachable at test time? Low-usage subscribers power
+	// their modems off; some faults (dead modem, cut pair, DSLAM card)
+	// prevent the test conversation entirely.
+	pOff := clamp(0.22-0.20*l.Usage, 0.02, 0.25)
+	pOff = 1 - (1-pOff)*(1-eff.OffProb)
+	if outage {
+		pOff = 0.97
+	}
+	if r.Bool(pOff) {
+		m.Missing = true
+		// The DSLAM still knows the static plant record.
+		m.F[data.FState] = 0
+		m.F[data.FLoopLength] = float32(l.LoopFt * (1 + r.Normal(0, 0.08)))
+		m.F[data.FBT] = b2f(l.StaticBT)
+		m.F[data.FCrosstalk] = b2f(l.StaticXT)
+		return m
+	}
+	m.F[data.FState] = 1
+
+	// Attenuation: loop length plus fault-induced loss, plus estimate noise.
+	dnAten := l.LoopFt*dnAtenPerFt + eff.AttenDelta + r.Normal(0, 0.7)
+	upAten := l.LoopFt*upAtenPerFt + 0.7*eff.AttenDelta + r.Normal(0, 0.5)
+	dnAten = clamp(dnAten, 1, 90)
+	upAten = clamp(upAten, 1, 70)
+
+	// Attainable rate decays with attenuation; bridge taps and crosstalk
+	// reflect/inject noise that eats capacity.
+	btNow := l.StaticBT || eff.BridgeTap
+	xtNow := l.StaticXT || eff.Crosstalk
+	capFactor := eff.RateFactor
+	if btNow {
+		capFactor *= 0.82
+	}
+	if xtNow {
+		capFactor *= 0.90
+	}
+	dnMax := dnRateCeil * math.Exp(-dnAten/14) * capFactor * r.LogNormal(0, 0.05)
+	upMax := upRateCeil * math.Exp(-upAten/16) * capFactor * r.LogNormal(0, 0.05)
+	dnMax = clamp(dnMax, 64, dnRateCeil)
+	upMax = clamp(upMax, 32, upRateCeil)
+
+	// Sync rate: the modem trains to the profile cap or just below the
+	// attainable rate, whichever binds.
+	dnBR := math.Min(prof.DnKbps, trainFrac*dnMax)
+	upBR := math.Min(prof.UpKbps, trainFrac*upMax)
+
+	// Relative capacity: fraction of attainable capacity in use (%). The
+	// operators' manual rule escalates above 92% — no headroom left.
+	dnRel := 100 * dnBR / dnMax
+	upRel := 100 * upBR / upMax
+
+	// Noise margin: headroom in dB between attainable and sync rate, minus
+	// fault-induced noise. 10*log2 ≈ 3 dB per doubling of headroom.
+	dnNMR := 6 + 10*math.Log2(dnMax/dnBR) + eff.MarginDelta + r.Normal(0, 1.0)
+	upNMR := 6 + 10*math.Log2(upMax/upBR) + 0.8*eff.MarginDelta + r.Normal(0, 1.0)
+	dnNMR = clamp(dnNMR, -5, 40)
+	upNMR = clamp(upNMR, -5, 40)
+
+	// Error processes: code violations explode as margin evaporates; the
+	// three CV counters use successively higher thresholds, errored seconds
+	// and FEC corrections ride the same underlying noise process. The
+	// counters accumulate only while the line carries traffic, so the
+	// subscriber's usage scales every counter — a heavy user on a healthy
+	// line can out-count a light user on a sick one, which is what makes
+	// the error counters ambiguous alone and feature combinations (e.g.
+	// counter × cells) informative (§4.2's derived features).
+	usageF := 0.25 + 1.5*l.Usage
+	lam := (2 + 28*math.Max(0, 6-dnNMR) + eff.CVRate) * usageF
+	cv1 := r.Poisson(lam)
+	cv2 := min(cv1, r.Poisson(lam*0.45))
+	cv3 := min(cv2, r.Poisson(lam*0.15))
+	es1 := r.Poisson(1 + lam/8 + eff.ESRate)
+	es2 := min(es1, r.Poisson(lam/20+0.5*eff.ESRate))
+	fec := r.Poisson(25 + 2*lam + eff.FECRate)
+
+	// Impulse-noise bursts: transient interference (AM ingress, motors,
+	// electric fences) floods the low-threshold counters on otherwise
+	// healthy lines for part of the test window. The severe-threshold
+	// counters (dncvcnt3, dnescnt2) barely move — impulse events are short
+	// — so a burst week looks like a fault on dncvcnt1/dnfeccnt1 alone.
+	// This is why the low-threshold counters are broadly informative but
+	// unreliable in their extreme tail, while the high-threshold counters
+	// are the reverse.
+	if r.Bool(0.035) {
+		burst := r.Exp(600 * usageF)
+		cv1 += r.Poisson(burst)
+		cv2 += r.Poisson(burst * 0.35)
+		es1 += r.Poisson(burst / 50)
+		fec += r.Poisson(burst * 2.2)
+	}
+	if fec < 50 {
+		fec = 0 // the counter only records bursts of at least 50 corrections
+	}
+
+	// Carrier usage: attenuation knocks out the high sub-carriers.
+	hiCar := clamp(255-3.2*dnAten+r.Normal(0, 4), 32, 255)
+
+	// Rolling cell counters reflect subscriber traffic through the loop.
+	dnCells := l.Usage * 4e6 * r.LogNormal(0, 0.5) * eff.CellsFactor
+	upCells := dnCells * 0.15 * r.LogNormal(0, 0.3)
+
+	m.F[data.FDnBR] = float32(dnBR)
+	m.F[data.FUpBR] = float32(upBR)
+	m.F[data.FDnPwr] = float32(14 + eff.PowerDelta + r.Normal(0, 0.8))
+	m.F[data.FUpPwr] = float32(12 + 0.7*eff.PowerDelta + r.Normal(0, 0.8))
+	m.F[data.FDnNMR] = float32(dnNMR)
+	m.F[data.FUpNMR] = float32(upNMR)
+	m.F[data.FDnAten] = float32(dnAten)
+	m.F[data.FUpAten] = float32(upAten)
+	m.F[data.FDnRelCap] = float32(dnRel)
+	m.F[data.FUpRelCap] = float32(upRel)
+	m.F[data.FDnCVCnt1] = float32(cv1)
+	m.F[data.FDnCVCnt2] = float32(cv2)
+	m.F[data.FDnCVCnt3] = float32(cv3)
+	m.F[data.FDnESCnt1] = float32(es1)
+	m.F[data.FDnESCnt2] = float32(es2)
+	m.F[data.FDnFECCnt1] = float32(fec)
+	m.F[data.FHiCar] = float32(math.Round(hiCar))
+	m.F[data.FBT] = b2f(btNow)
+	m.F[data.FCrosstalk] = b2f(xtNow)
+	m.F[data.FLoopLength] = float32(l.LoopFt * (1 + r.Normal(0, 0.08)))
+	m.F[data.FDnMaxAttainFBR] = float32(dnMax)
+	m.F[data.FUpMaxAttainFBR] = float32(upMax)
+	m.F[data.FDnCells] = float32(dnCells)
+	m.F[data.FUpCells] = float32(upCells)
+	return m
+}
+
+func b2f(b bool) float32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,162 @@
+// Package dsl models the access-network substrate of Fig. 1: the hierarchy
+// BRAS → ATM switch → DSLAM → crossbox → dedicated copper loop → customer
+// premises, and the physical layer of each loop. Its job is to turn a line's
+// static plant (loop length, service profile, bridge taps) plus whatever
+// faults are active into the 25 line features of Table 2 that the weekly
+// DSLAM-initiated line test reports.
+package dsl
+
+import (
+	"fmt"
+
+	"nevermind/internal/data"
+	"nevermind/internal/rng"
+)
+
+// Config sizes the simulated access network. Zero fields take defaults.
+type Config struct {
+	NumLines           int
+	LinesPerDSLAM      int // paper: a DSLAM terminates several tens of lines
+	CrossboxesPerDSLAM int
+	DSLAMsPerATM       int
+	ATMsPerBRAS        int
+	Seed               uint64
+}
+
+// Defaults fills zero fields with production-shaped defaults.
+func (c Config) Defaults() Config {
+	if c.NumLines == 0 {
+		c.NumLines = 10000
+	}
+	if c.LinesPerDSLAM == 0 {
+		c.LinesPerDSLAM = 48
+	}
+	if c.CrossboxesPerDSLAM == 0 {
+		c.CrossboxesPerDSLAM = 4
+	}
+	if c.DSLAMsPerATM == 0 {
+		c.DSLAMsPerATM = 20
+	}
+	if c.ATMsPerBRAS == 0 {
+		c.ATMsPerBRAS = 8
+	}
+	return c
+}
+
+// Line is one dedicated subscriber loop and its static plant attributes.
+type Line struct {
+	ID       data.LineID
+	DSLAM    int32
+	Crossbox int32 // global crossbox id
+	ATM      int32
+	BRAS     int32
+
+	Profile  uint8   // index into data.Profiles
+	LoopFt   float64 // true loop length; the test reports a noisy estimate
+	StaticBT bool    // permanent bridge tap on the loop
+	StaticXT bool    // loop shares a binder group with noisy neighbours
+	Usage    float64 // subscriber's propensity to be online on a given day
+}
+
+// Network is the built topology.
+type Network struct {
+	Cfg           Config
+	Lines         []Line
+	NumDSLAMs     int
+	NumCrossboxes int
+	NumATMs       int
+	NumBRAS       int
+}
+
+// Build constructs a deterministic network from the config. Lines are
+// assigned to DSLAMs contiguously (line i serves DSLAM i/LinesPerDSLAM), and
+// each DSLAM's lines split across its crossboxes, mirroring real plant where
+// a crossbox aggregates a neighbourhood.
+func Build(cfg Config) (*Network, error) {
+	cfg = cfg.Defaults()
+	if cfg.NumLines < 1 {
+		return nil, fmt.Errorf("dsl: NumLines must be positive, got %d", cfg.NumLines)
+	}
+	if cfg.LinesPerDSLAM < cfg.CrossboxesPerDSLAM {
+		return nil, fmt.Errorf("dsl: LinesPerDSLAM %d < CrossboxesPerDSLAM %d", cfg.LinesPerDSLAM, cfg.CrossboxesPerDSLAM)
+	}
+	n := &Network{Cfg: cfg}
+	n.NumDSLAMs = (cfg.NumLines + cfg.LinesPerDSLAM - 1) / cfg.LinesPerDSLAM
+	n.NumCrossboxes = n.NumDSLAMs * cfg.CrossboxesPerDSLAM
+	n.NumATMs = (n.NumDSLAMs + cfg.DSLAMsPerATM - 1) / cfg.DSLAMsPerATM
+	n.NumBRAS = (n.NumATMs + cfg.ATMsPerBRAS - 1) / cfg.ATMsPerBRAS
+	n.Lines = make([]Line, cfg.NumLines)
+	linesPerXBox := cfg.LinesPerDSLAM / cfg.CrossboxesPerDSLAM
+
+	for i := range n.Lines {
+		l := &n.Lines[i]
+		r := rng.Derive(cfg.Seed, 0x11e, uint64(i))
+		l.ID = data.LineID(i)
+		l.DSLAM = int32(i / cfg.LinesPerDSLAM)
+		xbox := (i % cfg.LinesPerDSLAM) / linesPerXBox
+		if xbox >= cfg.CrossboxesPerDSLAM {
+			xbox = cfg.CrossboxesPerDSLAM - 1
+		}
+		l.Crossbox = l.DSLAM*int32(cfg.CrossboxesPerDSLAM) + int32(xbox)
+		l.ATM = l.DSLAM / int32(cfg.DSLAMsPerATM)
+		l.BRAS = l.ATM / int32(cfg.ATMsPerBRAS)
+
+		// Loop lengths are lognormal around ~6 kft, clamped to the range
+		// ADSL serves. Neighbourhoods (crossboxes) share a distance bias.
+		hood := rng.Derive(cfg.Seed, 0xb0b, uint64(l.Crossbox)).Uniform(0.7, 1.4)
+		l.LoopFt = clamp(hood*r.LogNormal(8.6, 0.45), 600, 18500)
+
+		// Service tiers: long loops cannot support fast tiers, so demand is
+		// throttled by plant reality, which is what creates the paper's
+		// "loop length > 15kft often needs a speed downgrade" rule.
+		l.Profile = chooseProfile(r, l.LoopFt)
+
+		l.StaticBT = r.Bool(0.12) // legacy bridge taps are common in old plant
+		l.StaticXT = r.Bool(0.08) // crowded binder groups
+		// Most subscribers are regulars; a dormant segment barely touches
+		// the service (the line is provisioned and tested, but weeks can
+		// pass without traffic) — the population behind the §5.2
+		// zero-traffic incorrect predictions.
+		if r.Bool(0.12) {
+			l.Usage = r.Uniform(0.02, 0.12)
+		} else {
+			l.Usage = r.Uniform(0.15, 0.98)
+		}
+	}
+	return n, nil
+}
+
+// chooseProfile draws a service tier, biased by what the loop supports.
+func chooseProfile(r *rng.RNG, loopFt float64) uint8 {
+	// Base demand mix: basic, plus, advanced, elite.
+	w := []float64{0.30, 0.30, 0.28, 0.12}
+	switch {
+	case loopFt > 14000: // only basic trains reliably
+		w = []float64{0.85, 0.13, 0.02, 0}
+	case loopFt > 10000:
+		w = []float64{0.45, 0.38, 0.15, 0.02}
+	case loopFt > 7000:
+		w = []float64{0.32, 0.33, 0.27, 0.08}
+	}
+	return uint8(r.Categorical(w))
+}
+
+// LinesOfDSLAM returns the half-open line-ID range [lo, hi) served by a DSLAM.
+func (n *Network) LinesOfDSLAM(dslam int) (lo, hi int) {
+	lo = dslam * n.Cfg.LinesPerDSLAM
+	hi = lo + n.Cfg.LinesPerDSLAM
+	if hi > len(n.Lines) {
+		hi = len(n.Lines)
+	}
+	return lo, hi
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,414 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"nevermind/internal/ml"
+)
+
+// The experiments share one small context; each runner is exercised for its
+// structural invariants and the direction of its headline claim. Full-scale
+// shape reproduction lives in cmd/experiments and EXPERIMENTS.md.
+var testCtx *Context
+
+func ctxFixture(t *testing.T) *Context {
+	t.Helper()
+	if testCtx == nil {
+		ctx, err := NewContext(Config{
+			Lines: 4000, Seed: 9, Rounds: 60, LocRounds: 40,
+			MaxSelectExamples: 12000, TestWeeks: []int{43, 44},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testCtx = ctx
+	}
+	return testCtx
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Lines != 20000 || c.BudgetN != 400 || len(c.TestWeeks) != 4 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	c = Config{Lines: 100}.Defaults()
+	if c.BudgetN < 10 {
+		t.Fatal("budget floor missing")
+	}
+}
+
+func TestNewContextRejectsBadSplit(t *testing.T) {
+	if _, err := NewContext(Config{TrainLo: 10, TrainHi: 5}); err == nil {
+		t.Fatal("inverted training weeks accepted")
+	}
+	if _, err := NewContext(Config{TestWeeks: []int{31}}); err == nil {
+		t.Fatal("test week inside training accepted")
+	}
+	if _, err := NewContext(Config{TestWeeks: []int{99}}); err == nil {
+		t.Fatal("test week beyond calendar accepted")
+	}
+}
+
+func TestTrendExperiment(t *testing.T) {
+	ctx := ctxFixture(t)
+	res, err := ctx.RunTrend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Peak() != time.Monday {
+		t.Fatalf("ticket peak on %v, want Monday", res.Peak())
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Monday") {
+		t.Fatal("render misses weekdays")
+	}
+}
+
+func TestTable1Experiment(t *testing.T) {
+	ctx := ctxFixture(t)
+	res, err := ctx.RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, share := range res.LocationShare {
+		sum += share
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("location shares sum to %v", sum)
+	}
+	if res.LocationShare["HN"] < res.LocationShare["DS"] {
+		t.Fatal("HN should dominate the disposition mix")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "HN") || !strings.Contains(buf.String(), "DSLAM") {
+		t.Fatal("render misses locations")
+	}
+}
+
+func TestFig4Experiment(t *testing.T) {
+	ctx := ctxFixture(t)
+	res, err := ctx.RunFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 85 history+customer columns, 50 squared deviations (delta+ts), and a
+	// few hundred candidate products.
+	if len(res.HistCust) < 70 || len(res.Quad) < 40 || len(res.Product) < 100 {
+		t.Fatalf("feature family sizes: %d/%d/%d", len(res.HistCust), len(res.Quad), len(res.Product))
+	}
+	for _, fam := range [][]NamedScore{res.HistCust, res.Quad, res.Product} {
+		for _, x := range fam {
+			if x.Score < 0 || x.Score > 1 {
+				t.Fatalf("AP score %v out of [0,1] for %s", x.Score, x.Name)
+			}
+		}
+	}
+	// The error counters drive the simulator's faults; one must clear the
+	// selection threshold.
+	if res.HistCustKept < 1 || res.HistCustKept > len(res.HistCust)/2 {
+		t.Fatalf("threshold keeps %d of %d history features; expect a selective cut", res.HistCustKept, len(res.HistCust))
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "histogram") {
+		t.Fatal("render misses the histogram")
+	}
+}
+
+func TestFig6Experiment(t *testing.T) {
+	ctx := ctxFixture(t)
+	res, err := ctx.RunFig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Order) != len(ml.Criteria) {
+		t.Fatalf("%d criteria ran", len(res.Order))
+	}
+	for name, curve := range res.Curves {
+		if len(curve) != len(res.Ks) {
+			t.Fatalf("curve %s has %d points for %d ks", name, len(curve), len(res.Ks))
+		}
+		for _, p := range curve {
+			if p < 0 || p > 1 {
+				t.Fatalf("precision %v out of range", p)
+			}
+		}
+		// Every selection method must still beat the ~4% base rate at the
+		// budget point — the signal features are found by all criteria.
+		if curve[2] < 0.10 {
+			t.Fatalf("criterion %s collapses at budget: %v", name, curve[2])
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "top-N AP") {
+		t.Fatal("render misses the paper's method")
+	}
+}
+
+func TestFig7Experiment(t *testing.T) {
+	ctx := ctxFixture(t)
+	res, err := ctx.RunFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseRate <= 0 || res.BaseRate > 0.2 {
+		t.Fatalf("base rate %v", res.BaseRate)
+	}
+	if res.WithAtBudget < 3*res.BaseRate || res.WithoutAtBudget < 3*res.BaseRate {
+		t.Fatalf("budget accuracy (%.2f / %.2f) under 3x base rate %.3f",
+			res.WithoutAtBudget, res.WithAtBudget, res.BaseRate)
+	}
+	// Precision must decline as the selection grows (Fig. 7's shape).
+	last := len(res.With) - 1
+	if res.With[last] >= res.With[2] {
+		t.Fatal("precision did not decline with selection size")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig8Experiment(t *testing.T) {
+	ctx := ctxFixture(t)
+	res, err := ctx.RunFig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CDFs) != 3 {
+		t.Fatalf("%d CDFs", len(res.CDFs))
+	}
+	for i, cdf := range res.CDFs {
+		for j := 1; j < len(cdf); j++ {
+			if cdf[j] < cdf[j-1] {
+				t.Fatalf("CDF %d not monotone", i)
+			}
+		}
+		if res.TruePredictions[i] > 0 && res.At(i, 28) < 0.999 {
+			t.Fatalf("CDF %d does not reach 1 at the window end: %v", i, res.At(i, 28))
+		}
+	}
+	// Most predicted tickets arrive within two weeks (the paper: ~80%).
+	if res.TruePredictions[1] > 20 && res.At(1, 14) < 0.5 {
+		t.Fatalf("only %v of predicted tickets within two weeks", res.At(1, 14))
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable5Experiment(t *testing.T) {
+	ctx := ctxFixture(t)
+	res, err := ctx.RunTable5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incorrect == 0 {
+		t.Fatal("no incorrect predictions")
+	}
+	// The explained fraction must grow with the horizon and dominate the
+	// coincidence floor at 4 weeks.
+	for tt := 1; tt < 4; tt++ {
+		if res.ExplainedByOutage[tt] < res.ExplainedByOutage[tt-1]-1e-9 {
+			t.Fatalf("explained fraction not monotone: %v", res.ExplainedByOutage)
+		}
+	}
+	// Floor dominance needs hundreds of incorrect predictions to be a
+	// stable statistic; at this fixture's scale only sanity-check it.
+	if res.Incorrect >= 300 && res.ExplainedByOutage[3] <= res.BaseOutageRate[3] {
+		t.Fatalf("outage-explained %v does not exceed floor %v",
+			res.ExplainedByOutage[3], res.BaseOutageRate[3])
+	}
+	if res.ExplainedByOutage[3] > 0.9 {
+		t.Fatalf("outage-explained %v implausibly high", res.ExplainedByOutage[3])
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotOnSiteExperiment(t *testing.T) {
+	ctx := ctxFixture(t)
+	res, err := ctx.RunNotOnSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incorrect == 0 {
+		t.Fatal("no incorrect predictions")
+	}
+	if res.Fraction < 0 || res.Fraction > 1 {
+		t.Fatalf("fraction %v", res.Fraction)
+	}
+	// Away/dormant subscribers must be over-represented among incorrect
+	// predictions relative to the population floor.
+	if res.Fraction <= res.PopulationFraction {
+		t.Fatalf("not-on-site fraction %v does not exceed floor %v", res.Fraction, res.PopulationFraction)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocatorExperiment(t *testing.T) {
+	ctx := ctxFixture(t)
+	res, err := ctx.RunLocator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MedianRank["flat"] > res.MedianRank["basic"] {
+		t.Fatalf("flat median %d worse than basic %d", res.MedianRank["flat"], res.MedianRank["basic"])
+	}
+	if res.MeanRank["combined"] > res.MeanRank["basic"] {
+		t.Fatal("combined mean worse than basic")
+	}
+	// Fig. 10 property: improvement grows toward deeper basic-rank bins.
+	nb := len(res.FlatImprovement)
+	if res.FlatImprovement[nb-1] <= res.FlatImprovement[0] {
+		t.Fatalf("rank improvement does not grow with depth: %v", res.FlatImprovement)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "combined") {
+		t.Fatal("render misses the combined model")
+	}
+}
+
+func TestDeploymentExperiment(t *testing.T) {
+	ctx := ctxFixture(t)
+	res, err := ctx.RunDeployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dispatched != ctx.Cfg.BudgetN*len(ctx.Cfg.TestWeeks) {
+		t.Fatalf("dispatched %d, want budget × weeks", res.Dispatched)
+	}
+	if res.UsefulDispatches > res.Dispatched {
+		t.Fatal("more useful dispatches than dispatches")
+	}
+	if res.TicketsEliminated > res.TicketsInPeriod {
+		t.Fatal("eliminated more tickets than existed")
+	}
+	// The whole point: proactive fixes must remove a meaningful share of
+	// the ticket load.
+	if res.Reduction < 0.05 {
+		t.Fatalf("deployment eliminated only %s of tickets", pct(res.Reduction))
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "eliminated") {
+		t.Fatal("render misses the headline")
+	}
+}
+
+func TestATDSExperiment(t *testing.T) {
+	ctx := ctxFixture(t)
+	res, err := ctx.RunATDS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PredictionsSubmitted != ctx.Cfg.BudgetN*len(ctx.Cfg.TestWeeks) {
+		t.Fatalf("submitted %d predictions", res.PredictionsSubmitted)
+	}
+	if res.Predicted+res.ExpiredPredicted > res.PredictionsSubmitted {
+		t.Fatal("more prediction outcomes than submissions")
+	}
+	if res.Customer == 0 {
+		t.Fatal("no customer tickets worked")
+	}
+	// Customer tickets pre-empt predictions, so they cannot wait longer on
+	// average.
+	if res.MeanCustomerWaitDays > res.MeanPredictedWaitDays+1e-9 && res.Predicted > 0 {
+		t.Fatalf("customer wait %.1f exceeds predicted wait %.1f",
+			res.MeanCustomerWaitDays, res.MeanPredictedWaitDays)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "backlog") {
+		t.Fatal("render misses the backlog")
+	}
+}
+
+func TestBudgetSweep(t *testing.T) {
+	ks := budgetSweep(400, 20000)
+	if len(ks) == 0 || ks[0] != 100 {
+		t.Fatalf("sweep = %v", ks)
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i] <= ks[i-1] {
+			t.Fatalf("sweep not increasing: %v", ks)
+		}
+	}
+	// Clamp: tiny population drops oversize points.
+	ks = budgetSweep(400, 500)
+	for _, k := range ks {
+		if k > 500 {
+			t.Fatalf("sweep exceeds population: %v", ks)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := sparkline([]int{0, 1, 2, 4}); len([]rune(s)) != 4 {
+		t.Fatalf("sparkline %q", s)
+	}
+	if s := sparkline([]int{0, 0}); s != "" {
+		t.Fatalf("empty sparkline = %q", s)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	var buf bytes.Buffer
+	err := table(&buf, []string{"a", "b"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+}
+
+func TestFig9Experiment(t *testing.T) {
+	ctx := ctxFixture(t)
+	res, err := ctx.RunFig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disposition == "" {
+		t.Fatal("no disposition illustrated")
+	}
+	if !strings.Contains(res.Text, "Eq. 2") || !strings.Contains(res.Text, "weak learners") {
+		t.Fatalf("illustration text incomplete:\n%s", res.Text)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 9") {
+		t.Fatal("render misses the caption")
+	}
+}

@@ -1,0 +1,98 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"nevermind/internal/data"
+	"nevermind/internal/ml"
+)
+
+// Fig8Result reproduces Fig. 8: the CDF of the time from a prediction to the
+// customer's ticket, for three selection sizes (the paper: top 10K/20K/100K).
+// The paper reads off two operational numbers: fixing all predicted problems
+// within two days misses at most 15% of the tickets, within three days at
+// most 20%; and ~80% of predicted tickets arrive within two weeks.
+type Fig8Result struct {
+	BudgetN int
+	Sizes   []int
+	Days    []float64
+	// CDFs[i][j] = P(days-to-ticket <= Days[j]) among true predictions in
+	// the top Sizes[i].
+	CDFs [][]float64
+	// TruePredictions per size.
+	TruePredictions []int
+}
+
+// RunFig8 ranks each test week with the full pipeline and follows each true
+// prediction to its ticket. Each weekly ranking contributes its own top-k
+// (the paper's 10K/20K/100K are weekly budgets).
+func (c *Context) RunFig8() (*Fig8Result, error) {
+	pred, err := c.StandardPredictor()
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{c.Cfg.BudgetN / 2, c.Cfg.BudgetN, 5 * c.Cfg.BudgetN}
+	days := make([]float64, 30)
+	for i := range days {
+		days[i] = float64(i + 1)
+	}
+	res := &Fig8Result{BudgetN: c.Cfg.BudgetN, Sizes: sizes, Days: days}
+	deltasBySize := make([][]float64, len(sizes))
+	for _, week := range c.Cfg.TestWeeks {
+		ranked, err := pred.Rank(c.DS, week)
+		if err != nil {
+			return nil, err
+		}
+		day := data.SaturdayOf(week)
+		for si, size := range sizes {
+			if size > len(ranked) {
+				size = len(ranked)
+			}
+			for _, p := range ranked[:size] {
+				if next, ok := c.Ix.Next(p.Line, day); ok && next-day <= 28 {
+					deltasBySize[si] = append(deltasBySize[si], float64(next-day))
+				}
+			}
+		}
+	}
+	for si := range sizes {
+		res.CDFs = append(res.CDFs, ml.CDF(deltasBySize[si], days))
+		res.TruePredictions = append(res.TruePredictions, len(deltasBySize[si]))
+	}
+	return res, nil
+}
+
+// At returns the CDF value for a selection size at a horizon of d days.
+func (r *Fig8Result) At(sizeIdx int, d int) float64 {
+	if d < 1 {
+		return 0
+	}
+	if d > len(r.Days) {
+		d = len(r.Days)
+	}
+	return r.CDFs[sizeIdx][d-1]
+}
+
+// Render prints the CDFs and the operational read-offs.
+func (r *Fig8Result) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Fig. 8 — CDF of days from prediction to customer ticket\n\n")
+	header := []string{"top-k", "true preds", "<=2d", "<=3d", "<=7d", "<=14d", "<=21d", "<=28d"}
+	var rows [][]string
+	for i, size := range r.Sizes {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", size),
+			fmt.Sprintf("%d", r.TruePredictions[i]),
+			pct(r.At(i, 2)), pct(r.At(i, 3)), pct(r.At(i, 7)),
+			pct(r.At(i, 14)), pct(r.At(i, 21)), pct(r.At(i, 28)),
+		})
+	}
+	if err := table(w, header, rows); err != nil {
+		return err
+	}
+	// The paper's read-offs, against the budget row.
+	bi := 1
+	fmt.Fprintf(w, "\nfix-by-Monday (2 days) misses %s of predicted tickets; fix-in-3-days misses %s; %s arrive within two weeks\n",
+		pct(r.At(bi, 2)), pct(r.At(bi, 3)), pct(r.At(bi, 14)))
+	return nil
+}

@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"nevermind/internal/data"
+	"nevermind/internal/ml"
+)
+
+// Table5Result reproduces Table 5 and the §5.2 outage analysis: how many of
+// the incorrect predictions are explained by the IVR scenario (the customer
+// reported the problem during a DSLAM outage, so no ticket was issued), and
+// the logistic-regression correlation between the number of top-N
+// predictions at a DSLAM and future outage events there
+// (logit(outage(d,t,T)) ~ #predictions(d,t)).
+type Table5Result struct {
+	BudgetN   int
+	Incorrect int
+	// ExplainedByOutage[t] is the fraction of incorrect predictions whose
+	// DSLAM had an outage within (t+1) weeks of the prediction.
+	ExplainedByOutage [4]float64
+	// Coef and PValue are the logistic-regression slope per horizon, over
+	// (DSLAM, week) observations.
+	Coef, PValue [4]float64
+	// BaseOutageRate[t] is the fraction of (DSLAM, week) observations with
+	// an outage within (t+1) weeks — the coincidence floor.
+	BaseOutageRate [4]float64
+}
+
+// RunTable5 ranks each test week and joins the incorrect predictions with
+// the outage log.
+func (c *Context) RunTable5() (*Table5Result, error) {
+	pred, err := c.StandardPredictor()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table5Result{BudgetN: c.Cfg.BudgetN}
+
+	type weekTop struct {
+		day           int
+		predsPerDSLAM []float64
+		incorrect     []data.LineID
+	}
+	var obs []weekTop
+	for _, week := range c.Cfg.TestWeeks {
+		top, err := pred.TopN(c.DS, week)
+		if err != nil {
+			return nil, err
+		}
+		wt := weekTop{day: data.SaturdayOf(week), predsPerDSLAM: make([]float64, c.DS.NumDSLAMs)}
+		for _, p := range top {
+			wt.predsPerDSLAM[c.DS.DSLAMOf[p.Line]]++
+			if !c.Ix.Within(p.Line, wt.day, 28) {
+				wt.incorrect = append(wt.incorrect, p.Line)
+			}
+		}
+		res.Incorrect += len(wt.incorrect)
+		obs = append(obs, wt)
+	}
+	if res.Incorrect == 0 {
+		return nil, fmt.Errorf("eval: no incorrect predictions to analyse")
+	}
+
+	for t := 0; t < 4; t++ {
+		horizon := 7 * (t + 1)
+		// Fraction of incorrect predictions explained by an outage at their
+		// DSLAM. The IVR may also have swallowed a call during an outage
+		// shortly before the prediction, so the window opens a few days
+		// early.
+		n := 0
+		for _, wt := range obs {
+			for _, line := range wt.incorrect {
+				if c.DS.OutageAt(int(c.DS.DSLAMOf[line]), wt.day-3, wt.day+horizon) {
+					n++
+				}
+			}
+		}
+		res.ExplainedByOutage[t] = float64(n) / float64(res.Incorrect)
+
+		// Logistic regression over (DSLAM, week) observations.
+		var x [][]float64
+		var y []bool
+		pos := 0
+		for _, wt := range obs {
+			for d := 0; d < c.DS.NumDSLAMs; d++ {
+				x = append(x, []float64{wt.predsPerDSLAM[d]})
+				out := c.DS.OutageAt(d, wt.day-3, wt.day+horizon)
+				y = append(y, out)
+				if out {
+					pos++
+				}
+			}
+		}
+		res.BaseOutageRate[t] = float64(pos) / float64(len(y))
+		fit, err := ml.LogisticRegression(x, y, 50)
+		if err != nil {
+			return nil, err
+		}
+		res.Coef[t] = fit.Coef[1]
+		res.PValue[t] = fit.PValue[1]
+	}
+	return res, nil
+}
+
+// Render prints the Table 5 rows.
+func (r *Table5Result) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Table 5 — incorrect predictions explained by outages (top %d per week, %d incorrect)\n\n", r.BudgetN, r.Incorrect)
+	header := []string{"", "1 week", "2 weeks", "3 weeks", "4 weeks"}
+	rows := [][]string{
+		{"% of incorrect predictions", pct(r.ExplainedByOutage[0]), pct(r.ExplainedByOutage[1]), pct(r.ExplainedByOutage[2]), pct(r.ExplainedByOutage[3])},
+		{"(coincidence floor)", pct(r.BaseOutageRate[0]), pct(r.BaseOutageRate[1]), pct(r.BaseOutageRate[2]), pct(r.BaseOutageRate[3])},
+		{"coef. for outage prediction", fmt.Sprintf("%.4f", r.Coef[0]), fmt.Sprintf("%.4f", r.Coef[1]), fmt.Sprintf("%.4f", r.Coef[2]), fmt.Sprintf("%.4f", r.Coef[3])},
+		{"p-value", fmt.Sprintf("%.4f", r.PValue[0]), fmt.Sprintf("%.4f", r.PValue[1]), fmt.Sprintf("%.4f", r.PValue[2]), fmt.Sprintf("%.4f", r.PValue[3])},
+	}
+	return table(w, header, rows)
+}

@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nevermind/internal/data"
+)
+
+// TrendResult reproduces the §3.3 observation: customer-edge ticket arrivals
+// follow a clear weekly pattern, peaking on Monday and bottoming out over the
+// weekend — which is why the Saturday line tests leave a quiet window to
+// resolve predicted problems proactively.
+type TrendResult struct {
+	// ByWeekday counts customer-edge tickets per weekday, Sunday first.
+	ByWeekday [7]int
+	Total     int
+}
+
+// RunTrend tallies the year's ticket arrivals by weekday.
+func (c *Context) RunTrend() (*TrendResult, error) {
+	res := &TrendResult{}
+	for _, t := range c.DS.Tickets {
+		if t.Category != data.CatCustomerEdge {
+			continue
+		}
+		res.ByWeekday[data.Weekday(t.Day)]++
+		res.Total++
+	}
+	if res.Total == 0 {
+		return nil, fmt.Errorf("eval: no customer-edge tickets")
+	}
+	return res, nil
+}
+
+// Peak returns the busiest weekday.
+func (r *TrendResult) Peak() time.Weekday {
+	best := 0
+	for d := 1; d < 7; d++ {
+		if r.ByWeekday[d] > r.ByWeekday[best] {
+			best = d
+		}
+	}
+	return time.Weekday(best)
+}
+
+// Render prints the weekday distribution.
+func (r *TrendResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "§3.3 — weekly ticket arrival trend (%d customer-edge tickets)\n\n", r.Total)
+	counts := make([]int, 7)
+	var rows [][]string
+	for d := 0; d < 7; d++ {
+		counts[d] = r.ByWeekday[d]
+		rows = append(rows, []string{
+			time.Weekday(d).String(),
+			fmt.Sprint(r.ByWeekday[d]),
+			pct(float64(r.ByWeekday[d]) / float64(r.Total)),
+		})
+	}
+	if err := table(w, []string{"weekday", "tickets", "share"}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%s  (peak: %s)\n", sparkline(counts), r.Peak())
+	return nil
+}

@@ -1,0 +1,196 @@
+package faults
+
+// The disposition catalog. The paper selects the 52 dispositions that appear
+// more than 20 times in its data, covering 81.9% of all customer edge
+// problems, and categorises them into the four major locations of Table 1.
+// This catalog reconstructs those 52 from the representative dispositions the
+// paper lists, with effect signatures chosen so that each family of problems
+// perturbs the line features the way the underlying physics would:
+//
+//   - cuts and dead devices kill sync (modem appears off, cells collapse);
+//   - moisture/corrosion raises code violations, errored seconds and FEC
+//     counts and eats noise margin;
+//   - cable-plant damage additionally raises attenuation;
+//   - bridge taps and stubs cap the attainable rate and flag bt;
+//   - binder-group problems flag crosstalk;
+//   - DSLAM-side problems show intermittent sync and low cell counts with
+//     little attenuation change.
+//
+// Hazard tiers control the overall ticket volume; the mix keeps HN the
+// largest location (customer-edge problems concentrate in the home) with no
+// dominant disposition inside any location, as the paper observes.
+const (
+	hazCommon   = 7.0e-5 // per line-day
+	hazMedium   = 3.5e-5
+	hazUncommon = 1.7e-5
+	hazRare     = 8.0e-6
+)
+
+// catalogSpec is the single source of truth; Catalog is built from it in
+// init so IDs always equal slice positions.
+var catalogSpec = []Disposition{
+	// --- Home network (HN): proximity 0..13 -----------------------------
+	{Name: "defective DSL modem", Loc: HN, Hazard: hazCommon, SeverityLo: 0.6, SeverityHi: 1.4, Perceivability: 0.9,
+		Effect: Effect{RateFactor: 0.5, CellsFactor: 0.3, OffProb: 0.5, MarginDelta: -2, CVRate: 20, ESRate: 8, FECRate: 20}},
+	{Name: "filter issue", Loc: HN, Hazard: hazCommon, SeverityLo: 0.4, SeverityHi: 1.3, Perceivability: 0.5,
+		Effect: Effect{RateFactor: 0.9, CellsFactor: 0.9, MarginDelta: -4, CVRate: 40, ESRate: 15, FECRate: 50}},
+	{Name: "splitter issue", Loc: HN, Hazard: hazMedium, SeverityLo: 0.4, SeverityHi: 1.2, Perceivability: 0.5,
+		Effect: Effect{RateFactor: 0.85, CellsFactor: 0.9, MarginDelta: -3, CVRate: 25, ESRate: 10, FECRate: 35}},
+	{Name: "network cable issue", Loc: HN, Hazard: hazCommon, SeverityLo: 0.5, SeverityHi: 1.3, Perceivability: 0.8,
+		Effect: Effect{RateFactor: 0.8, CellsFactor: 0.5, OffProb: 0.2, CVRate: 5}},
+	{Name: "inside wire wet", WeatherSensitive: true, Loc: HN, Hazard: hazCommon, SeverityLo: 0.5, SeverityHi: 1.5, Perceivability: 0.55,
+		Effect: Effect{RateFactor: 0.8, CellsFactor: 0.85, MarginDelta: -6, AttenDelta: 1, CVRate: 80, ESRate: 30, FECRate: 120}},
+	{Name: "inside wire corroded", WeatherSensitive: true, Loc: HN, Hazard: hazMedium, SeverityLo: 0.5, SeverityHi: 1.4, Perceivability: 0.5,
+		Effect: Effect{RateFactor: 0.85, CellsFactor: 0.9, MarginDelta: -5, AttenDelta: 2, CVRate: 60, ESRate: 25, FECRate: 100}},
+	{Name: "inside wire cut", Loc: HN, Hazard: hazUncommon, SeverityLo: 0.9, SeverityHi: 1.3, Perceivability: 1.0,
+		Effect: Effect{RateFactor: 0.3, CellsFactor: 0.1, OffProb: 0.8, MarginDelta: -4, CVRate: 30, ESRate: 20}},
+	{Name: "jack issue", Loc: HN, Hazard: hazMedium, SeverityLo: 0.4, SeverityHi: 1.2, Perceivability: 0.45,
+		Effect: Effect{RateFactor: 0.95, CellsFactor: 0.95, MarginDelta: -2, CVRate: 20, ESRate: 8, FECRate: 25}},
+	{Name: "software issue", Loc: HN, Hazard: hazCommon, SeverityLo: 0.5, SeverityHi: 1.2, Perceivability: 0.7,
+		Effect: Effect{RateFactor: 1, CellsFactor: 0.4, OffProb: 0.15}},
+	{Name: "NIC issue", Loc: HN, Hazard: hazMedium, SeverityLo: 0.5, SeverityHi: 1.2, Perceivability: 0.75,
+		Effect: Effect{RateFactor: 1, CellsFactor: 0.3, OffProb: 0.1}},
+	{Name: "modem misconfiguration", Loc: HN, Hazard: hazMedium, SeverityLo: 0.5, SeverityHi: 1.2, Perceivability: 0.6,
+		Effect: Effect{RateFactor: 0.6, CellsFactor: 0.7, MarginDelta: -1, CVRate: 10}},
+	{Name: "modem power adapter", Loc: HN, Hazard: hazUncommon, SeverityLo: 0.8, SeverityHi: 1.3, Perceivability: 0.85,
+		Effect: Effect{RateFactor: 0.9, CellsFactor: 0.2, OffProb: 0.6}},
+	{Name: "home router issue", Loc: HN, Hazard: hazMedium, SeverityLo: 0.5, SeverityHi: 1.2, Perceivability: 0.7,
+		Effect: Effect{RateFactor: 1, CellsFactor: 0.4}},
+	{Name: "worn phone cord", WeatherSensitive: true, Loc: HN, Hazard: hazMedium, SeverityLo: 0.4, SeverityHi: 1.2, Perceivability: 0.45,
+		Effect: Effect{RateFactor: 0.92, CellsFactor: 0.95, MarginDelta: -3, CVRate: 30, ESRate: 10, FECRate: 40}},
+
+	// --- HN-to-crossbox path (F2): proximity 14..25 ---------------------
+	{Name: "aerial drop replaced", WeatherSensitive: true, Loc: F2, Hazard: hazCommon, SeverityLo: 0.5, SeverityHi: 1.5, Perceivability: 0.6,
+		Effect: Effect{RateFactor: 0.8, CellsFactor: 0.85, MarginDelta: -5, AttenDelta: 4, CVRate: 70, ESRate: 25, FECRate: 90}},
+	{Name: "access point (DEMARC)", Loc: F2, Hazard: hazMedium, SeverityLo: 0.4, SeverityHi: 1.3, Perceivability: 0.5,
+		Effect: Effect{RateFactor: 0.9, CellsFactor: 0.9, MarginDelta: -3, CVRate: 35, ESRate: 12, FECRate: 45}},
+	{Name: "buried service wire repaired", WeatherSensitive: true, Loc: F2, Hazard: hazMedium, SeverityLo: 0.5, SeverityHi: 1.4, Perceivability: 0.55,
+		Effect: Effect{RateFactor: 0.85, CellsFactor: 0.9, MarginDelta: -4, AttenDelta: 3, CVRate: 55, ESRate: 20, FECRate: 90}},
+	{Name: "defect in protector unit", Loc: F2, Hazard: hazMedium, SeverityLo: 0.5, SeverityHi: 1.4, Perceivability: 0.5,
+		Effect: Effect{RateFactor: 0.85, CellsFactor: 0.9, MarginDelta: -5, CVRate: 65, ESRate: 20, FECRate: 70}},
+	{Name: "wire protector to DEMARC", Loc: F2, Hazard: hazUncommon, SeverityLo: 0.4, SeverityHi: 1.2, Perceivability: 0.45,
+		Effect: Effect{RateFactor: 0.9, CellsFactor: 0.95, MarginDelta: -3, CVRate: 40, ESRate: 14, FECRate: 50}},
+	{Name: "jumper defect", Loc: F2, Hazard: hazUncommon, SeverityLo: 0.4, SeverityHi: 1.2, Perceivability: 0.45,
+		Effect: Effect{RateFactor: 0.92, CellsFactor: 0.95, MarginDelta: -2.5, CVRate: 30, ESRate: 10, FECRate: 35}},
+	{Name: "defective MTU", Loc: F2, Hazard: hazUncommon, SeverityLo: 0.5, SeverityHi: 1.3, Perceivability: 0.5,
+		Effect: Effect{RateFactor: 0.85, CellsFactor: 0.9, MarginDelta: -4, CVRate: 45, ESRate: 16, FECRate: 55}},
+	{Name: "drop splice corrosion", WeatherSensitive: true, Loc: F2, Hazard: hazMedium, SeverityLo: 0.5, SeverityHi: 1.4, Perceivability: 0.5,
+		Effect: Effect{RateFactor: 0.85, CellsFactor: 0.9, MarginDelta: -4.5, AttenDelta: 3.5, CVRate: 60, ESRate: 22, FECRate: 80}},
+	{Name: "pedestal terminal defect", WeatherSensitive: true, Loc: F2, Hazard: hazUncommon, SeverityLo: 0.4, SeverityHi: 1.3, Perceivability: 0.45,
+		Effect: Effect{RateFactor: 0.9, CellsFactor: 0.92, MarginDelta: -3, CVRate: 35, ESRate: 12, FECRate: 40}},
+	{Name: "ground fault at protector", WeatherSensitive: true, Loc: F2, Hazard: hazRare, SeverityLo: 0.6, SeverityHi: 1.5, Perceivability: 0.6,
+		Effect: Effect{RateFactor: 0.75, CellsFactor: 0.8, MarginDelta: -6, CVRate: 90, ESRate: 35, FECRate: 110}},
+	{Name: "drop chew damage", Loc: F2, Hazard: hazRare, SeverityLo: 0.6, SeverityHi: 1.5, Perceivability: 0.8,
+		Effect: Effect{RateFactor: 0.6, CellsFactor: 0.6, OffProb: 0.2, MarginDelta: -6, AttenDelta: 5, CVRate: 100, ESRate: 40, FECRate: 120}},
+	{Name: "corroded binding post", WeatherSensitive: true, Loc: F2, Hazard: hazUncommon, SeverityLo: 0.4, SeverityHi: 1.3, Perceivability: 0.45,
+		Effect: Effect{RateFactor: 0.9, CellsFactor: 0.92, MarginDelta: -4, CVRate: 50, ESRate: 18, FECRate: 70}},
+
+	// --- Crossbox-to-DSLAM path (F1): proximity 26..38 -------------------
+	{Name: "transfer to another cable pair", Loc: F1, Hazard: hazMedium, SeverityLo: 0.5, SeverityHi: 1.4, Perceivability: 0.5,
+		Effect: Effect{RateFactor: 0.85, CellsFactor: 0.9, MarginDelta: -5, AttenDelta: 2, CVRate: 70, ESRate: 25, FECRate: 90}},
+	{Name: "bridge tap removal", Loc: F1, Hazard: hazMedium, SeverityLo: 0.6, SeverityHi: 1.3, Perceivability: 0.4,
+		Effect: Effect{RateFactor: 0.75, CellsFactor: 0.95, MarginDelta: -2, CVRate: 15, FECRate: 30, BridgeTap: true}},
+	{Name: "wet conductor (F1)", WeatherSensitive: true, Loc: F1, Hazard: hazCommon, SeverityLo: 0.5, SeverityHi: 1.5, Perceivability: 0.55,
+		Effect: Effect{RateFactor: 0.8, CellsFactor: 0.85, MarginDelta: -7, AttenDelta: 1.5, CVRate: 110, ESRate: 45, FECRate: 150}},
+	{Name: "corroded conductor (F1)", WeatherSensitive: true, Loc: F1, Hazard: hazMedium, SeverityLo: 0.5, SeverityHi: 1.4, Perceivability: 0.5,
+		Effect: Effect{RateFactor: 0.85, CellsFactor: 0.9, MarginDelta: -5.5, AttenDelta: 2.5, CVRate: 75, ESRate: 28, FECRate: 110}},
+	{Name: "defect found in crossbox", Loc: F1, Hazard: hazMedium, SeverityLo: 0.4, SeverityHi: 1.3, Perceivability: 0.5,
+		Effect: Effect{RateFactor: 0.88, CellsFactor: 0.9, MarginDelta: -4, CVRate: 55, ESRate: 18, FECRate: 60}},
+	{Name: "defective buried ready access terminal", Loc: F1, Hazard: hazUncommon, SeverityLo: 0.4, SeverityHi: 1.3, Perceivability: 0.5,
+		Effect: Effect{RateFactor: 0.88, CellsFactor: 0.9, MarginDelta: -4.5, CVRate: 60, ESRate: 20, FECRate: 70}},
+	{Name: "pair cut", Loc: F1, Hazard: hazUncommon, SeverityLo: 0.9, SeverityHi: 1.3, Perceivability: 1.0,
+		Effect: Effect{RateFactor: 0.25, CellsFactor: 0.05, OffProb: 0.85, MarginDelta: -5, CVRate: 40, ESRate: 25}},
+	{Name: "defect cable section", WeatherSensitive: true, Loc: F1, Hazard: hazMedium, SeverityLo: 0.5, SeverityHi: 1.4, Perceivability: 0.55,
+		Effect: Effect{RateFactor: 0.82, CellsFactor: 0.88, MarginDelta: -5, AttenDelta: 4, CVRate: 80, ESRate: 30, FECRate: 100}},
+	{Name: "cable stub", Loc: F1, Hazard: hazUncommon, SeverityLo: 0.5, SeverityHi: 1.3, Perceivability: 0.4,
+		Effect: Effect{RateFactor: 0.8, CellsFactor: 0.95, MarginDelta: -2.5, CVRate: 20, FECRate: 35, BridgeTap: true}},
+	{Name: "load coil left on loop", Loc: F1, Hazard: hazRare, SeverityLo: 0.7, SeverityHi: 1.3, Perceivability: 0.7,
+		Effect: Effect{RateFactor: 0.4, CellsFactor: 0.7, MarginDelta: -3, AttenDelta: 6, CVRate: 30}},
+	{Name: "splice case moisture", WeatherSensitive: true, Loc: F1, Hazard: hazUncommon, SeverityLo: 0.5, SeverityHi: 1.5, Perceivability: 0.5,
+		Effect: Effect{RateFactor: 0.82, CellsFactor: 0.88, MarginDelta: -6, AttenDelta: 1, CVRate: 95, ESRate: 38, FECRate: 130}},
+	{Name: "binder group crosstalk", Loc: F1, Hazard: hazUncommon, SeverityLo: 0.4, SeverityHi: 1.3, Perceivability: 0.45,
+		Effect: Effect{RateFactor: 0.88, CellsFactor: 0.92, MarginDelta: -3.5, CVRate: 45, ESRate: 15, FECRate: 60, Crosstalk: true}},
+	{Name: "cable rearrangement error", Loc: F1, Hazard: hazRare, SeverityLo: 0.7, SeverityHi: 1.3, Perceivability: 0.85,
+		Effect: Effect{RateFactor: 0.5, CellsFactor: 0.2, OffProb: 0.5, MarginDelta: -3, CVRate: 35, ESRate: 18}},
+
+	// --- DSLAM (DS): proximity 39..51 ------------------------------------
+	{Name: "reduce speed to stabilize the line", Loc: DS, Hazard: hazCommon, SeverityLo: 0.5, SeverityHi: 1.4, Perceivability: 0.5,
+		Effect: Effect{RateFactor: 0.9, CellsFactor: 0.9, MarginDelta: -4, CVRate: 60, ESRate: 22, FECRate: 80}},
+	{Name: "digital stream transport", Loc: DS, Hazard: hazUncommon, SeverityLo: 0.5, SeverityHi: 1.3, Perceivability: 0.6,
+		Effect: Effect{RateFactor: 0.9, CellsFactor: 0.4, OffProb: 0.3, CVRate: 50, ESRate: 30}},
+	{Name: "wiring at DSLAM", Loc: DS, Hazard: hazMedium, SeverityLo: 0.4, SeverityHi: 1.3, Perceivability: 0.5,
+		Effect: Effect{RateFactor: 0.88, CellsFactor: 0.9, MarginDelta: -4, CVRate: 55, ESRate: 18, FECRate: 60}},
+	{Name: "DSLAM pronto card ABCU", Loc: DS, Hazard: hazMedium, SeverityLo: 0.5, SeverityHi: 1.4, Perceivability: 0.65,
+		Effect: Effect{RateFactor: 0.85, CellsFactor: 0.3, OffProb: 0.45, CVRate: 70, ESRate: 28}},
+	{Name: "DSLAM pronto card ADLU", Loc: DS, Hazard: hazMedium, SeverityLo: 0.5, SeverityHi: 1.4, Perceivability: 0.65,
+		Effect: Effect{RateFactor: 0.85, CellsFactor: 0.35, OffProb: 0.4, CVRate: 65, ESRate: 25}},
+	{Name: "porting error", Loc: DS, Hazard: hazUncommon, SeverityLo: 0.7, SeverityHi: 1.3, Perceivability: 0.9,
+		Effect: Effect{RateFactor: 0.4, CellsFactor: 0.15, OffProb: 0.6}},
+	{Name: "ATM switch port", Loc: DS, Hazard: hazUncommon, SeverityLo: 0.5, SeverityHi: 1.3, Perceivability: 0.6,
+		Effect: Effect{RateFactor: 1, CellsFactor: 0.3, OffProb: 0.2, ESRate: 20}},
+	{Name: "line card reset required", Loc: DS, Hazard: hazMedium, SeverityLo: 0.5, SeverityHi: 1.2, Perceivability: 0.8,
+		Effect: Effect{RateFactor: 0.9, CellsFactor: 0.3, OffProb: 0.5, CVRate: 40}},
+	{Name: "DSLAM backplane", Loc: DS, Hazard: hazRare, SeverityLo: 0.6, SeverityHi: 1.4, Perceivability: 0.6,
+		Effect: Effect{RateFactor: 0.85, CellsFactor: 0.6, OffProb: 0.35, CVRate: 60, ESRate: 30}},
+	{Name: "DSLAM power supply", Loc: DS, Hazard: hazRare, SeverityLo: 0.8, SeverityHi: 1.3, Perceivability: 0.9,
+		Effect: Effect{RateFactor: 0.8, CellsFactor: 0.1, OffProb: 0.7}},
+	{Name: "uplink congestion", Loc: DS, Hazard: hazUncommon, SeverityLo: 0.4, SeverityHi: 1.2, Perceivability: 0.4,
+		Effect: Effect{RateFactor: 1, CellsFactor: 0.5}},
+	{Name: "port reprovision", Loc: DS, Hazard: hazUncommon, SeverityLo: 0.5, SeverityHi: 1.2, Perceivability: 0.6,
+		Effect: Effect{RateFactor: 0.55, CellsFactor: 0.7, MarginDelta: -2}},
+	{Name: "card firmware fault", Loc: DS, Hazard: hazRare, SeverityLo: 0.5, SeverityHi: 1.4, Perceivability: 0.5,
+		Effect: Effect{RateFactor: 0.88, CellsFactor: 0.7, OffProb: 0.25, CVRate: 85, ESRate: 35}},
+}
+
+// Catalog is the immutable list of all dispositions, indexed by
+// DispositionID. Callers must not modify it.
+var Catalog []Disposition
+
+// NumDispositions is len(Catalog); the paper's 52.
+var NumDispositions int
+
+func init() {
+	Catalog = catalogSpec
+	NumDispositions = len(Catalog)
+	for i := range Catalog {
+		Catalog[i].ID = DispositionID(i)
+		Catalog[i].Proximity = i // spec order runs HN → F2 → F1 → DS, nearest first
+	}
+}
+
+// ByLocation returns the IDs of all dispositions at a major location.
+func ByLocation(loc Location) []DispositionID {
+	var ids []DispositionID
+	for i := range Catalog {
+		if Catalog[i].Loc == loc {
+			ids = append(ids, Catalog[i].ID)
+		}
+	}
+	return ids
+}
+
+// TotalHazard returns the summed per-line per-day onset probability across
+// the catalog, the rate at which customer-edge faults appear on a line.
+func TotalHazard() float64 {
+	total := 0.0
+	for i := range Catalog {
+		total += Catalog[i].Hazard
+	}
+	return total
+}
+
+// OutageConfig parameterises the DSLAM outage process (§2.2, §5.2): a
+// network problem between a BRAS and a DSLAM that affects every customer the
+// DSLAM serves, triggers the IVR, and suppresses individual tickets.
+type OutageConfig struct {
+	// HazardPerDSLAMDay is the per-DSLAM per-day probability an outage starts.
+	HazardPerDSLAMDay float64
+	// MeanDurationDays is the mean of the (geometric) outage duration.
+	MeanDurationDays float64
+}
+
+// DefaultOutageConfig matches the simulator defaults: a DSLAM suffers about
+// one outage every two years, lasting a couple of days. The rate is high
+// enough that the §5.2 outage/IVR analysis has statistical support at
+// tens-of-thousands-of-lines scale.
+var DefaultOutageConfig = OutageConfig{HazardPerDSLAMDay: 1.5e-3, MeanDurationDays: 2.5}

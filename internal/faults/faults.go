@@ -1,0 +1,142 @@
+// Package faults models what breaks on a DSL line: the catalog of 52
+// dispositions a field technician can resolve (the paper's Table 1), the
+// four major locations they group into (Fig. 2), each disposition's effect
+// on the physical-layer line features, and the DSLAM outage process used by
+// the §5.2 analyses.
+//
+// A disposition is the paper's unit of ground truth: the device or action a
+// dispatch note records ("defective DSL modem", "wet conductor", "reduce
+// speed to stabilize the line"). The simulator injects faults by disposition;
+// the trouble locator learns to rank dispositions from line measurements.
+package faults
+
+import "fmt"
+
+// Location is one of the four major problem locations of Fig. 2. Field
+// technicians break the end-to-end path into these and troubleshoot by
+// location.
+type Location uint8
+
+const (
+	HN Location = iota // home network: inside the customer premises
+	F2                 // the path between the home network and the crossbox
+	F1                 // the path between the crossbox and the DSLAM
+	DS                 // the DSLAM itself and its uplink
+	NumLocations
+)
+
+func (l Location) String() string {
+	switch l {
+	case HN:
+		return "HN"
+	case F2:
+		return "F2"
+	case F1:
+		return "F1"
+	case DS:
+		return "DS"
+	default:
+		return fmt.Sprintf("Location(%d)", uint8(l))
+	}
+}
+
+// DispositionID indexes the Catalog.
+type DispositionID int
+
+// None marks the absence of a disposition (e.g. a ticket with no dispatch).
+const None DispositionID = -1
+
+// Effect is a disposition's signature on the Table 2 line features, at unit
+// severity. The simulator scales it by the severity drawn at fault onset and
+// feeds it to the physical-layer model.
+type Effect struct {
+	RateFactor  float64 // multiplies attainable bit rate, 1 = no effect
+	MarginDelta float64 // dB subtracted from the noise margin
+	AttenDelta  float64 // dB added to signal attenuation
+	CVRate      float64 // added mean code violations per test window
+	ESRate      float64 // added mean errored seconds per test window
+	FECRate     float64 // added mean FEC corrections per test window
+	OffProb     float64 // probability the modem shows no sync during a test
+	PowerDelta  float64 // dB change in signal power
+	CellsFactor float64 // multiplies cell counters, 1 = no effect
+	BridgeTap   bool    // introduces a bridge tap signature
+	Crosstalk   bool    // introduces a crosstalk signature
+}
+
+// Scale returns the effect at the given severity. Multiplicative factors are
+// interpolated toward their value; additive terms scale linearly.
+func (e Effect) Scale(severity float64) Effect {
+	if severity < 0 {
+		severity = 0
+	}
+	s := e
+	s.RateFactor = 1 + severity*(e.RateFactor-1)
+	if s.RateFactor < 0.02 {
+		s.RateFactor = 0.02
+	}
+	s.CellsFactor = 1 + severity*(e.CellsFactor-1)
+	if s.CellsFactor < 0 {
+		s.CellsFactor = 0
+	}
+	s.MarginDelta = severity * e.MarginDelta
+	s.AttenDelta = severity * e.AttenDelta
+	s.CVRate = severity * e.CVRate
+	s.ESRate = severity * e.ESRate
+	s.FECRate = severity * e.FECRate
+	s.PowerDelta = severity * e.PowerDelta
+	s.OffProb = severity * e.OffProb
+	if s.OffProb > 0.95 {
+		s.OffProb = 0.95
+	}
+	return s
+}
+
+// Combine overlays another active effect on this one. Multiplicative factors
+// multiply, additive terms add, probabilities combine independently, and the
+// boolean signatures OR.
+func (e Effect) Combine(other Effect) Effect {
+	c := e
+	c.RateFactor *= other.RateFactor
+	c.CellsFactor *= other.CellsFactor
+	c.MarginDelta += other.MarginDelta
+	c.AttenDelta += other.AttenDelta
+	c.CVRate += other.CVRate
+	c.ESRate += other.ESRate
+	c.FECRate += other.FECRate
+	c.PowerDelta += other.PowerDelta
+	c.OffProb = 1 - (1-e.OffProb)*(1-other.OffProb)
+	c.BridgeTap = e.BridgeTap || other.BridgeTap
+	c.Crosstalk = e.Crosstalk || other.Crosstalk
+	return c
+}
+
+// NoEffect is the identity for Combine.
+var NoEffect = Effect{RateFactor: 1, CellsFactor: 1}
+
+// Disposition describes one entry of the Table 1 catalog.
+type Disposition struct {
+	ID   DispositionID
+	Name string
+	Loc  Location
+
+	// Hazard is the per-line per-day probability of this fault's onset.
+	Hazard float64
+	// SeverityLo/Hi bound the uniform severity drawn at onset.
+	SeverityLo, SeverityHi float64
+	// Effect is the unit-severity feature signature.
+	Effect Effect
+	// Proximity orders devices by distance from the end host; when several
+	// faults are active, the dispatch note blames the closest one (§3.3:
+	// "the code is always associated with the device closest to the end
+	// host"). Lower is closer.
+	Proximity int
+	// Perceivability scales how noticeable the problem is to the customer
+	// at unit severity: 1 means an attentive customer notices the first
+	// time they use the line, lower values mean intermittent or subtle
+	// symptoms (slow browsing) that take longer to report.
+	Perceivability float64
+	// WeatherSensitive marks moisture-driven dispositions (wet conductors,
+	// corrosion, splice-case moisture): their onset hazard tracks the
+	// regional wetness process in the simulator.
+	WeatherSensitive bool
+}

@@ -1,0 +1,247 @@
+package faults
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogSize(t *testing.T) {
+	if NumDispositions != 52 {
+		t.Fatalf("catalog has %d dispositions, the paper selects 52", NumDispositions)
+	}
+}
+
+func TestCatalogIDsMatchPositions(t *testing.T) {
+	for i, d := range Catalog {
+		if int(d.ID) != i {
+			t.Fatalf("disposition %q has ID %d at position %d", d.Name, d.ID, i)
+		}
+	}
+}
+
+func TestCatalogNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range Catalog {
+		if d.Name == "" {
+			t.Fatal("unnamed disposition")
+		}
+		if seen[d.Name] {
+			t.Fatalf("duplicate disposition name %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+}
+
+func TestAllLocationsPopulated(t *testing.T) {
+	for loc := HN; loc < NumLocations; loc++ {
+		ids := ByLocation(loc)
+		if len(ids) < 10 {
+			t.Fatalf("location %v has only %d dispositions", loc, len(ids))
+		}
+		for _, id := range ids {
+			if Catalog[id].Loc != loc {
+				t.Fatalf("ByLocation(%v) returned %v disposition", loc, Catalog[id].Loc)
+			}
+		}
+	}
+}
+
+// The paper notes there is no dominant disposition within a major location
+// (Table 1 discussion), which is why location cannot be decided from priors
+// alone. Check the hazard mix preserves that.
+func TestNoDominantDispositionPerLocation(t *testing.T) {
+	for loc := HN; loc < NumLocations; loc++ {
+		total, max := 0.0, 0.0
+		for _, id := range ByLocation(loc) {
+			h := Catalog[id].Hazard
+			total += h
+			if h > max {
+				max = h
+			}
+		}
+		if max/total > 0.40 {
+			t.Fatalf("location %v has a dominant disposition: %.0f%% of hazard", loc, 100*max/total)
+		}
+	}
+}
+
+func TestHNIsLargestLocation(t *testing.T) {
+	byLoc := map[Location]float64{}
+	for _, d := range Catalog {
+		byLoc[d.Loc] += d.Hazard
+	}
+	for loc := F2; loc < NumLocations; loc++ {
+		if byLoc[loc] >= byLoc[HN] {
+			t.Fatalf("location %v hazard %.2g >= HN %.2g; customer-edge problems should concentrate at HN", loc, byLoc[loc], byLoc[HN])
+		}
+	}
+}
+
+func TestCatalogFieldSanity(t *testing.T) {
+	for _, d := range Catalog {
+		if d.Hazard <= 0 || d.Hazard > 1e-3 {
+			t.Fatalf("%q hazard %v out of range", d.Name, d.Hazard)
+		}
+		if d.SeverityLo <= 0 || d.SeverityHi < d.SeverityLo {
+			t.Fatalf("%q severity range [%v,%v] malformed", d.Name, d.SeverityLo, d.SeverityHi)
+		}
+		if d.Perceivability <= 0 || d.Perceivability > 1 {
+			t.Fatalf("%q perceivability %v out of (0,1]", d.Name, d.Perceivability)
+		}
+		e := d.Effect
+		if e.RateFactor <= 0 || e.RateFactor > 1 {
+			t.Fatalf("%q rate factor %v out of (0,1]", d.Name, e.RateFactor)
+		}
+		if e.CellsFactor < 0 || e.CellsFactor > 1 {
+			t.Fatalf("%q cells factor %v out of [0,1]", d.Name, e.CellsFactor)
+		}
+		if e.MarginDelta > 0 {
+			t.Fatalf("%q raises the noise margin", d.Name)
+		}
+		if e.AttenDelta < 0 {
+			t.Fatalf("%q lowers attenuation", d.Name)
+		}
+		if e.OffProb < 0 || e.OffProb > 1 {
+			t.Fatalf("%q off probability %v", d.Name, e.OffProb)
+		}
+		if e.CVRate < 0 || e.ESRate < 0 || e.FECRate < 0 {
+			t.Fatalf("%q has negative error rates", d.Name)
+		}
+	}
+}
+
+func TestProximityOrdersByLocation(t *testing.T) {
+	// Proximity must be strictly increasing and group HN < F2 < F1 < DS so
+	// "closest to the end host" labelling is well defined.
+	order := map[Location]int{HN: 0, F2: 1, F1: 2, DS: 3}
+	prev := -1
+	prevLoc := -1
+	for _, d := range Catalog {
+		if d.Proximity <= prev {
+			t.Fatalf("%q proximity %d not increasing", d.Name, d.Proximity)
+		}
+		prev = d.Proximity
+		if order[d.Loc] < prevLoc {
+			t.Fatalf("%q at %v appears after a farther location", d.Name, d.Loc)
+		}
+		prevLoc = order[d.Loc]
+	}
+}
+
+func TestScaleAtZeroIsIdentity(t *testing.T) {
+	for _, d := range Catalog {
+		s := d.Effect.Scale(0)
+		if s.RateFactor != 1 || s.CellsFactor != 1 || s.MarginDelta != 0 ||
+			s.CVRate != 0 || s.OffProb != 0 || s.AttenDelta != 0 {
+			t.Fatalf("%q Scale(0) is not the identity: %+v", d.Name, s)
+		}
+	}
+}
+
+func TestScaleAtOneIsTemplate(t *testing.T) {
+	for _, d := range Catalog {
+		s := d.Effect.Scale(1)
+		if math.Abs(s.RateFactor-d.Effect.RateFactor) > 1e-12 ||
+			math.Abs(s.MarginDelta-d.Effect.MarginDelta) > 1e-12 ||
+			math.Abs(s.CVRate-d.Effect.CVRate) > 1e-12 {
+			t.Fatalf("%q Scale(1) differs from template", d.Name)
+		}
+	}
+}
+
+func TestScaleMonotoneAndClamped(t *testing.T) {
+	err := quick.Check(func(sevRaw uint8) bool {
+		sev := float64(sevRaw) / 32 // 0..~8
+		for _, d := range Catalog {
+			s := d.Effect.Scale(sev)
+			if s.RateFactor < 0.02-1e-12 || s.OffProb > 0.95+1e-12 || s.CellsFactor < 0 {
+				return false
+			}
+			if s.MarginDelta > 0 || s.CVRate < 0 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func effectsClose(a, b Effect) bool {
+	const eps = 1e-12
+	return math.Abs(a.RateFactor-b.RateFactor) < eps &&
+		math.Abs(a.CellsFactor-b.CellsFactor) < eps &&
+		math.Abs(a.MarginDelta-b.MarginDelta) < eps &&
+		math.Abs(a.AttenDelta-b.AttenDelta) < eps &&
+		math.Abs(a.CVRate-b.CVRate) < eps &&
+		math.Abs(a.ESRate-b.ESRate) < eps &&
+		math.Abs(a.FECRate-b.FECRate) < eps &&
+		math.Abs(a.OffProb-b.OffProb) < eps &&
+		math.Abs(a.PowerDelta-b.PowerDelta) < eps &&
+		a.BridgeTap == b.BridgeTap && a.Crosstalk == b.Crosstalk
+}
+
+func TestCombineIdentity(t *testing.T) {
+	for _, d := range Catalog {
+		e := d.Effect.Scale(0.8)
+		if c := e.Combine(NoEffect); !effectsClose(c, e) {
+			t.Fatalf("%q Combine(NoEffect) altered the effect", d.Name)
+		}
+		if c := NoEffect.Combine(e); !effectsClose(c, e) {
+			t.Fatalf("%q NoEffect.Combine(e) != e", d.Name)
+		}
+	}
+}
+
+func TestCombineAccumulates(t *testing.T) {
+	a := Effect{RateFactor: 0.5, CellsFactor: 0.8, MarginDelta: -2, CVRate: 10, OffProb: 0.5}
+	b := Effect{RateFactor: 0.5, CellsFactor: 0.5, MarginDelta: -3, CVRate: 5, OffProb: 0.5, BridgeTap: true}
+	c := a.Combine(b)
+	if c.RateFactor != 0.25 || c.CellsFactor != 0.4 {
+		t.Fatalf("multiplicative combine wrong: %+v", c)
+	}
+	if c.MarginDelta != -5 || c.CVRate != 15 {
+		t.Fatalf("additive combine wrong: %+v", c)
+	}
+	if math.Abs(c.OffProb-0.75) > 1e-12 {
+		t.Fatalf("OffProb combine = %v, want 0.75", c.OffProb)
+	}
+	if !c.BridgeTap || c.Crosstalk {
+		t.Fatalf("boolean combine wrong: %+v", c)
+	}
+}
+
+func TestCombineCommutes(t *testing.T) {
+	err := quick.Check(func(i, j uint8) bool {
+		a := Catalog[int(i)%NumDispositions].Effect.Scale(1.1)
+		b := Catalog[int(j)%NumDispositions].Effect.Scale(0.7)
+		ab, ba := a.Combine(b), b.Combine(a)
+		return math.Abs(ab.RateFactor-ba.RateFactor) < 1e-12 &&
+			math.Abs(ab.MarginDelta-ba.MarginDelta) < 1e-12 &&
+			math.Abs(ab.OffProb-ba.OffProb) < 1e-12 &&
+			ab.BridgeTap == ba.BridgeTap && ab.Crosstalk == ba.Crosstalk
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalHazardInOperatingRange(t *testing.T) {
+	h := TotalHazard()
+	// Roughly 0.2-0.6 customer-edge faults per line per year keeps weekly
+	// ticket volume in the regime the paper reports.
+	if h*365 < 0.2 || h*365 > 0.8 {
+		t.Fatalf("total hazard %.3g/day → %.2f faults/line/year outside operating range", h, h*365)
+	}
+}
+
+func TestLocationString(t *testing.T) {
+	cases := map[Location]string{HN: "HN", F2: "F2", F1: "F1", DS: "DS", Location(9): "Location(9)"}
+	for loc, want := range cases {
+		if got := loc.String(); got != want {
+			t.Fatalf("Location(%d).String() = %q, want %q", loc, got, want)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package features
+
+import (
+	"nevermind/internal/data"
+)
+
+// Labels computes the ticket-prediction target of §4.1 for each example:
+// Tkt(u, t, T) = 1 iff the line files a customer-edge ticket within
+// windowDays after the example week's Saturday (exclusive of the Saturday
+// itself). The paper uses T = 4 weeks.
+func Labels(ix *data.TicketIndex, examples []Example, windowDays int) []bool {
+	out := make([]bool, len(examples))
+	for i, ex := range examples {
+		out[i] = ix.Within(ex.Line, data.SaturdayOf(ex.Week), windowDays)
+	}
+	return out
+}
+
+// ExamplesForWeeks enumerates every (line, week) pair for the given weeks,
+// week-major — the full-population ranking sets of the evaluation.
+func ExamplesForWeeks(ds *data.Dataset, weeks []int) []Example {
+	out := make([]Example, 0, len(weeks)*ds.NumLines)
+	for _, w := range weeks {
+		for l := 0; l < ds.NumLines; l++ {
+			out = append(out, Example{Line: data.LineID(l), Week: w})
+		}
+	}
+	return out
+}
+
+// WeekRange returns [lo, hi] inclusive as a slice.
+func WeekRange(lo, hi int) []int {
+	var out []int
+	for w := lo; w <= hi; w++ {
+		out = append(out, w)
+	}
+	return out
+}

@@ -1,0 +1,453 @@
+package ml
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nevermind/internal/rng"
+)
+
+// synthProblem builds a learnable two-feature problem: y depends on a
+// threshold of feature 0 and weakly on feature 1; feature 2 is pure noise.
+func synthProblem(n int, seed uint64) ([]Column, []bool) {
+	r := rng.New(seed)
+	f0 := make([]float32, n)
+	f1 := make([]float32, n)
+	f2 := make([]float32, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		f0[i] = float32(r.Normal(0, 1))
+		f1[i] = float32(r.Normal(0, 1))
+		f2[i] = float32(r.Normal(0, 1))
+		p := 0.08
+		if f0[i] > 0.8 {
+			p += 0.7
+		}
+		if f1[i] < -1 {
+			p += 0.15
+		}
+		y[i] = r.Bool(p)
+	}
+	return []Column{
+		{Name: "signal", Values: f0},
+		{Name: "weak", Values: f1},
+		{Name: "noise", Values: f2},
+	}, y
+}
+
+func trainOn(t *testing.T, cols []Column, y []bool, rounds int) (*BStump, *Quantizer, *BinnedMatrix) {
+	t.Helper()
+	q, err := FitQuantizer(cols, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := q.Transform(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainBStump(bm, q, y, TrainOptions{Rounds: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, q, bm
+}
+
+func TestQuantizerRoundTrip(t *testing.T) {
+	cols, _ := synthProblem(500, 1)
+	q, err := FitQuantizer(cols, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := q.Transform(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.N != 500 || len(bm.Bins) != 3 {
+		t.Fatalf("binned shape %dx%d", bm.N, len(bm.Bins))
+	}
+	// Bin order must respect value order.
+	for f := 0; f < 3; f++ {
+		for i := 0; i < bm.N; i++ {
+			for j := 0; j < bm.N; j++ {
+				if cols[f].Values[i] < cols[f].Values[j] && bm.Bins[f][i] > bm.Bins[f][j] {
+					t.Fatalf("binning not monotone on feature %d", f)
+				}
+			}
+		}
+		break // one feature is plenty for the O(n^2) check
+	}
+}
+
+func TestQuantizerCategorical(t *testing.T) {
+	col := Column{Name: "flag", Categorical: true, Values: []float32{0, 1, 0, 1, 1}}
+	q, err := FitQuantizer([]Column{col}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Cuts[0]) != 1 || q.Cuts[0][0] != 0.5 {
+		t.Fatalf("categorical cuts = %v", q.Cuts[0])
+	}
+	bm, _ := q.Transform([]Column{col})
+	for i, v := range col.Values {
+		want := uint8(0)
+		if v == 1 {
+			want = 1
+		}
+		if bm.Bins[0][i] != want {
+			t.Fatalf("categorical bin of %v = %d", v, bm.Bins[0][i])
+		}
+	}
+}
+
+func TestQuantizerRejectsBadArgs(t *testing.T) {
+	cols, _ := synthProblem(10, 1)
+	if _, err := FitQuantizer(cols, 1); err == nil {
+		t.Fatal("maxBins=1 accepted")
+	}
+	if _, err := FitQuantizer(cols, 1000); err == nil {
+		t.Fatal("maxBins>256 accepted")
+	}
+	q, _ := FitQuantizer(cols, 16)
+	if _, err := q.Transform(cols[:1]); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+	bad := []Column{cols[0], cols[1], {Name: "short", Values: []float32{1}}}
+	if _, err := q.Transform(bad); err == nil {
+		t.Fatal("ragged columns accepted")
+	}
+}
+
+func TestBStumpLearnsSignal(t *testing.T) {
+	cols, y := synthProblem(4000, 2)
+	m, q, _ := trainOn(t, cols, y, 60)
+
+	// Held-out data.
+	testCols, testY := synthProblem(2000, 3)
+	bmTest, err := q.Transform(testCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := m.ScoreAll(bmTest)
+	if auc := AUC(scores, testY); auc < 0.80 {
+		t.Fatalf("held-out AUC %.3f, the problem is learnable to >0.8", auc)
+	}
+	// The first stump must split on the signal feature.
+	if m.Stumps[0].Feature != 0 {
+		t.Fatalf("first stump used feature %d, want the signal", m.Stumps[0].Feature)
+	}
+}
+
+func TestBStumpTrainingErrorDecreases(t *testing.T) {
+	cols, y := synthProblem(1500, 4)
+	q, _ := FitQuantizer(cols, 64)
+	bm, _ := q.Transform(cols)
+	short, err := TrainBStump(bm, q, y, TrainOptions{Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := TrainBStump(bm, q, y, TrainOptions{Rounds: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errRate := func(m *BStump) float64 {
+		s := m.ScoreAll(bm)
+		wrong := 0
+		for i := range s {
+			if (s[i] > 0) != y[i] {
+				wrong++
+			}
+		}
+		return float64(wrong) / float64(len(y))
+	}
+	if errRate(long) > errRate(short) {
+		t.Fatalf("training error rose with more rounds: %v → %v", errRate(short), errRate(long))
+	}
+}
+
+func TestScoreAllMatchesScore(t *testing.T) {
+	cols, y := synthProblem(600, 5)
+	m, _, bm := trainOn(t, cols, y, 25)
+	all := m.ScoreAll(bm)
+	for i := 0; i < bm.N; i += 37 {
+		if math.Abs(all[i]-m.Score(bm, i)) > 1e-12 {
+			t.Fatalf("ScoreAll[%d]=%v but Score=%v", i, all[i], m.Score(bm, i))
+		}
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	cols, y := synthProblem(800, 6)
+	a, _, _ := trainOn(t, cols, y, 30)
+	b, _, _ := trainOn(t, cols, y, 30)
+	if len(a.Stumps) != len(b.Stumps) {
+		t.Fatal("stump counts differ across identical trainings")
+	}
+	for i := range a.Stumps {
+		if a.Stumps[i] != b.Stumps[i] {
+			t.Fatalf("stump %d differs", i)
+		}
+	}
+}
+
+func TestTrainOptionsValidation(t *testing.T) {
+	cols, y := synthProblem(100, 7)
+	q, _ := FitQuantizer(cols, 16)
+	bm, _ := q.Transform(cols)
+	if _, err := TrainBStump(bm, q, y, TrainOptions{Rounds: 0}); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	if _, err := TrainBStump(bm, q, y[:10], TrainOptions{Rounds: 5}); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := TrainBStump(bm, q, y, TrainOptions{Rounds: 5, Features: []int{99}}); err == nil {
+		t.Fatal("out-of-range feature restriction accepted")
+	}
+	if _, err := TrainBStump(&BinnedMatrix{}, q, nil, TrainOptions{Rounds: 5}); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestFeatureRestriction(t *testing.T) {
+	cols, y := synthProblem(1500, 8)
+	q, _ := FitQuantizer(cols, 64)
+	bm, _ := q.Transform(cols)
+	m, err := TrainBStump(bm, q, y, TrainOptions{Rounds: 20, Features: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range m.Stumps {
+		if st.Feature != 2 {
+			t.Fatalf("restricted training used feature %d", st.Feature)
+		}
+	}
+}
+
+func TestConstantFeaturesRejected(t *testing.T) {
+	n := 50
+	c := Column{Name: "const", Values: make([]float32, n)}
+	y := make([]bool, n)
+	for i := range y {
+		y[i] = i%2 == 0
+	}
+	q, _ := FitQuantizer([]Column{c}, 16)
+	bm, _ := q.Transform([]Column{c})
+	if _, err := TrainBStump(bm, q, y, TrainOptions{Rounds: 5}); err == nil {
+		t.Fatal("training on a constant feature should fail")
+	}
+}
+
+func TestExplainMentionsFeatureName(t *testing.T) {
+	cols, y := synthProblem(800, 9)
+	m, _, _ := trainOn(t, cols, y, 5)
+	s := m.Explain(0)
+	if !strings.Contains(s, "signal") && !strings.Contains(s, "weak") && !strings.Contains(s, "noise") {
+		t.Fatalf("Explain(0) = %q lacks a feature name", s)
+	}
+	if !strings.Contains(s, "then") {
+		t.Fatalf("Explain(0) = %q not in rule form", s)
+	}
+}
+
+// Property: on random labelable data, training must terminate and produce
+// finite scores.
+func TestTrainFiniteScoresProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		cols, y := synthProblem(200, seed)
+		// Ensure both classes present.
+		hasPos, hasNeg := false, false
+		for _, v := range y {
+			if v {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		q, err := FitQuantizer(cols, 32)
+		if err != nil {
+			return false
+		}
+		bm, err := q.Transform(cols)
+		if err != nil {
+			return false
+		}
+		m, err := TrainBStump(bm, q, y, TrainOptions{Rounds: 15})
+		if err != nil {
+			return false
+		}
+		for _, s := range m.ScoreAll(bm) {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrationMapsToProbabilities(t *testing.T) {
+	cols, y := synthProblem(3000, 10)
+	m, q, bm := trainOn(t, cols, y, 40)
+	scores := m.ScoreAll(bm)
+	if err := m.Calibrate(scores, y); err != nil {
+		t.Fatal(err)
+	}
+	testCols, testY := synthProblem(3000, 11)
+	bmT, _ := q.Transform(testCols)
+	testScores := m.ScoreAll(bmT)
+
+	// Probabilities must be in (0,1) and monotone in the score.
+	prev := -1.0
+	for _, s := range []float64{-5, -1, 0, 1, 5} {
+		p := m.Probability(s)
+		if p <= 0 || p >= 1 {
+			t.Fatalf("P(%v) = %v", s, p)
+		}
+		if p < prev {
+			t.Fatalf("calibration not monotone at %v", s)
+		}
+		prev = p
+	}
+
+	// Reliability: among high-probability test examples the positive rate
+	// should exceed the base rate substantially.
+	base := 0.0
+	for _, v := range testY {
+		if v {
+			base++
+		}
+	}
+	base /= float64(len(testY))
+	var hi, hiPos float64
+	for i, s := range testScores {
+		if m.Probability(s) > 0.5 {
+			hi++
+			if testY[i] {
+				hiPos++
+			}
+		}
+	}
+	if hi > 20 && hiPos/hi < 2*base {
+		t.Fatalf("calibrated >0.5 bucket has positive rate %.2f vs base %.2f", hiPos/hi, base)
+	}
+}
+
+func TestCalibrationRejectsDegenerate(t *testing.T) {
+	if _, err := FitCalibration([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Fatal("single-class calibration accepted")
+	}
+	if _, err := FitCalibration(nil, nil); err == nil {
+		t.Fatal("empty calibration accepted")
+	}
+	if _, err := FitCalibration([]float64{1}, []bool{true, false}); err == nil {
+		t.Fatal("mismatched calibration accepted")
+	}
+}
+
+func TestUncalibratedProbabilityIsSigmoid(t *testing.T) {
+	m := &BStump{}
+	if p := m.Probability(0); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("sigma(0) = %v", p)
+	}
+	if p := m.Probability(3); math.Abs(p-1/(1+math.Exp(-3))) > 1e-12 {
+		t.Fatalf("sigma(3) = %v", p)
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	cols, y := synthProblem(2500, 12)
+	m, _, _ := trainOn(t, cols, y, 40)
+	imp := m.FeatureImportance()
+	if len(imp) == 0 {
+		t.Fatal("no feature importance")
+	}
+	// The signal feature must dominate the noise feature.
+	if imp[0] <= imp[2] {
+		t.Fatalf("signal importance %v <= noise importance %v", imp[0], imp[2])
+	}
+	// Importance sums the per-stump swings.
+	var total float64
+	for _, st := range m.Stumps {
+		d := st.SHigh - st.SLow
+		if d < 0 {
+			d = -d
+		}
+		total += d
+	}
+	var sum float64
+	for _, w := range imp {
+		sum += w
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Fatalf("importance mass %v != stump swings %v", sum, total)
+	}
+}
+
+func TestTopFeatures(t *testing.T) {
+	cols, y := synthProblem(2500, 13)
+	m, _, _ := trainOn(t, cols, y, 40)
+	top := m.TopFeatures(2)
+	if len(top) != 2 {
+		t.Fatalf("%d top features", len(top))
+	}
+	if top[0].Weight < top[1].Weight {
+		t.Fatal("top features not sorted")
+	}
+	if top[0].Name != "signal" {
+		t.Fatalf("top feature %q, want the signal", top[0].Name)
+	}
+	// Oversized k clamps.
+	if got := m.TopFeatures(100); len(got) > 3 {
+		t.Fatalf("%d features from a 3-feature problem", len(got))
+	}
+}
+
+func BenchmarkFitQuantizer(b *testing.B) {
+	cols, _ := synthProblem(20000, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitQuantizer(cols, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransform(b *testing.B) {
+	cols, _ := synthProblem(20000, 51)
+	q, _ := FitQuantizer(cols, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Transform(cols); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainBStump100Rounds(b *testing.B) {
+	cols, y := synthProblem(20000, 52)
+	q, _ := FitQuantizer(cols, 128)
+	bm, _ := q.Transform(cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainBStump(bm, q, y, TrainOptions{Rounds: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScoreAll(b *testing.B) {
+	cols, y := synthProblem(20000, 53)
+	q, _ := FitQuantizer(cols, 128)
+	bm, _ := q.Transform(cols)
+	m, _ := TrainBStump(bm, q, y, TrainOptions{Rounds: 100})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.ScoreAll(bm)
+	}
+}

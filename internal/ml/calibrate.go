@@ -1,0 +1,100 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Calibration is a logistic (Platt) calibration P(y=1|s) = σ(A·s + B),
+// mapping raw classifier scores to posterior probabilities.
+type Calibration struct {
+	A, B   float64
+	Fitted bool
+}
+
+// Apply maps a raw score to a probability. An unfitted calibration applies
+// the identity logistic σ(s), which is the natural reading of a boosted
+// margin.
+func (c Calibration) Apply(score float64) float64 {
+	if !c.Fitted {
+		return sigmoid(score)
+	}
+	return sigmoid(c.A*score + c.B)
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// FitCalibration fits Platt scaling by Newton iterations on the regularised
+// log-loss, using Platt's target smoothing to avoid saturated targets.
+func FitCalibration(scores []float64, labels []bool) (Calibration, error) {
+	if len(scores) != len(labels) || len(scores) == 0 {
+		return Calibration{}, fmt.Errorf("ml: calibration needs matching non-empty scores and labels")
+	}
+	var nPos, nNeg float64
+	for _, y := range labels {
+		if y {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return Calibration{}, fmt.Errorf("ml: calibration needs both classes")
+	}
+	tPos := (nPos + 1) / (nPos + 2)
+	tNeg := 1 / (nNeg + 2)
+
+	a, b := 1.0, 0.0
+	for iter := 0; iter < 100; iter++ {
+		var g1, g2 float64 // gradient wrt a, b
+		var h11, h12, h22 float64
+		for i, s := range scores {
+			p := sigmoid(a*s + b)
+			t := tNeg
+			if labels[i] {
+				t = tPos
+			}
+			d := p - t
+			g1 += d * s
+			g2 += d
+			w := p * (1 - p)
+			h11 += w * s * s
+			h12 += w * s
+			h22 += w
+		}
+		// Levenberg damping keeps the 2x2 solve well-posed.
+		h11 += 1e-9
+		h22 += 1e-9
+		det := h11*h22 - h12*h12
+		if det <= 0 {
+			break
+		}
+		da := (h22*g1 - h12*g2) / det
+		db := (h11*g2 - h12*g1) / det
+		a -= da
+		b -= db
+		if math.Abs(da)+math.Abs(db) < 1e-10 {
+			break
+		}
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return Calibration{}, fmt.Errorf("ml: calibration diverged")
+	}
+	return Calibration{A: a, B: b, Fitted: true}, nil
+}
+
+// Calibrate fits the model's calibration on (typically held-out) scores.
+func (m *BStump) Calibrate(scores []float64, labels []bool) error {
+	c, err := FitCalibration(scores, labels)
+	if err != nil {
+		return err
+	}
+	m.Calib = c
+	return nil
+}

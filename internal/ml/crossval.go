@@ -1,0 +1,134 @@
+package ml
+
+import (
+	"fmt"
+
+	"nevermind/internal/rng"
+)
+
+// Cross-validation for the boosting budget. The paper fixes 800 rounds for
+// the ticket predictor and 200 for the locator "based on cross-validation"
+// (footnotes 4 and §6.3); this is that procedure. Because a boosted
+// ensemble's first k stumps are themselves the k-round model, one training
+// run per fold at the largest candidate evaluates every candidate via
+// prefix scoring — no retraining per candidate.
+
+// ScorePrefix returns the scores using only the first k stumps.
+func (m *BStump) ScorePrefix(bm *BinnedMatrix, k int) []float64 {
+	if k > len(m.Stumps) {
+		k = len(m.Stumps)
+	}
+	out := make([]float64, bm.N)
+	for _, st := range m.Stumps[:k] {
+		bins := bm.Bins[st.Feature]
+		for i, b := range bins {
+			if b <= st.Cut {
+				out[i] += st.SLow
+			} else {
+				out[i] += st.SHigh
+			}
+		}
+	}
+	return out
+}
+
+// CVResult reports the cross-validated quality of each candidate round
+// count.
+type CVResult struct {
+	Rounds []int
+	Mean   []float64 // mean fold metric per candidate, aligned with Rounds
+	Best   int       // the candidate with the highest mean metric
+}
+
+// CrossValidateRounds k-fold cross-validates the boosting budget. metric
+// scores a fold (higher is better), e.g. a TopNAveragePrecision closure.
+func CrossValidateRounds(cols []Column, y []bool, candidates []int, folds int, bins int, seed uint64,
+	metric func(scores []float64, labels []bool) float64) (*CVResult, error) {
+	if len(cols) == 0 || len(y) == 0 || len(cols[0].Values) != len(y) {
+		return nil, fmt.Errorf("ml: cross-validation needs matching non-empty data")
+	}
+	if folds < 2 {
+		return nil, fmt.Errorf("ml: need at least 2 folds")
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("ml: no candidate round counts")
+	}
+	maxRounds := 0
+	for _, c := range candidates {
+		if c <= 0 {
+			return nil, fmt.Errorf("ml: non-positive candidate rounds %d", c)
+		}
+		if c > maxRounds {
+			maxRounds = c
+		}
+	}
+	n := len(y)
+	if n < folds*2 {
+		return nil, fmt.Errorf("ml: %d examples too few for %d folds", n, folds)
+	}
+
+	perm := rng.Derive(seed, 0xcf).Perm(n)
+	sums := make([]float64, len(candidates))
+	for f := 0; f < folds; f++ {
+		// Fold f is the validation slice of the permutation.
+		lo, hi := f*n/folds, (f+1)*n/folds
+		trainIdx := append(append([]int(nil), perm[:lo]...), perm[hi:]...)
+		valIdx := perm[lo:hi]
+
+		trCols := subsetColumns(cols, trainIdx)
+		vaCols := subsetColumns(cols, valIdx)
+		trY := subsetLabels(y, trainIdx)
+		vaY := subsetLabels(y, valIdx)
+
+		q, err := FitQuantizer(trCols, bins)
+		if err != nil {
+			return nil, err
+		}
+		bmTr, err := q.Transform(trCols)
+		if err != nil {
+			return nil, err
+		}
+		bmVa, err := q.Transform(vaCols)
+		if err != nil {
+			return nil, err
+		}
+		model, err := TrainBStump(bmTr, q, trY, TrainOptions{Rounds: maxRounds})
+		if err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", f, err)
+		}
+		for ci, c := range candidates {
+			sums[ci] += metric(model.ScorePrefix(bmVa, c), vaY)
+		}
+	}
+
+	res := &CVResult{Rounds: candidates, Mean: make([]float64, len(candidates))}
+	bestScore := -1.0
+	for ci := range candidates {
+		res.Mean[ci] = sums[ci] / float64(folds)
+		if res.Mean[ci] > bestScore {
+			bestScore = res.Mean[ci]
+			res.Best = candidates[ci]
+		}
+	}
+	return res, nil
+}
+
+func subsetColumns(cols []Column, idx []int) []Column {
+	out := make([]Column, len(cols))
+	for ci, c := range cols {
+		v := make([]float32, len(idx))
+		for i, r := range idx {
+			v[i] = c.Values[r]
+		}
+		out[ci] = Column{Name: c.Name, Categorical: c.Categorical, Values: v}
+	}
+	return out
+}
+
+func subsetLabels(y []bool, idx []int) []bool {
+	out := make([]bool, len(idx))
+	for i, r := range idx {
+		out[i] = y[r]
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScorePrefixMatchesFullAndPartial(t *testing.T) {
+	cols, y := synthProblem(1000, 31)
+	m, _, bm := trainOn(t, cols, y, 20)
+	full := m.ScoreAll(bm)
+	pre := m.ScorePrefix(bm, len(m.Stumps))
+	for i := range full {
+		if math.Abs(full[i]-pre[i]) > 1e-12 {
+			t.Fatalf("full prefix differs at %d", i)
+		}
+	}
+	// A 5-stump prefix equals a model truncated to 5 stumps.
+	trunc := &BStump{Stumps: m.Stumps[:5]}
+	want := trunc.ScoreAll(bm)
+	got := m.ScorePrefix(bm, 5)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12 {
+			t.Fatalf("prefix-5 differs at %d", i)
+		}
+	}
+	// Oversized k clamps.
+	if s := m.ScorePrefix(bm, 10000); math.Abs(s[0]-full[0]) > 1e-12 {
+		t.Fatal("oversized prefix should clamp to the full model")
+	}
+}
+
+func TestCrossValidateRoundsPicksReasonableBudget(t *testing.T) {
+	cols, y := synthProblem(4000, 32)
+	res, err := CrossValidateRounds(cols, y, []int{1, 15, 60}, 4, 32, 7,
+		func(s []float64, l []bool) float64 { return AUC(s, l) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mean) != 3 {
+		t.Fatalf("%d means", len(res.Mean))
+	}
+	// One stump cannot be the best model on a two-signal problem.
+	if res.Best == 1 {
+		t.Fatalf("CV picked a single round (means %v)", res.Mean)
+	}
+	for _, m := range res.Mean {
+		if m < 0.4 || m > 1 {
+			t.Fatalf("implausible fold metric %v", m)
+		}
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	cols, y := synthProblem(1200, 33)
+	metric := func(s []float64, l []bool) float64 { return AUC(s, l) }
+	a, err := CrossValidateRounds(cols, y, []int{5, 25}, 3, 32, 9, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidateRounds(cols, y, []int{5, 25}, 3, 32, 9, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Mean {
+		if a.Mean[i] != b.Mean[i] {
+			t.Fatal("CV not deterministic")
+		}
+	}
+}
+
+func TestCrossValidateRejectsBadArgs(t *testing.T) {
+	cols, y := synthProblem(100, 34)
+	metric := func(s []float64, l []bool) float64 { return AUC(s, l) }
+	if _, err := CrossValidateRounds(nil, nil, []int{5}, 3, 32, 1, metric); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := CrossValidateRounds(cols, y, []int{5}, 1, 32, 1, metric); err == nil {
+		t.Fatal("single fold accepted")
+	}
+	if _, err := CrossValidateRounds(cols, y, nil, 3, 32, 1, metric); err == nil {
+		t.Fatal("no candidates accepted")
+	}
+	if _, err := CrossValidateRounds(cols, y, []int{0}, 3, 32, 1, metric); err == nil {
+		t.Fatal("zero-round candidate accepted")
+	}
+	if _, err := CrossValidateRounds(cols[:1], y[:3], []int{5}, 3, 32, 1, metric); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+}

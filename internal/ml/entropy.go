@@ -1,0 +1,60 @@
+package ml
+
+import "math"
+
+// GainRatio computes the gain-ratio feature-selection criterion of Table 4:
+// the decrease in label entropy from knowing the (discretized) feature,
+// normalised by the feature's own split entropy so many-valued features are
+// not unfairly favoured. The feature is discretized into quantile bins.
+func GainRatio(col Column, y []bool, bins int) float64 {
+	if len(col.Values) != len(y) || len(y) == 0 {
+		panic("ml: GainRatio needs matching non-empty column and labels")
+	}
+	if bins < 2 {
+		bins = 2
+	}
+	q, err := FitQuantizer([]Column{col}, bins)
+	if err != nil {
+		return 0
+	}
+	bm, err := q.Transform([]Column{col})
+	if err != nil {
+		return 0
+	}
+	nb := q.NumBins(0)
+	pos := make([]float64, nb)
+	tot := make([]float64, nb)
+	var nPos float64
+	n := float64(len(y))
+	for i, b := range bm.Bins[0] {
+		tot[b]++
+		if y[i] {
+			pos[b]++
+			nPos++
+		}
+	}
+
+	hy := binaryEntropy(nPos / n)
+	var cond, split float64
+	for b := 0; b < nb; b++ {
+		if tot[b] == 0 {
+			continue
+		}
+		pb := tot[b] / n
+		cond += pb * binaryEntropy(pos[b]/tot[b])
+		split -= pb * math.Log2(pb)
+	}
+	gain := hy - cond
+	if split <= 1e-12 {
+		return 0 // single-bin feature carries no information
+	}
+	return gain / split
+}
+
+// binaryEntropy is H(p) in bits.
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}

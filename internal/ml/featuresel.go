@@ -1,0 +1,246 @@
+package ml
+
+import (
+	"fmt"
+
+	"nevermind/internal/rng"
+)
+
+// Criterion is a feature-selection criterion: the paper's novel top-N
+// average precision method (§4.3) plus the four baselines of Table 4.
+type Criterion int
+
+const (
+	// CritTopNAP ranks features by the top-N average precision of a
+	// single-feature predictor on a held-out split — the paper's method.
+	CritTopNAP Criterion = iota
+	// CritAUC ranks by area under the ROC curve of the same per-feature
+	// predictor.
+	CritAUC
+	// CritAvgPrec ranks by classical average precision on all samples.
+	CritAvgPrec
+	// CritPCA ranks by eigenvalue-weighted loadings on the top principal
+	// components.
+	CritPCA
+	// CritGainRatio ranks by the entropy gain ratio of the discretized
+	// feature.
+	CritGainRatio
+)
+
+func (c Criterion) String() string {
+	switch c {
+	case CritTopNAP:
+		return "top-N AP"
+	case CritAUC:
+		return "AUC"
+	case CritAvgPrec:
+		return "average precision"
+	case CritPCA:
+		return "PCA"
+	case CritGainRatio:
+		return "gain ratio"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// Criteria lists all implemented criteria in presentation order.
+var Criteria = []Criterion{CritAUC, CritAvgPrec, CritTopNAP, CritPCA, CritGainRatio}
+
+// SelectOptions tunes feature scoring.
+type SelectOptions struct {
+	// N is the operational budget for top-N AP, expressed against the full
+	// example population passed in (it is rescaled internally for splits
+	// and subsampling).
+	N int
+	// Rounds is the boosting rounds for the per-feature predictors
+	// (default 12: a handful of stumps on one feature is already a
+	// piecewise-constant scorer).
+	Rounds int
+	// MaxExamples caps the examples used per feature score; 0 = all.
+	MaxExamples int
+	// TrainFrac is the train share of the internal split (default 0.7).
+	TrainFrac float64
+	// Bins is the quantizer resolution (default 64 for selection).
+	Bins int
+	// Seed drives the split and subsample.
+	Seed uint64
+}
+
+func (o SelectOptions) defaults() SelectOptions {
+	if o.Rounds == 0 {
+		o.Rounds = 12
+	}
+	if o.TrainFrac == 0 {
+		o.TrainFrac = 0.7
+	}
+	if o.Bins == 0 {
+		o.Bins = 64
+	}
+	if o.N == 0 {
+		o.N = 1
+	}
+	return o
+}
+
+// FeatureScores returns the criterion score of every column; higher is
+// better for all criteria.
+func FeatureScores(cols []Column, y []bool, crit Criterion, opt SelectOptions) ([]float64, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("ml: no columns to score")
+	}
+	n := len(y)
+	if n == 0 || len(cols[0].Values) != n {
+		return nil, fmt.Errorf("ml: labels/columns mismatch")
+	}
+	opt = opt.defaults()
+
+	// Deterministic subsample.
+	sample := make([]int, n)
+	for i := range sample {
+		sample[i] = i
+	}
+	if opt.MaxExamples > 0 && n > opt.MaxExamples {
+		perm := rng.Derive(opt.Seed, 0x5e1).Perm(n)
+		sample = perm[:opt.MaxExamples]
+	}
+	used := len(sample)
+	// The budget shrinks proportionally with the population in view.
+	scaleN := func(pop int) int {
+		nn := opt.N * pop / n
+		if nn < 1 {
+			nn = 1
+		}
+		return nn
+	}
+
+	sub := func(c Column) Column {
+		v := make([]float32, used)
+		for i, idx := range sample {
+			v[i] = c.Values[idx]
+		}
+		return Column{Name: c.Name, Categorical: c.Categorical, Values: v}
+	}
+	ySub := make([]bool, used)
+	for i, idx := range sample {
+		ySub[i] = y[idx]
+	}
+
+	switch crit {
+	case CritPCA:
+		subCols := make([]Column, len(cols))
+		for i := range cols {
+			subCols[i] = sub(cols[i])
+		}
+		k := len(cols) / 4
+		if k < 3 {
+			k = min(3, len(cols))
+		}
+		pca, err := FitPCA(subCols, k, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return pca.FeatureScores(), nil
+
+	case CritGainRatio:
+		scores := make([]float64, len(cols))
+		for i := range cols {
+			scores[i] = GainRatio(sub(cols[i]), ySub, 16)
+		}
+		return scores, nil
+	}
+
+	// Predictor-based criteria share the per-feature train/test machinery.
+	split := int(float64(used) * opt.TrainFrac)
+	if split < 2 || used-split < 2 {
+		return nil, fmt.Errorf("ml: %d examples too few to split for selection", used)
+	}
+	perm := rng.Derive(opt.Seed, 0x5717).Perm(used)
+	trainIdx, testIdx := perm[:split], perm[split:]
+	yTr := make([]bool, len(trainIdx))
+	posTr := 0
+	for i, idx := range trainIdx {
+		yTr[i] = ySub[idx]
+		if yTr[i] {
+			posTr++
+		}
+	}
+	yTe := make([]bool, len(testIdx))
+	for i, idx := range testIdx {
+		yTe[i] = ySub[idx]
+	}
+	if posTr == 0 || posTr == len(yTr) {
+		return nil, fmt.Errorf("ml: selection train split has a single class")
+	}
+
+	scores := make([]float64, len(cols))
+	nEff := scaleN(len(testIdx))
+	for ci := range cols {
+		c := sub(cols[ci])
+		tr := Column{Name: c.Name, Categorical: c.Categorical, Values: make([]float32, len(trainIdx))}
+		te := Column{Name: c.Name, Categorical: c.Categorical, Values: make([]float32, len(testIdx))}
+		for i, idx := range trainIdx {
+			tr.Values[i] = c.Values[idx]
+		}
+		for i, idx := range testIdx {
+			te.Values[i] = c.Values[idx]
+		}
+		q, err := FitQuantizer([]Column{tr}, opt.Bins)
+		if err != nil {
+			return nil, err
+		}
+		bmTr, err := q.Transform([]Column{tr})
+		if err != nil {
+			return nil, err
+		}
+		model, err := TrainBStump(bmTr, q, yTr, TrainOptions{Rounds: opt.Rounds})
+		if err != nil {
+			// Constant feature: carries no signal under this criterion.
+			scores[ci] = 0
+			continue
+		}
+		bmTe, err := q.Transform([]Column{te})
+		if err != nil {
+			return nil, err
+		}
+		s := model.ScoreAll(bmTe)
+		switch crit {
+		case CritTopNAP:
+			scores[ci] = TopNAveragePrecision(s, yTe, nEff)
+		case CritAUC:
+			scores[ci] = AUC(s, yTe)
+		case CritAvgPrec:
+			scores[ci] = AveragePrecision(s, yTe)
+		default:
+			return nil, fmt.Errorf("ml: unknown criterion %v", crit)
+		}
+	}
+	return scores, nil
+}
+
+// SelectTopK returns the indices of the k highest-scoring features under
+// the criterion, best first.
+func SelectTopK(cols []Column, y []bool, crit Criterion, k int, opt SelectOptions) ([]int, error) {
+	scores, err := FeatureScores(cols, y, crit, opt)
+	if err != nil {
+		return nil, err
+	}
+	order := RankDesc(scores)
+	if k > len(order) {
+		k = len(order)
+	}
+	return order[:k], nil
+}
+
+// SelectAboveThreshold returns the indices of features scoring strictly
+// above the threshold, best first — the Fig. 4 selection rule (0.2 for
+// history/customer and quadratic features, 0.3 for product features).
+func SelectAboveThreshold(scores []float64, threshold float64) []int {
+	var out []int
+	for _, i := range RankDesc(scores) {
+		if scores[i] > threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"nevermind/internal/rng"
+)
+
+// selProblem builds a feature-selection scenario with three kinds of
+// features: "tail" is precise only in its extreme tail (high AP@N, mediocre
+// AUC), "broad" is mildly informative everywhere (good AUC), and the rest
+// are noise.
+func selProblem(n int, seed uint64) ([]Column, []bool) {
+	r := rng.New(seed)
+	tail := make([]float32, n)
+	broad := make([]float32, n)
+	noise1 := make([]float32, n)
+	noise2 := make([]float32, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		tv := r.Normal(0, 1)
+		bv := r.Normal(0, 1)
+		tail[i] = float32(tv)
+		broad[i] = float32(bv)
+		noise1[i] = float32(r.Normal(0, 1))
+		noise2[i] = float32(r.Float64())
+		p := 0.02 + 0.12*sigmoid(2*bv) // broad monotone lift: good AUC
+		if tv > 2.2 {                  // rare but near-certain: good AP@N
+			p = 0.9
+		}
+		y[i] = r.Bool(p)
+	}
+	return []Column{
+		{Name: "tail", Values: tail},
+		{Name: "broad", Values: broad},
+		{Name: "noise1", Values: noise1},
+		{Name: "noise2", Values: noise2},
+	}, y
+}
+
+func TestFeatureScoresRankSignalAboveNoise(t *testing.T) {
+	cols, y := selProblem(20000, 1)
+	for _, crit := range []Criterion{CritTopNAP, CritAUC, CritAvgPrec, CritGainRatio} {
+		scores, err := FeatureScores(cols, y, crit, SelectOptions{N: 600, Seed: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", crit, err)
+		}
+		if len(scores) != 4 {
+			t.Fatalf("%v returned %d scores", crit, len(scores))
+		}
+		best := RankDesc(scores)[0]
+		if best != 0 && best != 1 {
+			t.Fatalf("%v ranked %q first (scores %v)", crit, cols[best].Name, scores)
+		}
+	}
+}
+
+// The heart of §4.3: a feature that is precise in the budget-sized tail must
+// beat a broadly-informative feature under top-N AP, while AUC prefers the
+// broad one. This is the mechanism behind Fig. 6.
+func TestTopNAPPrefersTailPrecision(t *testing.T) {
+	cols, y := selProblem(30000, 2)
+	apScores, err := FeatureScores(cols, y, CritTopNAP, SelectOptions{N: 450, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apScores[0] <= apScores[1] {
+		t.Fatalf("top-N AP: tail %v <= broad %v", apScores[0], apScores[1])
+	}
+	aucScores, err := FeatureScores(cols, y, CritAUC, SelectOptions{N: 450, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aucScores[1] <= aucScores[0] {
+		t.Fatalf("AUC: broad %v <= tail %v; broad feature should win on AUC", aucScores[1], aucScores[0])
+	}
+}
+
+func TestSelectTopK(t *testing.T) {
+	cols, y := selProblem(10000, 3)
+	idx, err := SelectTopK(cols, y, CritTopNAP, 2, SelectOptions{N: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 {
+		t.Fatalf("selected %d features", len(idx))
+	}
+	if idx[0] == 2 || idx[0] == 3 {
+		t.Fatalf("noise feature selected first: %v", idx)
+	}
+	// k larger than the feature count clamps.
+	idx, err = SelectTopK(cols, y, CritGainRatio, 100, SelectOptions{N: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 4 {
+		t.Fatalf("clamped selection returned %d", len(idx))
+	}
+}
+
+func TestSelectAboveThreshold(t *testing.T) {
+	scores := []float64{0.5, 0.1, 0.3, 0.05}
+	got := SelectAboveThreshold(scores, 0.2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("threshold selection = %v", got)
+	}
+	if out := SelectAboveThreshold(scores, 0.9); len(out) != 0 {
+		t.Fatalf("nothing above 0.9, got %v", out)
+	}
+}
+
+func TestFeatureScoresSubsampling(t *testing.T) {
+	cols, y := selProblem(20000, 4)
+	full, err := FeatureScores(cols, y, CritTopNAP, SelectOptions{N: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := FeatureScores(cols, y, CritTopNAP, SelectOptions{N: 400, Seed: 5, MaxExamples: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subsampled scores should still rank a signal feature first.
+	if b := RankDesc(sub)[0]; b != 0 && b != 1 {
+		t.Fatalf("subsampled selection ranked %q first", cols[b].Name)
+	}
+	_ = full
+}
+
+func TestFeatureScoresErrors(t *testing.T) {
+	if _, err := FeatureScores(nil, nil, CritAUC, SelectOptions{}); err == nil {
+		t.Fatal("empty columns accepted")
+	}
+	cols, _ := selProblem(100, 5)
+	if _, err := FeatureScores(cols, nil, CritAUC, SelectOptions{}); err == nil {
+		t.Fatal("empty labels accepted")
+	}
+	// Single-class labels cannot be split-scored.
+	y := make([]bool, 100)
+	if _, err := FeatureScores(cols, y, CritTopNAP, SelectOptions{N: 10}); err == nil {
+		t.Fatal("single-class labels accepted")
+	}
+}
+
+func TestPCAScoresFavourCorrelatedBlock(t *testing.T) {
+	// Three copies of one latent factor plus one independent noise feature:
+	// PCA loadings must rank the correlated block above the noise.
+	r := rng.New(11)
+	n := 4000
+	f := make([][]float32, 4)
+	for j := range f {
+		f[j] = make([]float32, n)
+	}
+	for i := 0; i < n; i++ {
+		z := r.Normal(0, 1)
+		f[0][i] = float32(z + r.Normal(0, 0.3))
+		f[1][i] = float32(z + r.Normal(0, 0.3))
+		f[2][i] = float32(-z + r.Normal(0, 0.3))
+		f[3][i] = float32(r.Normal(0, 1))
+	}
+	cols := []Column{
+		{Name: "a", Values: f[0]}, {Name: "b", Values: f[1]},
+		{Name: "c", Values: f[2]}, {Name: "indep", Values: f[3]},
+	}
+	y := make([]bool, n)
+	for i := range y {
+		y[i] = i%7 == 0
+	}
+	scores, err := FeatureScores(cols, y, CritPCA, SelectOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := RankDesc(scores)[3]
+	if worst != 3 {
+		t.Fatalf("PCA ranked %q last, want the independent feature (scores %v)", cols[worst].Name, scores)
+	}
+}
+
+func TestFitPCAOrthonormalComponents(t *testing.T) {
+	cols, _ := selProblem(2000, 12)
+	pca, err := FitPCA(cols, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pca.Components) == 0 {
+		t.Fatal("no components")
+	}
+	for i, u := range pca.Components {
+		if math.Abs(norm(u)-1) > 1e-6 {
+			t.Fatalf("component %d not unit length", i)
+		}
+		for j := i + 1; j < len(pca.Components); j++ {
+			dot := 0.0
+			for k := range u {
+				dot += u[k] * pca.Components[j][k]
+			}
+			if math.Abs(dot) > 1e-4 {
+				t.Fatalf("components %d,%d not orthogonal: %v", i, j, dot)
+			}
+		}
+	}
+	// Eigenvalues descend.
+	for i := 1; i < len(pca.Eigenvalue); i++ {
+		if pca.Eigenvalue[i] > pca.Eigenvalue[i-1]+1e-9 {
+			t.Fatalf("eigenvalues not descending: %v", pca.Eigenvalue)
+		}
+	}
+}
+
+func TestFitPCAErrors(t *testing.T) {
+	if _, err := FitPCA(nil, 2, 1); err == nil {
+		t.Fatal("empty PCA accepted")
+	}
+	if _, err := FitPCA([]Column{{Name: "x", Values: []float32{1}}}, 1, 1); err == nil {
+		t.Fatal("single-example PCA accepted")
+	}
+}
+
+func TestGainRatioKnownCases(t *testing.T) {
+	// Perfectly informative binary feature.
+	col := Column{Name: "f", Categorical: true, Values: []float32{0, 0, 1, 1}}
+	y := []bool{false, false, true, true}
+	if gr := GainRatio(col, y, 4); math.Abs(gr-1) > 1e-9 {
+		t.Fatalf("perfect feature gain ratio %v, want 1", gr)
+	}
+	// Uninformative feature.
+	y2 := []bool{true, false, true, false}
+	if gr := GainRatio(col, y2, 4); gr > 1e-9 {
+		t.Fatalf("uninformative gain ratio %v, want 0", gr)
+	}
+}
+
+func TestGainRatioNonNegative(t *testing.T) {
+	cols, y := selProblem(3000, 13)
+	for _, c := range cols {
+		if gr := GainRatio(c, y, 16); gr < 0 || math.IsNaN(gr) {
+			t.Fatalf("gain ratio of %q = %v", c.Name, gr)
+		}
+	}
+}
+
+func TestCriterionStrings(t *testing.T) {
+	for _, c := range Criteria {
+		if c.String() == "" {
+			t.Fatal("criterion without a name")
+		}
+	}
+	if Criterion(99).String() != "Criterion(99)" {
+		t.Fatal("unknown criterion string")
+	}
+}

@@ -1,0 +1,149 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogisticFit is a fitted binary logistic regression with Wald inference,
+// used for the paper's §5.2 outage-correlation analysis (Table 5 reports the
+// coefficient and P-value of a logistic regression between top-20K
+// predictions per DSLAM and future outage events).
+type LogisticFit struct {
+	// Coef[0] is the intercept; Coef[1:] align with the design columns.
+	Coef   []float64
+	StdErr []float64
+	ZValue []float64
+	PValue []float64
+	// Iterations actually used and final log-likelihood.
+	Iterations int
+	LogLik     float64
+}
+
+// LogisticRegression fits y ~ sigmoid(b0 + b·x) by iteratively reweighted
+// least squares with a small ridge term for stability. x is example-major:
+// x[i] is the feature vector of example i.
+func LogisticRegression(x [][]float64, y []bool, maxIter int) (*LogisticFit, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("ml: logistic regression needs matching non-empty x and y")
+	}
+	p := len(x[0]) + 1 // plus intercept
+	for i := range x {
+		if len(x[i])+1 != p {
+			return nil, fmt.Errorf("ml: ragged design matrix at row %d", i)
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	const ridge = 1e-8
+
+	beta := make([]float64, p)
+	xt := func(i, j int) float64 { // design with intercept column
+		if j == 0 {
+			return 1
+		}
+		return x[i][j-1]
+	}
+
+	var fit LogisticFit
+	h := NewMatrix(p, p)
+	g := make([]float64, p)
+	for iter := 0; iter < maxIter; iter++ {
+		for j := range g {
+			g[j] = 0
+		}
+		for a := 0; a < p; a++ {
+			for b := 0; b < p; b++ {
+				h.Set(a, b, 0)
+			}
+		}
+		for i := 0; i < n; i++ {
+			eta := 0.0
+			for j := 0; j < p; j++ {
+				eta += beta[j] * xt(i, j)
+			}
+			mu := sigmoid(eta)
+			yi := 0.0
+			if y[i] {
+				yi = 1
+			}
+			w := mu * (1 - mu)
+			if w < 1e-10 {
+				w = 1e-10
+			}
+			for a := 0; a < p; a++ {
+				g[a] += (yi - mu) * xt(i, a)
+				for b := a; b < p; b++ {
+					h.Set(a, b, h.At(a, b)+w*xt(i, a)*xt(i, b))
+				}
+			}
+		}
+		for a := 0; a < p; a++ {
+			h.Set(a, a, h.At(a, a)+ridge)
+			for b := 0; b < a; b++ {
+				h.Set(a, b, h.At(b, a))
+			}
+		}
+		delta, err := h.CholeskySolve(g)
+		if err != nil {
+			return nil, fmt.Errorf("ml: IRLS solve failed: %w", err)
+		}
+		step := 0.0
+		for j := 0; j < p; j++ {
+			beta[j] += delta[j]
+			step += math.Abs(delta[j])
+		}
+		fit.Iterations = iter + 1
+		if step < 1e-10 {
+			break
+		}
+	}
+
+	// Wald inference: Var(beta) = inverse of the final Hessian.
+	inv, err := h.CholeskyInverse()
+	if err != nil {
+		return nil, fmt.Errorf("ml: covariance inversion failed: %w", err)
+	}
+	fit.Coef = beta
+	fit.StdErr = make([]float64, p)
+	fit.ZValue = make([]float64, p)
+	fit.PValue = make([]float64, p)
+	for j := 0; j < p; j++ {
+		se := math.Sqrt(inv.At(j, j))
+		fit.StdErr[j] = se
+		if se > 0 {
+			fit.ZValue[j] = beta[j] / se
+			fit.PValue[j] = 2 * normalSF(math.Abs(fit.ZValue[j]))
+		} else {
+			fit.PValue[j] = 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		eta := 0.0
+		for j := 0; j < p; j++ {
+			eta += beta[j] * xt(i, j)
+		}
+		if y[i] {
+			fit.LogLik += -math.Log1p(math.Exp(-eta))
+		} else {
+			fit.LogLik += -math.Log1p(math.Exp(eta))
+		}
+	}
+	return &fit, nil
+}
+
+// Predict returns the fitted probability for a feature vector.
+func (f *LogisticFit) Predict(x []float64) float64 {
+	eta := f.Coef[0]
+	for j, v := range x {
+		eta += f.Coef[j+1] * v
+	}
+	return sigmoid(eta)
+}
+
+// normalSF is the standard normal survival function P(Z > z).
+func normalSF(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}

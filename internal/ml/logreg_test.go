@@ -1,0 +1,189 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"nevermind/internal/rng"
+)
+
+func TestMatrixSolveKnownSystem(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [10, 9] → x = [1.5, 2]
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	x, err := a.CholeskySolve([]float64{10, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1.5) > 1e-10 || math.Abs(x[1]-2) > 1e-10 {
+		t.Fatalf("solve = %v", x)
+	}
+}
+
+func TestMatrixInverse(t *testing.T) {
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{5, 1, 0}, {1, 4, 1}, {0, 1, 3}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	inv, err := a.CholeskyInverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A · A⁻¹ = I.
+	for i := 0; i < 3; i++ {
+		col := make([]float64, 3)
+		for j := 0; j < 3; j++ {
+			col[j] = inv.At(j, i)
+		}
+		prod := a.MulVec(col)
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod[j]-want) > 1e-10 {
+				t.Fatalf("A·A⁻¹ [%d,%d] = %v", j, i, prod[j])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 5)
+	a.Set(1, 0, 5)
+	a.Set(1, 1, 1) // eigenvalues 6, -4
+	if _, err := a.CholeskySolve([]float64{1, 1}); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+func TestLogisticRecoversCoefficients(t *testing.T) {
+	// Generate y ~ sigmoid(-1 + 2·x).
+	r := rng.New(42)
+	n := 20000
+	x := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		xi := r.Normal(0, 1)
+		x[i] = []float64{xi}
+		y[i] = r.Bool(sigmoid(-1 + 2*xi))
+	}
+	fit, err := LogisticRegression(x, y, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Coef[0]+1) > 0.1 {
+		t.Fatalf("intercept %v, want ~-1", fit.Coef[0])
+	}
+	if math.Abs(fit.Coef[1]-2) > 0.15 {
+		t.Fatalf("slope %v, want ~2", fit.Coef[1])
+	}
+	// A strong effect over 20k samples must be overwhelmingly significant.
+	if fit.PValue[1] > 1e-6 {
+		t.Fatalf("p-value %v for a real effect", fit.PValue[1])
+	}
+}
+
+func TestLogisticNullEffectNotSignificant(t *testing.T) {
+	// x carries no signal: p-values should be uniform-ish; over many runs
+	// a single fit should rarely be tiny. Use a fixed seed for stability.
+	r := rng.New(7)
+	n := 4000
+	x := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{r.Normal(0, 1)}
+		y[i] = r.Bool(0.3)
+	}
+	fit, err := LogisticRegression(x, y, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.PValue[1] < 0.001 {
+		t.Fatalf("null effect got p=%v", fit.PValue[1])
+	}
+	if math.Abs(fit.Coef[1]) > 0.2 {
+		t.Fatalf("null slope %v", fit.Coef[1])
+	}
+}
+
+func TestLogisticPredictConsistent(t *testing.T) {
+	r := rng.New(9)
+	n := 3000
+	x := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		a, b := r.Normal(0, 1), r.Normal(0, 1)
+		x[i] = []float64{a, b}
+		y[i] = r.Bool(sigmoid(0.5 + a - 2*b))
+	}
+	fit, err := LogisticRegression(x, y, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fit.Predict([]float64{0, 0})
+	want := sigmoid(fit.Coef[0])
+	if math.Abs(p-want) > 1e-12 {
+		t.Fatalf("Predict(0) = %v, want %v", p, want)
+	}
+	// Mean predicted probability ≈ base rate (logistic regression is
+	// calibrated in-sample).
+	var mean, base float64
+	for i := 0; i < n; i++ {
+		mean += fit.Predict(x[i])
+		if y[i] {
+			base++
+		}
+	}
+	if math.Abs(mean/float64(n)-base/float64(n)) > 0.01 {
+		t.Fatalf("mean prediction %.3f vs base rate %.3f", mean/float64(n), base/float64(n))
+	}
+}
+
+func TestLogisticRejectsBadInput(t *testing.T) {
+	if _, err := LogisticRegression(nil, nil, 10); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := LogisticRegression([][]float64{{1}, {2, 3}}, []bool{true, false}, 10); err == nil {
+		t.Fatal("ragged design accepted")
+	}
+	if _, err := LogisticRegression([][]float64{{1}}, []bool{true, false}, 10); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+}
+
+func TestNormalSF(t *testing.T) {
+	// Known values of the standard normal survival function.
+	cases := map[float64]float64{0: 0.5, 1.6449: 0.05, 1.96: 0.025, 2.5758: 0.005}
+	for z, want := range cases {
+		if got := normalSF(z); math.Abs(got-want) > 5e-4 {
+			t.Fatalf("SF(%v) = %v, want %v", z, got, want)
+		}
+	}
+}
+
+func BenchmarkLogisticRegression(b *testing.B) {
+	r := rng.New(60)
+	n := 5000
+	x := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		a, c := r.Normal(0, 1), r.Normal(0, 1)
+		x[i] = []float64{a, c}
+		y[i] = r.Bool(sigmoid(1 + a - c))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LogisticRegression(x, y, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a small dense row-major matrix — just enough linear algebra for
+// IRLS (Cholesky solve/inverse) and PCA (covariance, power iteration). It is
+// not a general-purpose BLAS; dimensions here are feature counts, not
+// example counts.
+type Matrix struct {
+	Rows, Cols int
+	a          []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("ml: matrix dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, a: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.a[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.a[i*m.Cols+j] = v }
+
+// MulVec returns m·v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic("ml: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.a[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range v {
+			s += row[j] * x
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// cholesky returns the lower-triangular L with m = L·Lᵀ. m must be
+// symmetric positive definite.
+func (m *Matrix) cholesky() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("ml: cholesky of non-square %dx%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := m.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("ml: matrix not positive definite at pivot %d (%g)", i, s)
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves m·x = b for symmetric positive definite m.
+func (m *Matrix) CholeskySolve(b []float64) ([]float64, error) {
+	l, err := m.cholesky()
+	if err != nil {
+		return nil, err
+	}
+	n := m.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("ml: solve with %d-vector for %dx%d", len(b), n, n)
+	}
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// CholeskyInverse returns m⁻¹ for symmetric positive definite m.
+func (m *Matrix) CholeskyInverse() (*Matrix, error) {
+	n := m.Rows
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for k := range e {
+			e[k] = 0
+		}
+		e[j] = 1
+		col, err := m.CholeskySolve(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}

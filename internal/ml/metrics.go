@@ -1,0 +1,216 @@
+// Package ml is the machine-learning substrate NEVERMIND is built on,
+// implemented from scratch on the standard library: confidence-rated
+// AdaBoost over decision stumps (the paper's "BStump", after BoosTexter),
+// logistic calibration, binary logistic regression with Wald tests, PCA,
+// entropy criteria, ranking metrics including the paper's top-N average
+// precision (§4.3), and the greedy feature-selection harness of Table 4.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RankDesc returns example indices ordered by descending score with a
+// deterministic tie-break on index, so every metric and every experiment is
+// reproducible bit-for-bit.
+func RankDesc(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// PrecisionAtK returns the fraction of true labels among the k top-scored
+// examples — the paper's "accuracy" metric for the ticket predictor (§5.1:
+// the proportion of subscribers in the top N predictions who issued tickets
+// within 4 weeks). k is clamped to the number of examples.
+func PrecisionAtK(scores []float64, labels []bool, k int) float64 {
+	if len(scores) != len(labels) {
+		panic("ml: scores and labels length mismatch")
+	}
+	if k <= 0 {
+		return 0
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	idx := RankDesc(scores)
+	hits := 0
+	for _, i := range idx[:k] {
+		if labels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// PrecisionCurve returns Precision@k for every k in ks (each clamped),
+// sharing a single sort.
+func PrecisionCurve(scores []float64, labels []bool, ks []int) []float64 {
+	if len(scores) != len(labels) {
+		panic("ml: scores and labels length mismatch")
+	}
+	idx := RankDesc(scores)
+	out := make([]float64, len(ks))
+	// Precompute cumulative hits.
+	cum := make([]int, len(idx)+1)
+	for r, i := range idx {
+		cum[r+1] = cum[r]
+		if labels[i] {
+			cum[r+1]++
+		}
+	}
+	for j, k := range ks {
+		if k <= 0 {
+			continue
+		}
+		if k > len(idx) {
+			k = len(idx)
+		}
+		out[j] = float64(cum[k]) / float64(k)
+	}
+	return out
+}
+
+// TopNAveragePrecision is the paper's AP(N) (§4.3):
+//
+//	AP(N) = (1/N) * Σ_{r=1..N} Prec(r) · Tkt(u_r)
+//
+// the sum of precisions at every true prediction within the top N, averaged
+// by N. Unlike classical average precision it is normalised by the budget N
+// rather than by the number of positives, so it rewards packing true
+// positives high inside the operational budget.
+func TopNAveragePrecision(scores []float64, labels []bool, n int) float64 {
+	if len(scores) != len(labels) {
+		panic("ml: scores and labels length mismatch")
+	}
+	if n <= 0 {
+		return 0
+	}
+	if n > len(scores) {
+		n = len(scores)
+	}
+	idx := RankDesc(scores)
+	hits := 0
+	sum := 0.0
+	for r := 1; r <= n; r++ {
+		if labels[idx[r-1]] {
+			hits++
+			sum += float64(hits) / float64(r)
+		}
+	}
+	return sum / float64(n)
+}
+
+// AveragePrecision is the classical average precision over all samples
+// (Table 4's "average precision" criterion): mean of Prec(r) over the ranks
+// of all positives.
+func AveragePrecision(scores []float64, labels []bool) float64 {
+	if len(scores) != len(labels) {
+		panic("ml: scores and labels length mismatch")
+	}
+	idx := RankDesc(scores)
+	hits := 0
+	sum := 0.0
+	for r := 1; r <= len(idx); r++ {
+		if labels[idx[r-1]] {
+			hits++
+			sum += float64(hits) / float64(r)
+		}
+	}
+	if hits == 0 {
+		return 0
+	}
+	return sum / float64(hits)
+}
+
+// AUC returns the area under the ROC curve: the probability a random
+// positive outscores a random negative (ties count half). It is computed
+// from the Mann-Whitney U statistic in O(n log n).
+func AUC(scores []float64, labels []bool) float64 {
+	if len(scores) != len(labels) {
+		panic("ml: scores and labels length mismatch")
+	}
+	type sl struct {
+		s float64
+		y bool
+	}
+	xs := make([]sl, len(scores))
+	for i := range scores {
+		xs[i] = sl{scores[i], labels[i]}
+	}
+	sort.Slice(xs, func(a, b int) bool { return xs[a].s < xs[b].s })
+
+	var nPos, nNeg float64
+	var rankSum float64
+	i := 0
+	rank := 1
+	for i < len(xs) {
+		j := i
+		for j < len(xs) && xs[j].s == xs[i].s {
+			j++
+		}
+		// Average rank for the tie group [i, j).
+		avg := float64(rank+rank+(j-i)-1) / 2
+		for k := i; k < j; k++ {
+			if xs[k].y {
+				rankSum += avg
+				nPos++
+			} else {
+				nNeg++
+			}
+		}
+		rank += j - i
+		i = j
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	u := rankSum - nPos*(nPos+1)/2
+	return u / (nPos * nNeg)
+}
+
+// CDF returns the empirical distribution of values evaluated at each point
+// in xs: fraction of values <= x.
+func CDF(values []float64, xs []float64) []float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(xs))
+	if len(sorted) == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = float64(sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))) / float64(len(sorted))
+	}
+	return out
+}
+
+// Histogram buckets values into equal-width bins over [lo, hi); values
+// outside the range clamp to the edge bins.
+func Histogram(values []float64, lo, hi float64, bins int) []int {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("ml: bad histogram spec [%v,%v) bins=%d", lo, hi, bins))
+	}
+	h := make([]int, bins)
+	w := (hi - lo) / float64(bins)
+	for _, v := range values {
+		b := int((v - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		h[b]++
+	}
+	return h
+}

@@ -1,0 +1,251 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nevermind/internal/rng"
+)
+
+func TestRankDescOrdersAndBreaksTies(t *testing.T) {
+	idx := RankDesc([]float64{1, 3, 3, 0, 2})
+	want := []int{1, 2, 4, 0, 3}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("RankDesc = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.6, 0.5}
+	labels := []bool{true, false, true, false, false}
+	if p := PrecisionAtK(scores, labels, 1); p != 1 {
+		t.Fatalf("P@1 = %v", p)
+	}
+	if p := PrecisionAtK(scores, labels, 2); p != 0.5 {
+		t.Fatalf("P@2 = %v", p)
+	}
+	if p := PrecisionAtK(scores, labels, 5); p != 0.4 {
+		t.Fatalf("P@5 = %v", p)
+	}
+	if p := PrecisionAtK(scores, labels, 100); p != 0.4 {
+		t.Fatalf("P@100 (clamped) = %v", p)
+	}
+	if p := PrecisionAtK(scores, labels, 0); p != 0 {
+		t.Fatalf("P@0 = %v", p)
+	}
+}
+
+func TestPrecisionCurveMatchesPointwise(t *testing.T) {
+	r := rng.New(3)
+	n := 500
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+		labels[i] = r.Bool(0.3)
+	}
+	ks := []int{1, 7, 50, 123, 500}
+	curve := PrecisionCurve(scores, labels, ks)
+	for j, k := range ks {
+		if want := PrecisionAtK(scores, labels, k); math.Abs(curve[j]-want) > 1e-12 {
+			t.Fatalf("curve@%d = %v, pointwise %v", k, curve[j], want)
+		}
+	}
+}
+
+func TestTopNAPPerfectRanking(t *testing.T) {
+	// All positives ranked first: Prec(r) = 1 at each positive rank.
+	scores := []float64{5, 4, 3, 2, 1}
+	labels := []bool{true, true, false, false, false}
+	// AP(2) = (1 + 1)/2 = 1.
+	if ap := TopNAveragePrecision(scores, labels, 2); math.Abs(ap-1) > 1e-12 {
+		t.Fatalf("AP(2) = %v, want 1", ap)
+	}
+	// AP(5) = (1+1)/5 = 0.4: normalised by N, not by #positives.
+	if ap := TopNAveragePrecision(scores, labels, 5); math.Abs(ap-0.4) > 1e-12 {
+		t.Fatalf("AP(5) = %v, want 0.4", ap)
+	}
+}
+
+func TestTopNAPWorstRanking(t *testing.T) {
+	scores := []float64{5, 4, 3}
+	labels := []bool{false, false, true}
+	// Positive at rank 3: AP(3) = (1/3)/3.
+	if ap := TopNAveragePrecision(scores, labels, 3); math.Abs(ap-1.0/9) > 1e-12 {
+		t.Fatalf("AP(3) = %v, want 1/9", ap)
+	}
+	// Budget 2 misses the positive entirely.
+	if ap := TopNAveragePrecision(scores, labels, 2); ap != 0 {
+		t.Fatalf("AP(2) = %v, want 0", ap)
+	}
+}
+
+func TestTopNAPInUnitInterval(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw)%50 + 2
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = r.Float64()
+			labels[i] = r.Bool(0.4)
+		}
+		ap := TopNAveragePrecision(scores, labels, n/2+1)
+		return ap >= 0 && ap <= 1
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// AP(N) must favour rankings that pack positives high: swapping a positive
+// above an adjacent negative can never decrease it.
+func TestTopNAPMonotoneUnderSwaps(t *testing.T) {
+	labels := []bool{false, true, false, true, false, false}
+	base := []float64{6, 5, 4, 3, 2, 1}
+	apBase := TopNAveragePrecision(base, labels, 4)
+	better := []float64{6, 7, 4, 3, 2, 1} // positive moves to rank 1
+	if TopNAveragePrecision(better, labels, 4) < apBase {
+		t.Fatal("promoting a positive lowered AP(N)")
+	}
+}
+
+func TestAveragePrecisionClassic(t *testing.T) {
+	scores := []float64{4, 3, 2, 1}
+	labels := []bool{true, false, true, false}
+	// positives at ranks 1 and 3: AP = (1/1 + 2/3)/2.
+	want := (1.0 + 2.0/3) / 2
+	if ap := AveragePrecision(scores, labels); math.Abs(ap-want) > 1e-12 {
+		t.Fatalf("AP = %v, want %v", ap, want)
+	}
+	if ap := AveragePrecision(scores, []bool{false, false, false, false}); ap != 0 {
+		t.Fatalf("AP with no positives = %v", ap)
+	}
+}
+
+func TestAUCKnownValues(t *testing.T) {
+	// Perfect separation.
+	if a := AUC([]float64{3, 2, 1, 0}, []bool{true, true, false, false}); a != 1 {
+		t.Fatalf("perfect AUC = %v", a)
+	}
+	// Inverted.
+	if a := AUC([]float64{0, 1, 2, 3}, []bool{true, true, false, false}); a != 0 {
+		t.Fatalf("inverted AUC = %v", a)
+	}
+	// All ties → 0.5.
+	if a := AUC([]float64{1, 1, 1, 1}, []bool{true, false, true, false}); a != 0.5 {
+		t.Fatalf("tied AUC = %v", a)
+	}
+	// Single class → 0.5 by convention.
+	if a := AUC([]float64{1, 2}, []bool{true, true}); a != 0.5 {
+		t.Fatalf("single-class AUC = %v", a)
+	}
+}
+
+func TestAUCMatchesBruteForce(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 40
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = float64(r.Intn(10)) // force ties
+			labels[i] = r.Bool(0.5)
+		}
+		got := AUC(scores, labels)
+		// Brute force over positive-negative pairs.
+		var wins, ties, pairs float64
+		for i := 0; i < n; i++ {
+			if !labels[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if labels[j] {
+					continue
+				}
+				pairs++
+				switch {
+				case scores[i] > scores[j]:
+					wins++
+				case scores[i] == scores[j]:
+					ties++
+				}
+			}
+		}
+		want := 0.5
+		if pairs > 0 {
+			want = (wins + ties/2) / pairs
+		}
+		return math.Abs(got-want) < 1e-9
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	values := []float64{1, 2, 2, 5}
+	got := CDF(values, []float64{0, 1, 2, 4.9, 5, 10})
+	want := []float64{0, 0.25, 0.75, 0.75, 1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("CDF = %v, want %v", got, want)
+		}
+	}
+	if out := CDF(nil, []float64{1}); out[0] != 0 {
+		t.Fatal("empty CDF should be zero")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		values := make([]float64, 30)
+		for i := range values {
+			values[i] = r.Normal(0, 2)
+		}
+		xs := []float64{-3, -1, 0, 1, 3}
+		cdf := CDF(values, xs)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i] < cdf[i-1] {
+				return false
+			}
+		}
+		return cdf[0] >= 0 && cdf[len(cdf)-1] <= 1
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0.05, 0.15, 0.15, 0.95, -3, 99}, 0, 1, 10)
+	if h[0] != 2 { // 0.05 and the clamped -3
+		t.Fatalf("bin 0 = %d", h[0])
+	}
+	if h[1] != 2 {
+		t.Fatalf("bin 1 = %d", h[1])
+	}
+	if h[9] != 2 { // 0.95 and the clamped 99
+		t.Fatalf("bin 9 = %d", h[9])
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 6 {
+		t.Fatalf("histogram loses mass: %d", total)
+	}
+}
+
+func TestMetricsPanicOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	PrecisionAtK([]float64{1}, []bool{true, false}, 1)
+}

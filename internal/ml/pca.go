@@ -1,0 +1,150 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"nevermind/internal/rng"
+)
+
+// PCA holds the leading principal components of a standardized feature set.
+type PCA struct {
+	Components [][]float64 // per component, unit loading vector over features
+	Eigenvalue []float64
+	Mean, Std  []float64
+}
+
+// FitPCA computes the top k principal components of the columns by power
+// iteration with deflation on the correlation matrix (features are
+// standardized first, since Table 2 features live on wildly different
+// scales).
+func FitPCA(cols []Column, k int, seed uint64) (*PCA, error) {
+	p := len(cols)
+	if p == 0 {
+		return nil, fmt.Errorf("ml: PCA of zero features")
+	}
+	n := len(cols[0].Values)
+	if n < 2 {
+		return nil, fmt.Errorf("ml: PCA needs at least 2 examples")
+	}
+	if k <= 0 || k > p {
+		k = p
+	}
+
+	// Standardize.
+	mean := make([]float64, p)
+	std := make([]float64, p)
+	for j, c := range cols {
+		if len(c.Values) != n {
+			return nil, fmt.Errorf("ml: ragged column %q", c.Name)
+		}
+		s := 0.0
+		for _, v := range c.Values {
+			s += float64(v)
+		}
+		mean[j] = s / float64(n)
+		ss := 0.0
+		for _, v := range c.Values {
+			d := float64(v) - mean[j]
+			ss += d * d
+		}
+		std[j] = math.Sqrt(ss / float64(n-1))
+		if std[j] == 0 {
+			std[j] = 1 // constant feature: contributes nothing
+		}
+	}
+
+	// Correlation matrix.
+	cov := NewMatrix(p, p)
+	for a := 0; a < p; a++ {
+		for b := a; b < p; b++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += (float64(cols[a].Values[i]) - mean[a]) / std[a] *
+					((float64(cols[b].Values[i]) - mean[b]) / std[b])
+			}
+			v := s / float64(n-1)
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+
+	pca := &PCA{Mean: mean, Std: std}
+	r := rng.Derive(seed, 0x9ca)
+	work := cov
+	for c := 0; c < k; c++ {
+		v := make([]float64, p)
+		for j := range v {
+			v[j] = r.Normal(0, 1)
+		}
+		normalize(v)
+		var lambda float64
+		for iter := 0; iter < 500; iter++ {
+			w := work.MulVec(v)
+			l := norm(w)
+			if l < 1e-14 {
+				lambda = 0
+				break
+			}
+			for j := range w {
+				w[j] /= l
+			}
+			diff := 0.0
+			for j := range w {
+				diff += math.Abs(w[j] - v[j])
+			}
+			v = w
+			lambda = l
+			if diff < 1e-10 {
+				break
+			}
+		}
+		if lambda <= 1e-12 {
+			break // remaining spectrum is numerically zero
+		}
+		pca.Components = append(pca.Components, v)
+		pca.Eigenvalue = append(pca.Eigenvalue, lambda)
+		// Deflate: work ← work − λ·v·vᵀ.
+		for a := 0; a < p; a++ {
+			for b := 0; b < p; b++ {
+				work.Set(a, b, work.At(a, b)-lambda*v[a]*v[b])
+			}
+		}
+	}
+	if len(pca.Components) == 0 {
+		return nil, fmt.Errorf("ml: PCA found no components with positive variance")
+	}
+	return pca, nil
+}
+
+// FeatureScores ranks features by eigenvalue-weighted absolute loading
+// across the components — the "top principal components" feature-selection
+// criterion of Table 4, mapped back to individual features.
+func (p *PCA) FeatureScores() []float64 {
+	scores := make([]float64, len(p.Mean))
+	for c, comp := range p.Components {
+		w := p.Eigenvalue[c]
+		for j, l := range comp {
+			scores[j] += w * math.Abs(l)
+		}
+	}
+	return scores
+}
+
+func norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(v []float64) {
+	l := norm(v)
+	if l == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= l
+	}
+}

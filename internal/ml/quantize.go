@@ -1,0 +1,118 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Column is one feature across all examples. Categorical columns must be
+// binary indicators (the feature encoder expands multi-valued categoricals;
+// §4.2, footnote 2), for which a threshold stump and an equality stump
+// coincide.
+type Column struct {
+	Name        string
+	Categorical bool
+	Values      []float32
+}
+
+// Quantizer maps continuous features onto at most maxBins quantile bins so
+// a boosting round can evaluate every stump threshold with one counting
+// pass. Cuts are learned on the training distribution and then applied
+// unchanged to test data, so train and test agree on the meaning of a bin.
+type Quantizer struct {
+	Cuts  [][]float32 // per feature, ascending bin upper boundaries (exclusive)
+	Names []string
+}
+
+// maxStumpBins is the bin alphabet: uint8 bins keep the design matrix at one
+// byte per cell.
+const maxStumpBins = 256
+
+// FitQuantizer learns quantile cuts from the columns. Binary categorical
+// columns get the single natural cut at 0.5.
+func FitQuantizer(cols []Column, maxBins int) (*Quantizer, error) {
+	if maxBins < 2 || maxBins > maxStumpBins {
+		return nil, fmt.Errorf("ml: maxBins %d outside [2,%d]", maxBins, maxStumpBins)
+	}
+	q := &Quantizer{Cuts: make([][]float32, len(cols)), Names: make([]string, len(cols))}
+	for ci, col := range cols {
+		q.Names[ci] = col.Name
+		if col.Categorical {
+			q.Cuts[ci] = []float32{0.5}
+			continue
+		}
+		sorted := append([]float32(nil), col.Values...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		var cuts []float32
+		// Cuts must exceed the minimum so "bin <= cut" splits are never
+		// empty on the left; a constant column therefore yields no cuts.
+		prev := float32(math.Inf(-1))
+		if len(sorted) > 0 {
+			prev = sorted[0]
+		}
+		for b := 1; b < maxBins; b++ {
+			v := sorted[len(sorted)*b/maxBins]
+			if v > prev {
+				cuts = append(cuts, v)
+				prev = v
+			}
+		}
+		q.Cuts[ci] = cuts
+	}
+	return q, nil
+}
+
+// BinnedMatrix is the quantized design matrix, feature-major.
+type BinnedMatrix struct {
+	N     int
+	Names []string
+	Bins  [][]uint8 // per feature, per example: index into [0, len(cuts)]
+}
+
+// Transform quantizes columns with the learned cuts. The columns must match
+// the fitted schema.
+func (q *Quantizer) Transform(cols []Column) (*BinnedMatrix, error) {
+	if len(cols) != len(q.Cuts) {
+		return nil, fmt.Errorf("ml: transform got %d columns, fitted %d", len(cols), len(q.Cuts))
+	}
+	if len(cols) == 0 {
+		return &BinnedMatrix{}, nil
+	}
+	n := len(cols[0].Values)
+	bm := &BinnedMatrix{N: n, Names: q.Names, Bins: make([][]uint8, len(cols))}
+	for ci, col := range cols {
+		if len(col.Values) != n {
+			return nil, fmt.Errorf("ml: column %q has %d values, want %d", col.Name, len(col.Values), n)
+		}
+		cuts := q.Cuts[ci]
+		bins := make([]uint8, n)
+		for i, v := range col.Values {
+			// First cut strictly greater than v; bin = count of cuts <= v.
+			b := sort.Search(len(cuts), func(j int) bool { return cuts[j] > v })
+			bins[i] = uint8(b)
+		}
+		bm.Bins[ci] = bins
+	}
+	return bm, nil
+}
+
+// NumBins returns the number of distinct bins for a feature (#cuts + 1).
+func (q *Quantizer) NumBins(feature int) int { return len(q.Cuts[feature]) + 1 }
+
+// CutValue returns the original-space threshold realised by "bin <= b" for a
+// feature, for model interpretability (the paper's Fig. 5 shows thresholds
+// like "delta upbr <= -112").
+func (q *Quantizer) CutValue(feature, b int) float32 {
+	cuts := q.Cuts[feature]
+	if len(cuts) == 0 {
+		return float32(math.NaN())
+	}
+	if b >= len(cuts) {
+		b = len(cuts) - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return cuts[b]
+}

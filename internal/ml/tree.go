@@ -1,0 +1,220 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Depth-2 boosted trees: the non-linear alternative the paper declines in
+// §4.4 — "because of the existence of such noise in the training data,
+// sophisticated non-linear models overfit easily, we hence choose a linear
+// model". TrainBTree exists to test that claim on the simulated substrate
+// (the BenchmarkAblationDepth ablation): each weak learner is a two-level
+// tree (a root split and one split per side, four confidence-rated leaves).
+
+// Tree is one depth-2 weak learner. An example routes left when
+// bin(RootFeature) <= RootCut, then through the side's stump to one of four
+// leaf scores.
+type Tree struct {
+	RootFeature int
+	RootCut     uint8
+	Left, Right Stump // leaf scores live in the child stumps
+}
+
+// Score routes one example through the tree.
+func (t *Tree) Score(bm *BinnedMatrix, i int) float64 {
+	child := &t.Right
+	if bm.Bins[t.RootFeature][i] <= t.RootCut {
+		child = &t.Left
+	}
+	if bm.Bins[child.Feature][i] <= child.Cut {
+		return child.SLow
+	}
+	return child.SHigh
+}
+
+// BTree is a boosted ensemble of depth-2 trees.
+type BTree struct {
+	Trees []Tree
+	Calib Calibration
+}
+
+// TrainBTree boosts depth-2 trees. The greedy construction picks the best
+// stump as the root, then fits the best stump inside each partition.
+func TrainBTree(bm *BinnedMatrix, q *Quantizer, y []bool, opt TrainOptions) (*BTree, error) {
+	if bm.N == 0 || len(bm.Bins) == 0 {
+		return nil, fmt.Errorf("ml: empty training matrix")
+	}
+	if len(y) != bm.N {
+		return nil, fmt.Errorf("ml: %d labels for %d examples", len(y), bm.N)
+	}
+	if opt.Rounds <= 0 {
+		return nil, fmt.Errorf("ml: Rounds must be positive")
+	}
+	features := opt.Features
+	if features == nil {
+		features = make([]int, len(bm.Bins))
+		for i := range features {
+			features[i] = i
+		}
+	}
+	eps := opt.Smooth
+	if eps == 0 {
+		eps = 1 / (2 * float64(bm.N))
+	}
+
+	n := bm.N
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	inLeft := make([]bool, n)
+
+	model := &BTree{}
+	for t := 0; t < opt.Rounds; t++ {
+		root, ok := bestStump(bm, q, y, w, nil, features, eps)
+		if !ok {
+			break
+		}
+		rootBins := bm.Bins[root.Feature]
+		for i := range inLeft {
+			inLeft[i] = rootBins[i] <= root.Cut
+		}
+		left, okL := bestStumpMasked(bm, q, y, w, inLeft, true, features, eps)
+		right, okR := bestStumpMasked(bm, q, y, w, inLeft, false, features, eps)
+		if !okL {
+			left = constantStump(y, w, inLeft, true, eps)
+		}
+		if !okR {
+			right = constantStump(y, w, inLeft, false, eps)
+		}
+		tree := Tree{RootFeature: root.Feature, RootCut: root.Cut, Left: left, Right: right}
+		model.Trees = append(model.Trees, tree)
+
+		total := 0.0
+		for i := range w {
+			s := tree.Score(bm, i)
+			if y[i] {
+				w[i] *= math.Exp(-s)
+			} else {
+				w[i] *= math.Exp(s)
+			}
+			total += w[i]
+		}
+		if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+			return nil, fmt.Errorf("ml: tree boosting degenerated at round %d", t)
+		}
+		for i := range w {
+			w[i] /= total
+		}
+	}
+	if len(model.Trees) == 0 {
+		return nil, fmt.Errorf("ml: no tree could be trained")
+	}
+	return model, nil
+}
+
+// ScoreAll scores every example.
+func (m *BTree) ScoreAll(bm *BinnedMatrix) []float64 {
+	out := make([]float64, bm.N)
+	for ti := range m.Trees {
+		t := &m.Trees[ti]
+		for i := 0; i < bm.N; i++ {
+			out[i] += t.Score(bm, i)
+		}
+	}
+	return out
+}
+
+// Calibrate fits the ensemble's logistic calibration.
+func (m *BTree) Calibrate(scores []float64, labels []bool) error {
+	c, err := FitCalibration(scores, labels)
+	if err != nil {
+		return err
+	}
+	m.Calib = c
+	return nil
+}
+
+// Probability converts a raw score to a posterior.
+func (m *BTree) Probability(score float64) float64 { return m.Calib.Apply(score) }
+
+// bestStump finds the Z-minimising stump over examples where mask is nil.
+func bestStump(bm *BinnedMatrix, q *Quantizer, y []bool, w []float64, _ []bool, features []int, eps float64) (Stump, bool) {
+	return bestStumpMasked(bm, q, y, w, nil, false, features, eps)
+}
+
+// bestStumpMasked finds the Z-minimising stump over the examples where
+// inLeft[i] == wantLeft (or all examples when inLeft is nil).
+func bestStumpMasked(bm *BinnedMatrix, q *Quantizer, y []bool, w []float64, inLeft []bool, wantLeft bool, features []int, eps float64) (Stump, bool) {
+	var wp, wn [maxStumpBins]float64
+	best := Stump{Feature: -1}
+	bestZ := math.Inf(1)
+	for _, f := range features {
+		bins := bm.Bins[f]
+		nb := q.NumBins(f)
+		if nb < 2 {
+			continue
+		}
+		for b := 0; b < nb; b++ {
+			wp[b], wn[b] = 0, 0
+		}
+		for i, b := range bins {
+			if inLeft != nil && inLeft[i] != wantLeft {
+				continue
+			}
+			if y[i] {
+				wp[b] += w[i]
+			} else {
+				wn[b] += w[i]
+			}
+		}
+		var tp, tn float64
+		for b := 0; b < nb; b++ {
+			tp += wp[b]
+			tn += wn[b]
+		}
+		if tp+tn == 0 {
+			continue
+		}
+		var lp, ln float64
+		for c := 0; c < nb-1; c++ {
+			lp += wp[c]
+			ln += wn[c]
+			rp, rn := tp-lp, tn-ln
+			z := 2 * (math.Sqrt(lp*ln) + math.Sqrt(rp*rn))
+			if z < bestZ {
+				bestZ = z
+				best = Stump{
+					Feature: f,
+					Cut:     uint8(c),
+					SLow:    0.5 * math.Log((lp+eps)/(ln+eps)),
+					SHigh:   0.5 * math.Log((rp+eps)/(rn+eps)),
+				}
+			}
+		}
+	}
+	if best.Feature < 0 {
+		return best, false
+	}
+	best.Threshold = q.CutValue(best.Feature, int(best.Cut))
+	return best, true
+}
+
+// constantStump emits the partition's prior score on both sides, for empty
+// or unsplittable partitions.
+func constantStump(y []bool, w []float64, inLeft []bool, wantLeft bool, eps float64) Stump {
+	var wp, wn float64
+	for i := range w {
+		if inLeft != nil && inLeft[i] != wantLeft {
+			continue
+		}
+		if y[i] {
+			wp += w[i]
+		} else {
+			wn += w[i]
+		}
+	}
+	s := 0.5 * math.Log((wp+eps)/(wn+eps))
+	return Stump{Feature: 0, Cut: 255, SLow: s, SHigh: s}
+}

@@ -1,0 +1,159 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"nevermind/internal/rng"
+)
+
+// xorProblem builds a pure interaction: y depends on the XOR of two signs,
+// which no additive-in-features model can express but a depth-2 tree can.
+func xorProblem(n int, seed uint64) ([]Column, []bool) {
+	r := rng.New(seed)
+	a := make([]float32, n)
+	b := make([]float32, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		a[i] = float32(r.Normal(0, 1))
+		b[i] = float32(r.Normal(0, 1))
+		p := 0.1
+		if (a[i] > 0) != (b[i] > 0) {
+			p = 0.9
+		}
+		y[i] = r.Bool(p)
+	}
+	return []Column{{Name: "a", Values: a}, {Name: "b", Values: b}}, y
+}
+
+func TestBTreeSolvesXOR(t *testing.T) {
+	cols, y := xorProblem(4000, 1)
+	q, err := FitQuantizer(cols, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, _ := q.Transform(cols)
+
+	stumps, err := TrainBStump(bm, q, y, TrainOptions{Rounds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, err := TrainBTree(bm, q, y, TrainOptions{Rounds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	testCols, testY := xorProblem(3000, 2)
+	bmT, _ := q.Transform(testCols)
+	aucStumps := AUC(stumps.ScoreAll(bmT), testY)
+	aucTrees := AUC(trees.ScoreAll(bmT), testY)
+	if aucTrees < 0.85 {
+		t.Fatalf("depth-2 trees should crack XOR: AUC %.3f", aucTrees)
+	}
+	if aucStumps > aucTrees-0.1 {
+		t.Fatalf("stumps (%.3f) should trail trees (%.3f) badly on XOR", aucStumps, aucTrees)
+	}
+}
+
+func TestBTreeLearnsAdditiveToo(t *testing.T) {
+	cols, y := synthProblem(3000, 3)
+	q, _ := FitQuantizer(cols, 64)
+	bm, _ := q.Transform(cols)
+	trees, err := TrainBTree(bm, q, y, TrainOptions{Rounds: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testCols, testY := synthProblem(2000, 4)
+	bmT, _ := q.Transform(testCols)
+	if auc := AUC(trees.ScoreAll(bmT), testY); auc < 0.75 {
+		t.Fatalf("tree boosting held-out AUC %.3f", auc)
+	}
+}
+
+func TestBTreeScoresFinite(t *testing.T) {
+	cols, y := synthProblem(500, 5)
+	q, _ := FitQuantizer(cols, 32)
+	bm, _ := q.Transform(cols)
+	m, err := TrainBTree(bm, q, y, TrainOptions{Rounds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range m.ScoreAll(bm) {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatal("non-finite tree score")
+		}
+	}
+}
+
+func TestBTreeDeterministic(t *testing.T) {
+	cols, y := synthProblem(800, 6)
+	q, _ := FitQuantizer(cols, 32)
+	bm, _ := q.Transform(cols)
+	a, err := TrainBTree(bm, q, y, TrainOptions{Rounds: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainBTree(bm, q, y, TrainOptions{Rounds: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trees) != len(b.Trees) {
+		t.Fatal("tree counts differ")
+	}
+	for i := range a.Trees {
+		if a.Trees[i] != b.Trees[i] {
+			t.Fatalf("tree %d differs", i)
+		}
+	}
+}
+
+func TestBTreeValidation(t *testing.T) {
+	cols, y := synthProblem(100, 7)
+	q, _ := FitQuantizer(cols, 16)
+	bm, _ := q.Transform(cols)
+	if _, err := TrainBTree(bm, q, y, TrainOptions{Rounds: 0}); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	if _, err := TrainBTree(bm, q, y[:10], TrainOptions{Rounds: 5}); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := TrainBTree(&BinnedMatrix{}, q, nil, TrainOptions{Rounds: 5}); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestBTreeCalibration(t *testing.T) {
+	cols, y := synthProblem(2000, 8)
+	q, _ := FitQuantizer(cols, 64)
+	bm, _ := q.Transform(cols)
+	m, err := TrainBTree(bm, q, y, TrainOptions{Rounds: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Calibrate(m.ScoreAll(bm), y); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Probability(0); p <= 0 || p >= 1 {
+		t.Fatalf("calibrated probability %v", p)
+	}
+}
+
+func TestTreeRouting(t *testing.T) {
+	// Hand-built tree: root on feature 0 at cut 1; left child splits
+	// feature 1 at cut 0 with scores -1/+1; right child constant +5.
+	tree := Tree{
+		RootFeature: 0, RootCut: 1,
+		Left:  Stump{Feature: 1, Cut: 0, SLow: -1, SHigh: 1},
+		Right: Stump{Feature: 1, Cut: 255, SLow: 5, SHigh: 5},
+	}
+	bm := &BinnedMatrix{
+		N:    3,
+		Bins: [][]uint8{{0, 1, 2}, {0, 1, 0}},
+	}
+	want := []float64{-1, 1, 5}
+	for i, w := range want {
+		if got := tree.Score(bm, i); got != w {
+			t.Fatalf("example %d routed to %v, want %v", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package sim runs the operational year: it builds the access network,
+// injects component faults from the disposition catalog, simulates customer
+// perception and reporting behaviour, runs the weekly Saturday line tests,
+// dispatches technicians, and emits the four data sources of §3.3 as a
+// data.Dataset — the synthetic stand-in for the paper's year of AT&T
+// operational data.
+package sim
+
+import (
+	"nevermind/internal/dsl"
+	"nevermind/internal/faults"
+)
+
+// Config parameterises one simulated year.
+type Config struct {
+	Net    dsl.Config
+	Seed   uint64
+	Outage faults.OutageConfig
+
+	// ReportRetryProb is the chance a customer whose call was swallowed by
+	// the outage IVR calls again once the outage clears rather than
+	// assuming the problem was the outage.
+	ReportRetryProb float64
+
+	// WeekendDeferProb is the chance a problem noticed on a weekend is
+	// reported the following Monday, producing the Monday ticket peak the
+	// paper observes (§3.3).
+	WeekendDeferProb float64
+
+	// SelfHealMeanDays is the mean lifetime of a fault nobody reports:
+	// intermittent problems come and go; abandoned drops get re-lashed by
+	// unrelated work. Without this, unreported faults would accumulate
+	// forever.
+	SelfHealMeanDays float64
+
+	// FixProb is the chance a dispatch actually resolves the fault; the
+	// remainder produce the repeat tickets the paper's "ticket" feature
+	// exploits.
+	FixProb float64
+
+	// AgentLabelNoise is the chance a customer agent assigns the wrong
+	// coarse category to a customer-edge ticket.
+	AgentLabelNoise float64
+
+	// NoteLabelNoise is the chance the technician's disposition note blames
+	// a different disposition at the same major location — the paper warns
+	// the codes "can be very noisy".
+	NoteLabelNoise float64
+
+	// OtherTicketRate is the per-line per-day rate of non-edge tickets
+	// (billing and such), present so category filtering is exercised.
+	OtherTicketRate float64
+
+	// VacationProb is the chance a subscriber takes a 5–14 day away span
+	// during the year (the §5.2 not-on-site population).
+	VacationProb float64
+
+	// DispatchDelayMin/Max bound the days between a ticket and its
+	// dispatch ("it may take one or more days").
+	DispatchDelayMin, DispatchDelayMax int
+
+	// WeatherAmplitude scales how strongly the moisture-driven disposition
+	// hazards track the regional wetness process: the multiplier ranges
+	// over [1−a, 1+a]. Zero disables weather entirely.
+	WeatherAmplitude float64
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation,
+// sized by the number of lines.
+func DefaultConfig(numLines int, seed uint64) Config {
+	return Config{
+		Net:              dsl.Config{NumLines: numLines, Seed: seed},
+		Seed:             seed,
+		Outage:           faults.DefaultOutageConfig,
+		ReportRetryProb:  0.5,
+		WeekendDeferProb: 0.6,
+		SelfHealMeanDays: 80,
+		FixProb:          0.85,
+		AgentLabelNoise:  0.03,
+		NoteLabelNoise:   0.10,
+		OtherTicketRate:  2e-4,
+		VacationProb:     0.5,
+		DispatchDelayMin: 1,
+		DispatchDelayMax: 3,
+		WeatherAmplitude: 0.45,
+	}
+}

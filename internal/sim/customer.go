@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math"
+	"time"
+
+	"nevermind/internal/data"
+	"nevermind/internal/dsl"
+	"nevermind/internal/faults"
+	"nevermind/internal/rng"
+)
+
+// rawTicket is a ticket before global ID assignment, carrying its dispatch
+// outcome when one happened.
+type rawTicket struct {
+	line        data.LineID
+	day         int
+	category    data.TicketCategory
+	dispatched  bool
+	dispatchDay int
+	disp        faults.DispositionID
+	testsRun    int
+}
+
+// walkFault plays out the life of one fault: the customer notices it (or
+// not), reports it (unless the outage IVR swallows the call or they are on
+// vacation), a technician is dispatched, the repair succeeds or the customer
+// has to call again. It mutates f.End to when the fault actually cleared and
+// returns the tickets generated.
+//
+// This walk is the source of every label property the paper analyses:
+// low-perceivability faults produce the long report delays of Fig. 8, away
+// customers produce the not-on-site incorrect predictions, IVR suppression
+// produces the outage-correlated incorrect predictions of Table 5, and
+// failed repairs produce the repeat tickets the "ticket" feature exploits.
+func walkFault(cfg Config, ds *data.Dataset, line *dsl.Line, away []data.AwaySpan, d *faults.Disposition, f *Fault, r *rng.RNG) []rawTicket {
+	selfHeal := f.Onset + 1 + int(r.Exp(cfg.SelfHealMeanDays))
+	if selfHeal > data.DaysInYear {
+		selfHeal = data.DaysInYear
+	}
+	f.End = selfHeal
+
+	// Daily probability an at-home customer notices the symptom: they must
+	// be online (usage) and the symptom must be perceivable at this
+	// severity. Severe hard-down faults get noticed the first session.
+	pNotice := line.Usage * d.Perceivability * math.Min(f.Sev, 1.5) / 2.4
+	pNotice = clamp01(pNotice)
+	if pNotice < 0.005 {
+		pNotice = 0.005
+	}
+
+	var out []rawTicket
+	day := f.Onset
+	for attempt := 0; attempt < 8; attempt++ {
+		// Find the day the customer notices.
+		noticeDay := -1
+		for t := day; t < f.End; t++ {
+			if isAway(away, t) {
+				continue
+			}
+			if r.Bool(pNotice) {
+				noticeDay = t
+				break
+			}
+		}
+		if noticeDay < 0 {
+			return out // fault self-heals unreported
+		}
+
+		// Report: call-queue delay, plus weekend deferral to Monday, which
+		// produces the weekly arrival pattern of §3.3.
+		reportDay := noticeDay + r.Geometric(0.7)
+		if wd := data.Weekday(reportDay); wd == time.Saturday || wd == time.Sunday {
+			if r.Bool(cfg.WeekendDeferProb) {
+				for data.Weekday(reportDay) != time.Monday {
+					reportDay++
+				}
+			}
+		}
+		if reportDay >= data.DaysInYear {
+			return out
+		}
+
+		// A DSLAM outage puts the IVR in front of the call: the customer
+		// reported a problem but no ticket is issued (§5.2).
+		if ds.OutageAt(int(line.DSLAM), reportDay, reportDay) {
+			if !r.Bool(cfg.ReportRetryProb) {
+				return out // customer assumes it was the outage
+			}
+			day = reportDay + 1
+			continue
+		}
+
+		tk := rawTicket{line: line.ID, day: reportDay, category: data.CatCustomerEdge}
+		if r.Bool(cfg.AgentLabelNoise) {
+			// The agent misfiles the ticket; no technician is sent, the
+			// fault lives on, and the customer has to call again.
+			tk.category = data.CatOther
+			out = append(out, tk)
+			day = reportDay + 1 + r.Geometric(0.3)
+			continue
+		}
+
+		// Dispatch.
+		delay := cfg.DispatchDelayMin
+		if cfg.DispatchDelayMax > cfg.DispatchDelayMin {
+			delay += r.Intn(cfg.DispatchDelayMax - cfg.DispatchDelayMin + 1)
+		}
+		dispatchDay := reportDay + delay
+		if dispatchDay >= data.DaysInYear {
+			out = append(out, tk)
+			return out
+		}
+		tk.dispatched = true
+		tk.dispatchDay = dispatchDay
+		tk.disp = noteDisposition(d.ID, cfg.NoteLabelNoise, r)
+		tk.testsRun = 1 + r.Geometric(0.3)
+		out = append(out, tk)
+
+		if r.Bool(cfg.FixProb) {
+			if dispatchDay < f.End {
+				f.End = dispatchDay
+			}
+			return out
+		}
+		// Repair failed: the fault persists and the customer will notice
+		// again — a repeat ticket.
+		day = dispatchDay + 1
+	}
+	return out
+}
+
+// noteDisposition applies the technician labelling noise: usually the true
+// disposition, sometimes a confusable one at the same major location. When
+// several devices are suspect, real notes blame the one closest to the end
+// host; BlameClosest implements that rule for callers with overlapping
+// faults.
+func noteDisposition(truth faults.DispositionID, noise float64, r *rng.RNG) faults.DispositionID {
+	if !r.Bool(noise) {
+		return truth
+	}
+	ids := faults.ByLocation(faults.Catalog[truth].Loc)
+	return ids[r.Intn(len(ids))]
+}
+
+// BlameClosest returns the disposition of the active fault closest to the
+// end host, the paper's stated labelling convention for multi-fault lines
+// ("the code is always associated with the device closest to the end host").
+func BlameClosest(active []Fault) faults.DispositionID {
+	if len(active) == 0 {
+		return faults.None
+	}
+	best := active[0].Disp
+	for _, f := range active[1:] {
+		if faults.Catalog[f.Disp].Proximity < faults.Catalog[best].Proximity {
+			best = f.Disp
+		}
+	}
+	return best
+}
+
+func isAway(spans []data.AwaySpan, day int) bool {
+	for _, s := range spans {
+		if day >= s.StartDay && day <= s.EndDay {
+			return true
+		}
+	}
+	return false
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 0.95 {
+		return 0.95
+	}
+	return x
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"nevermind/internal/data"
+	"nevermind/internal/faults"
+	"nevermind/internal/rng"
+)
+
+// Weather: the moisture-driven disposition families (wet conductors,
+// corrosion, splice-case moisture — 13 of the 52 dispositions) do not fail
+// uniformly through the year; they track rain. Each ATM region carries a
+// weekly wetness process (mean-reverting AR(1) in [0,1]), and the onset
+// hazard of weather-sensitive dispositions scales with it. This gives the
+// ticket stream the seasonal texture operators actually see and gives the
+// long-term time-series features something real to normalise away.
+
+// genWeather draws the per-region weekly wetness series, [atm][week].
+func genWeather(cfg Config, numATMs int) [][]float64 {
+	out := make([][]float64, numATMs)
+	for a := 0; a < numATMs; a++ {
+		r := rng.Derive(cfg.Seed, 0x3a7e2, uint64(a))
+		series := make([]float64, data.Weeks)
+		w := clamp01w(0.5 + r.Normal(0, 0.15))
+		for t := 0; t < data.Weeks; t++ {
+			series[t] = w
+			w = clamp01w(0.5 + 0.72*(w-0.5) + r.Normal(0, 0.14))
+		}
+		out[a] = series
+	}
+	return out
+}
+
+// hazardTable caches, per (ATM, week), the per-disposition onset weights and
+// their total, with the weather multiplier applied to the sensitive entries.
+type hazardTable struct {
+	weights [][]float64 // [atm*Weeks + week][disposition]
+	totals  []float64
+}
+
+// buildHazardTable applies the weather multiplier
+// 1 + amplitude·2·(wetness − ½) to the weather-sensitive hazards.
+func buildHazardTable(weather [][]float64, amplitude float64) *hazardTable {
+	base := hazardWeights()
+	numATMs := len(weather)
+	t := &hazardTable{
+		weights: make([][]float64, numATMs*data.Weeks),
+		totals:  make([]float64, numATMs*data.Weeks),
+	}
+	for a := 0; a < numATMs; a++ {
+		for w := 0; w < data.Weeks; w++ {
+			mult := 1 + amplitude*2*(weather[a][w]-0.5)
+			if mult < 0.05 {
+				mult = 0.05
+			}
+			row := make([]float64, len(base))
+			total := 0.0
+			for i := range base {
+				h := base[i]
+				if faults.Catalog[i].WeatherSensitive {
+					h *= mult
+				}
+				row[i] = h
+				total += h
+			}
+			idx := a*data.Weeks + w
+			t.weights[idx] = row
+			t.totals[idx] = total
+		}
+	}
+	return t
+}
+
+// at returns the weights and total hazard for an ATM on a given day.
+func (t *hazardTable) at(atm int32, day int) ([]float64, float64) {
+	week, ok := data.WeekOf(day)
+	if !ok {
+		week = 0
+	}
+	idx := int(atm)*data.Weeks + week
+	return t.weights[idx], t.totals[idx]
+}
+
+func clamp01w(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

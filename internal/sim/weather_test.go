@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"nevermind/internal/data"
+	"nevermind/internal/faults"
+)
+
+func TestWetnessSeriesShape(t *testing.T) {
+	w := genWeather(DefaultConfig(100, 5), 6)
+	if len(w) != 6 {
+		t.Fatalf("%d regions", len(w))
+	}
+	for a, series := range w {
+		if len(series) != data.Weeks {
+			t.Fatalf("region %d has %d weeks", a, len(series))
+		}
+		for _, v := range series {
+			if v < 0 || v > 1 {
+				t.Fatalf("wetness %v out of [0,1]", v)
+			}
+		}
+	}
+	// Regions differ.
+	same := true
+	for wk := 0; wk < data.Weeks; wk++ {
+		if w[0][wk] != w[1][wk] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("regions share identical weather")
+	}
+}
+
+func TestWetnessAutocorrelated(t *testing.T) {
+	w := genWeather(DefaultConfig(100, 7), 20)
+	// Lag-1 autocorrelation across all regions should be clearly positive
+	// (the AR(1) coefficient is 0.72).
+	var sxy, sxx, syy, sx, sy float64
+	n := 0.0
+	for _, series := range w {
+		for t2 := 1; t2 < len(series); t2++ {
+			x, y := series[t2-1], series[t2]
+			sx += x
+			sy += y
+			sxx += x * x
+			syy += y * y
+			sxy += x * y
+			n++
+		}
+	}
+	corr := (n*sxy - sx*sy) / math.Sqrt((n*sxx-sx*sx)*(n*syy-sy*sy))
+	if corr < 0.4 {
+		t.Fatalf("lag-1 autocorrelation %.2f; wetness should persist", corr)
+	}
+}
+
+func TestHazardTableWeatherScaling(t *testing.T) {
+	weather := [][]float64{make([]float64, data.Weeks)}
+	for wk := range weather[0] {
+		weather[0][wk] = 1 // permanently wet
+	}
+	tbl := buildHazardTable(weather, 0.45)
+	weights, total := tbl.at(0, data.SaturdayOf(10))
+	base := hazardWeights()
+	var wantTotal float64
+	for i := range base {
+		want := base[i]
+		if faults.Catalog[i].WeatherSensitive {
+			want *= 1.45
+		}
+		if math.Abs(weights[i]-want) > 1e-15 {
+			t.Fatalf("weight %d = %v, want %v", i, weights[i], want)
+		}
+		wantTotal += want
+	}
+	if math.Abs(total-wantTotal) > 1e-12 {
+		t.Fatalf("total %v, want %v", total, wantTotal)
+	}
+}
+
+func TestHazardTableZeroAmplitudeIsBaseline(t *testing.T) {
+	weather := genWeather(DefaultConfig(100, 9), 3)
+	tbl := buildHazardTable(weather, 0)
+	base := hazardWeights()
+	for a := int32(0); a < 3; a++ {
+		_, total := tbl.at(a, 100)
+		if math.Abs(total-faults.TotalHazard()) > 1e-12 {
+			t.Fatalf("amplitude 0 changed the hazard: %v", total)
+		}
+		w, _ := tbl.at(a, 200)
+		for i := range base {
+			if w[i] != base[i] {
+				t.Fatalf("amplitude 0 changed weight %d", i)
+			}
+		}
+	}
+}
+
+func TestHazardTablePreMeasurementDays(t *testing.T) {
+	weather := genWeather(DefaultConfig(100, 11), 1)
+	tbl := buildHazardTable(weather, 0.45)
+	// Days before the first Saturday fall back to week 0.
+	w0, t0 := tbl.at(0, 0)
+	wSat, tSat := tbl.at(0, data.FirstSaturday)
+	if t0 != tSat {
+		t.Fatalf("pre-measurement total %v != week-0 total %v", t0, tSat)
+	}
+	for i := range w0 {
+		if w0[i] != wSat[i] {
+			t.Fatal("pre-measurement weights differ from week 0")
+		}
+	}
+}
+
+// Moisture faults must actually concentrate in wet weeks: that is the whole
+// point of the weather process.
+func TestMoistureFaultsTrackWetness(t *testing.T) {
+	cfg := DefaultConfig(8000, 13)
+	cfg.WeatherAmplitude = 0.9 // accentuate for the statistical test
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split weeks into wet and dry halves per region, count sensitive
+	// onsets per line-week in each.
+	var wetOnsets, dryOnsets, wetWeeks, dryWeeks float64
+	for li, fs := range res.Truth {
+		atm := res.Net.Lines[li].ATM
+		for _, f := range fs {
+			if !faults.Catalog[f.Disp].WeatherSensitive {
+				continue
+			}
+			week, ok := data.WeekOf(f.Onset)
+			if !ok {
+				continue
+			}
+			if res.Wetness[atm][week] > 0.5 {
+				wetOnsets++
+			} else {
+				dryOnsets++
+			}
+		}
+	}
+	for _, series := range res.Wetness {
+		for _, v := range series {
+			if v > 0.5 {
+				wetWeeks++
+			} else {
+				dryWeeks++
+			}
+		}
+	}
+	if wetOnsets < 50 || dryOnsets < 10 {
+		t.Fatalf("too few onsets to compare: wet=%v dry=%v", wetOnsets, dryOnsets)
+	}
+	// Rate per exposure-week must be clearly higher in wet weeks.
+	wetRate := wetOnsets / wetWeeks
+	dryRate := dryOnsets / dryWeeks
+	if wetRate < 1.3*dryRate {
+		t.Fatalf("moisture onsets: wet rate %.3f vs dry rate %.3f; weather has no bite", wetRate, dryRate)
+	}
+}
+
+func TestWeatherChangesOutcome(t *testing.T) {
+	a, err := Run(DefaultConfig(500, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(500, 5)
+	cfg.WeatherAmplitude = 0
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Dataset.Tickets) == len(b.Dataset.Tickets) {
+		same := true
+		for i := range a.Dataset.Tickets {
+			if a.Dataset.Tickets[i] != b.Dataset.Tickets[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("weather amplitude had no effect on the ticket stream")
+		}
+	}
+}
