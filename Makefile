@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench experiments examples fuzz clean
+.PHONY: all check build vet test race bench experiments examples fuzz clean
 
 all: build vet test
+
+# The full gate: compile, static checks, tests, and the race detector over
+# the parallel hot paths.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -14,6 +18,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detect the worker-pool paths: the parallel package itself plus the
+# cross-worker determinism tests in ml and core.
+race:
+	$(GO) test -race ./internal/parallel/ ./internal/ml/
+	$(GO) test -race -run 'AcrossWorkers' ./internal/core/
 
 # One benchmark per paper table/figure plus ablations; writes the artifacts
 # the repository documents.

@@ -359,3 +359,94 @@ func BenchmarkMeasurement(b *testing.B) {
 		_ = dsl.Measure(l, eff, false, i%data.Weeks, rng.Derive(9, uint64(i)))
 	}
 }
+
+// --- worker-pool benchmarks --------------------------------------------------
+//
+// Each hot path runs at 1, 2 and 4 workers on identical inputs; outputs are
+// bit-identical (see internal/ml worker tests), so these measure pure
+// scheduling cost vs. parallel speedup. On a single-CPU host the multi-worker
+// rows show only the goroutine overhead; speedups need GOMAXPROCS > 1.
+
+var workerSweep = []int{1, 2, 4}
+
+// benchTrainingMatrix encodes the standard history+customer features once.
+func benchTrainingMatrix(b *testing.B) (*ml.BinnedMatrix, *ml.Quantizer, []ml.Column, []bool) {
+	b.Helper()
+	ctx := benchContext(b)
+	trainEx := features.ExamplesForWeeks(ctx.DS, features.WeekRange(30, 38))
+	enc, err := features.Encode(ctx.DS, ctx.Ix, trainEx, features.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := features.Labels(ctx.Ix, trainEx, 28)
+	q, err := ml.FitQuantizer(enc.Cols, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm, err := q.Transform(enc.Cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bm, q, enc.Cols, y
+}
+
+// BenchmarkTrainBStumpWorkers sweeps the stump-search worker pool (the
+// feature axis of the Z-criterion scan).
+func BenchmarkTrainBStumpWorkers(b *testing.B) {
+	bm, q, _, y := benchTrainingMatrix(b)
+	for _, w := range workerSweep {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ml.TrainBStump(bm, q, y, ml.TrainOptions{Rounds: 40, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFeatureScoresWorkers sweeps the per-column selection pool.
+func BenchmarkFeatureScoresWorkers(b *testing.B) {
+	_, _, cols, y := benchTrainingMatrix(b)
+	for _, w := range workerSweep {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := ml.SelectOptions{N: 400, Seed: 17, MaxExamples: 15000, Workers: w}
+				if _, err := ml.FeatureScores(cols, y, ml.CritTopNAP, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScoreAllWorkers sweeps the example-chunk scoring pool on a trained
+// ensemble — the inner loop of the weekly ranking.
+func BenchmarkScoreAllWorkers(b *testing.B) {
+	bm, q, _, y := benchTrainingMatrix(b)
+	m, err := ml.TrainBStump(bm, q, y, ml.TrainOptions{Rounds: 80})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerSweep {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = m.ScoreAllWorkers(bm, w)
+			}
+		})
+	}
+}
+
+// BenchmarkTransformWorkers sweeps the quantization pool.
+func BenchmarkTransformWorkers(b *testing.B) {
+	_, q, cols, _ := benchTrainingMatrix(b)
+	for _, w := range workerSweep {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := q.TransformWorkers(cols, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -27,10 +27,11 @@ func main() {
 		rounds = flag.Int("rounds", 250, "predictor boosting rounds (paper: 800)")
 		locR   = flag.Int("locrounds", 80, "locator boosting rounds (paper: 200)")
 		exp    = flag.String("exp", "all", "experiment to run: fig4|fig6|fig7|fig8|fig9|table5|notonsite|locator|deploy|atds|table1|trend|all")
+		work   = flag.Int("workers", 0, "worker pool size for the pipelines (0 = all CPUs, 1 = sequential; results identical)")
 	)
 	flag.Parse()
 
-	cfg := eval.Config{Lines: *lines, Seed: *seed, Rounds: *rounds, LocRounds: *locR}
+	cfg := eval.Config{Lines: *lines, Seed: *seed, Rounds: *rounds, LocRounds: *locR, Workers: *work}
 	start := time.Now()
 	ctx, err := eval.NewContext(cfg)
 	if err != nil {

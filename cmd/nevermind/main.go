@@ -36,6 +36,7 @@ func main() {
 		locate   = flag.Bool("locate", true, "train the trouble locator and print ranked dispositions")
 		model    = flag.String("model", "", "load a trained predictor instead of training")
 		saveTo   = flag.String("savemodel", "", "save the trained predictor to this path")
+		workers  = flag.Int("workers", 0, "worker pool size for training and ranking (0 = all CPUs, 1 = sequential; results identical)")
 	)
 	flag.Parse()
 
@@ -67,6 +68,7 @@ func main() {
 		}
 		cfg := core.DefaultPredictorConfig(ds.NumLines, *seed)
 		cfg.Rounds = *rounds
+		cfg.Workers = *workers
 		if *budget > 0 {
 			cfg.BudgetN = *budget
 		}
@@ -99,6 +101,7 @@ func main() {
 	if *locate {
 		cases := core.CasesFromNotes(ds, data.FirstSaturday, data.SaturdayOf(*week)-1)
 		lcfg := core.DefaultLocatorConfig(*seed)
+		lcfg.Workers = *workers
 		fmt.Fprintf(os.Stderr, "training trouble locator on %d dispatches...\n", len(cases))
 		t0 := time.Now()
 		loc, err = core.TrainLocator(ds, cases, lcfg)

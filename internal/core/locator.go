@@ -9,6 +9,7 @@ import (
 	"nevermind/internal/faults"
 	"nevermind/internal/features"
 	"nevermind/internal/ml"
+	"nevermind/internal/parallel"
 )
 
 // LocatorModel selects which inference model ranks the dispositions.
@@ -51,6 +52,11 @@ type LocatorConfig struct {
 	Bins         int
 	HistoryWeeks int
 	Seed         uint64
+	// Workers sizes the worker pool for per-disposition classifier training
+	// (0 = runtime.GOMAXPROCS, 1 = sequential). Each disposition's model
+	// trains independently on one worker, so the locator is bit-identical
+	// at any setting.
+	Workers int
 }
 
 // DefaultLocatorConfig returns the evaluation defaults.
@@ -161,22 +167,42 @@ func TrainLocator(ds *data.Dataset, cases []DispatchCase, cfg LocatorConfig) (*T
 	}
 
 	// One-versus-rest flat model per disposition (fCij) and per major
-	// location (fCi·).
-	for _, d := range l.Dispositions {
+	// location (fCi·). The dispositions are independent one-vs-rest
+	// problems, so each trains on its own worker (the inner stump search
+	// stays sequential — the disposition axis carries the parallelism);
+	// results land in index-addressed slices and merge in disposition order,
+	// so the locator is identical at any worker count.
+	flatModels := make([]*ml.BStump, len(l.Dispositions))
+	flatErrs := make([]error, len(l.Dispositions))
+	parallel.ForEach(len(l.Dispositions), cfg.Workers, func(di int) {
+		d := l.Dispositions[di]
 		y := make([]bool, len(cases))
 		for i, c := range cases {
 			y[i] = c.Disp == d
 		}
-		m, err := ml.TrainBStump(bm, q, y, ml.TrainOptions{Rounds: cfg.Rounds})
+		m, err := ml.TrainBStump(bm, q, y, ml.TrainOptions{Rounds: cfg.Rounds, Workers: 1})
 		if err != nil {
-			return nil, fmt.Errorf("core: flat model for %q: %w", faults.Catalog[d].Name, err)
+			flatErrs[di] = fmt.Errorf("core: flat model for %q: %w", faults.Catalog[d].Name, err)
+			return
 		}
-		if err := m.Calibrate(m.ScoreAll(bm), y); err != nil {
+		if err := m.Calibrate(m.ScoreAllWorkers(bm, 1), y); err != nil {
+			flatErrs[di] = err
+			return
+		}
+		flatModels[di] = m
+	})
+	for _, err := range flatErrs {
+		if err != nil {
 			return nil, err
 		}
-		l.flat[d] = m
 	}
-	for loc := faults.HN; loc < faults.NumLocations; loc++ {
+	for di, d := range l.Dispositions {
+		l.flat[d] = flatModels[di]
+	}
+	locModels := make([]*ml.BStump, faults.NumLocations)
+	locErrs := make([]error, faults.NumLocations)
+	parallel.ForEach(int(faults.NumLocations), cfg.Workers, func(li int) {
+		loc := faults.Location(li)
 		y := make([]bool, len(cases))
 		any := false
 		for i, c := range cases {
@@ -184,13 +210,24 @@ func TrainLocator(ds *data.Dataset, cases []DispatchCase, cfg LocatorConfig) (*T
 			any = any || y[i]
 		}
 		if !any {
-			continue
+			return
 		}
-		m, err := ml.TrainBStump(bm, q, y, ml.TrainOptions{Rounds: cfg.Rounds})
+		m, err := ml.TrainBStump(bm, q, y, ml.TrainOptions{Rounds: cfg.Rounds, Workers: 1})
 		if err != nil {
-			return nil, fmt.Errorf("core: location model for %v: %w", loc, err)
+			locErrs[li] = fmt.Errorf("core: location model for %v: %w", loc, err)
+			return
 		}
-		l.locModel[loc] = m
+		locModels[li] = m
+	})
+	for _, err := range locErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for li, m := range locModels {
+		if m != nil {
+			l.locModel[faults.Location(li)] = m
+		}
 	}
 
 	// Combined model (Eq. 2): per disposition, logistic regression over

@@ -13,6 +13,7 @@ import (
 	"nevermind/internal/data"
 	"nevermind/internal/features"
 	"nevermind/internal/ml"
+	"nevermind/internal/rng"
 )
 
 // PredictorConfig tunes the ticket-prediction pipeline of §4.
@@ -58,6 +59,11 @@ type PredictorConfig struct {
 	HistoryWeeks int
 	// Seed drives every random choice in the pipeline.
 	Seed uint64
+	// Workers sizes the worker pools of every hot path in the pipeline
+	// (stump search, per-column selection, quantization, scoring):
+	// 0 = runtime.GOMAXPROCS, 1 = the exact sequential path. Results are
+	// bit-identical at any setting (see DESIGN.md, "Parallelism model").
+	Workers int
 }
 
 // DefaultPredictorConfig sizes the pipeline for a population of numLines.
@@ -98,6 +104,13 @@ type TicketPredictor struct {
 	ProductPairs [][2]string
 	// Scores of each candidate column from selection, for inspection.
 	SelectionScores map[string]float64
+	// SelectionSkips reports candidate columns that selection could not
+	// score (and assigned 0), one formatted line per column.
+	SelectionSkips []string
+	// CalibrationHoldout is the number of training examples held out of
+	// boosting to fit the logistic calibration; 0 means the training set was
+	// too small to split and calibration fell back to in-sample scores.
+	CalibrationHoldout int
 }
 
 // Prediction is one ranked line.
@@ -138,17 +151,21 @@ func TrainPredictor(ds *data.Dataset, trainWeeks []int, cfg PredictorConfig) (*T
 	selN := cfg.BudgetN * len(trainWeeks)
 	selOpt := ml.SelectOptions{
 		N: selN, Seed: cfg.Seed, MaxExamples: cfg.MaxSelectExamples,
+		Workers: cfg.Workers,
 	}
 
 	// Score every candidate column, then select per family (Fig. 4 applies
 	// separate thresholds to history/customer, quadratic and product
 	// features): the top SelectTopK history+customer columns plus the top
 	// QuadTopK quadratic columns.
-	scores, err := ml.FeatureScores(enc.Cols, y, cfg.Criterion, selOpt)
+	scores, skips, err := ml.FeatureScoresDetail(enc.Cols, y, cfg.Criterion, selOpt)
 	if err != nil {
 		return nil, fmt.Errorf("core: feature selection: %w", err)
 	}
 	p := &TicketPredictor{Cfg: cfg, SelectionScores: map[string]float64{}}
+	for _, s := range skips {
+		p.SelectionSkips = append(p.SelectionSkips, s.String())
+	}
 	for i, c := range enc.Cols {
 		p.SelectionScores[c.Name] = scores[i]
 	}
@@ -194,9 +211,12 @@ func TrainPredictor(ds *data.Dataset, trainWeeks []int, cfg PredictorConfig) (*T
 		if err != nil {
 			return nil, err
 		}
-		prodScores, err := ml.FeatureScores(prodCols, y, cfg.Criterion, selOpt)
+		prodScores, prodSkips, err := ml.FeatureScoresDetail(prodCols, y, cfg.Criterion, selOpt)
 		if err != nil {
 			return nil, fmt.Errorf("core: product selection: %w", err)
+		}
+		for _, s := range prodSkips {
+			p.SelectionSkips = append(p.SelectionSkips, s.String())
 		}
 		prodOrder := ml.RankDesc(prodScores)
 		var kept []ml.Column
@@ -224,25 +244,97 @@ func TrainPredictor(ds *data.Dataset, trainWeeks []int, cfg PredictorConfig) (*T
 		}
 	}
 
-	// Final model.
+	// Final model. The logistic calibration must not be fitted on the same
+	// margins the booster optimised: training-set margins are systematically
+	// inflated, which made Probability overconfident on every fresh week. A
+	// seeded internal slice of the training examples is therefore held out
+	// of boosting and calibration is fitted on the holdout's scores; tiny
+	// training sets that cannot spare a holdout fall back to the in-sample
+	// fit (recorded as CalibrationHoldout == 0).
 	q, err := ml.FitQuantizer(finalEnc.Cols, cfg.Bins)
 	if err != nil {
 		return nil, err
 	}
-	bm, err := q.Transform(finalEnc.Cols)
+	bm, err := q.TransformWorkers(finalEnc.Cols, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	model, err := ml.TrainBStump(bm, q, y, ml.TrainOptions{Rounds: cfg.Rounds})
+	boostBM, boostY := bm, y
+	var calibBM *ml.BinnedMatrix
+	var calibY []bool
+	if fitIdx, holdIdx, ok := calibrationSplit(y, cfg.Seed); ok {
+		boostBM, boostY = bm.SubsetRows(fitIdx), subsetBools(y, fitIdx)
+		calibBM, calibY = bm.SubsetRows(holdIdx), subsetBools(y, holdIdx)
+		p.CalibrationHoldout = len(holdIdx)
+	}
+	model, err := ml.TrainBStump(boostBM, q, boostY, ml.TrainOptions{Rounds: cfg.Rounds, Workers: cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("core: boosting: %w", err)
 	}
-	if err := model.Calibrate(model.ScoreAll(bm), y); err != nil {
+	if calibBM != nil {
+		err = model.Calibrate(model.ScoreAllWorkers(calibBM, cfg.Workers), calibY)
+	} else {
+		err = model.Calibrate(model.ScoreAllWorkers(boostBM, cfg.Workers), boostY)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("core: calibration: %w", err)
 	}
 	p.Model = model
 	p.Quant = q
 	return p, nil
+}
+
+// calibrationHoldoutLabel salts the calibration split's RNG stream so it is
+// independent of the selection subsample and split streams.
+const calibrationHoldoutLabel = 0xca11b
+
+// calibrationSplit carves a seeded calibration holdout out of n training
+// examples: 20% of them, at most 10000 (two logistic parameters need no
+// more), kept in original example order. It declines (ok == false) when the
+// training set is too small to spare a slice or either side would be left
+// with a single class, in which case the caller falls back to the in-sample
+// fit.
+func calibrationSplit(y []bool, seed uint64) (fitIdx, holdIdx []int, ok bool) {
+	n := len(y)
+	if n < 1000 {
+		return nil, nil, false
+	}
+	hold := n / 5
+	if hold > 10000 {
+		hold = 10000
+	}
+	perm := rng.Derive(seed, calibrationHoldoutLabel).Perm(n)
+	holdIdx = append([]int(nil), perm[:hold]...)
+	fitIdx = append([]int(nil), perm[hold:]...)
+	sort.Ints(holdIdx)
+	sort.Ints(fitIdx)
+	if !bothClasses(y, holdIdx) || !bothClasses(y, fitIdx) {
+		return nil, nil, false
+	}
+	return fitIdx, holdIdx, true
+}
+
+func bothClasses(y []bool, idx []int) bool {
+	var pos, neg bool
+	for _, i := range idx {
+		if y[i] {
+			pos = true
+		} else {
+			neg = true
+		}
+		if pos && neg {
+			return true
+		}
+	}
+	return false
+}
+
+func subsetBools(y []bool, idx []int) []bool {
+	out := make([]bool, len(idx))
+	for i, r := range idx {
+		out[i] = y[r]
+	}
+	return out
 }
 
 // encodeFor re-encodes arbitrary examples into the predictor's column
@@ -283,7 +375,7 @@ func (p *TicketPredictor) encodeFor(ds *data.Dataset, ix *data.TicketIndex, exam
 			return nil, err
 		}
 	}
-	return p.Quant.Transform(finalEnc.Cols)
+	return p.Quant.TransformWorkers(finalEnc.Cols, p.Cfg.Workers)
 }
 
 // Rank scores every line at the given week and returns the full ranking,
@@ -296,7 +388,7 @@ func (p *TicketPredictor) Rank(ds *data.Dataset, week int) ([]Prediction, error)
 	if err != nil {
 		return nil, err
 	}
-	scores := p.Model.ScoreAll(bm)
+	scores := p.Model.ScoreAllWorkers(bm, p.Cfg.Workers)
 	order := ml.RankDesc(scores)
 	out := make([]Prediction, len(order))
 	for rank, i := range order {
@@ -331,7 +423,7 @@ func (p *TicketPredictor) ScoreExamples(ds *data.Dataset, examples []features.Ex
 	if err != nil {
 		return nil, err
 	}
-	return p.Model.ScoreAll(bm), nil
+	return p.Model.ScoreAllWorkers(bm, p.Cfg.Workers), nil
 }
 
 func validatePredictorConfig(cfg PredictorConfig) error {

@@ -38,6 +38,9 @@ type Config struct {
 	// BudgetN is the ATDS capacity per ranking (default Lines/50, the
 	// 20K-of-a-million operating ratio).
 	BudgetN int
+	// Workers sizes the pipeline worker pools (0 = GOMAXPROCS,
+	// 1 = sequential); results are bit-identical at any setting.
+	Workers int
 }
 
 // Defaults fills zero fields.
@@ -123,6 +126,7 @@ func (c *Context) predictorConfig() core.PredictorConfig {
 	cfg.Rounds = c.Cfg.Rounds
 	cfg.BudgetN = c.Cfg.BudgetN
 	cfg.MaxSelectExamples = c.Cfg.MaxSelectExamples
+	cfg.Workers = c.Cfg.Workers
 	return cfg
 }
 

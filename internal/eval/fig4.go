@@ -41,7 +41,7 @@ func (c *Context) RunFig4() (*Fig4Result, error) {
 	}
 	y := features.Labels(c.Ix, examples, 28)
 	selN := c.Cfg.BudgetN * len(c.trainWeeks())
-	opt := ml.SelectOptions{N: selN, Seed: c.Cfg.Seed, MaxExamples: c.Cfg.MaxSelectExamples}
+	opt := ml.SelectOptions{N: selN, Seed: c.Cfg.Seed, MaxExamples: c.Cfg.MaxSelectExamples, Workers: c.Cfg.Workers}
 
 	scores, err := ml.FeatureScores(enc.Cols, y, ml.CritTopNAP, opt)
 	if err != nil {

@@ -25,6 +25,7 @@ func (c *Context) RunFig9() (*Fig9Result, error) {
 	train := core.CasesFromNotes(c.DS, data.FirstSaturday, splitDay-1)
 	cfg := core.DefaultLocatorConfig(c.Cfg.Seed)
 	cfg.Rounds = c.Cfg.LocRounds
+	cfg.Workers = c.Cfg.Workers
 	loc, err := core.TrainLocator(c.DS, train, cfg)
 	if err != nil {
 		return nil, err

@@ -39,6 +39,7 @@ func (c *Context) RunLocator() (*LocatorResult, error) {
 	test := core.CasesFromNotes(c.DS, splitDay, data.DayOfDate(11, 6))
 	cfg := core.DefaultLocatorConfig(c.Cfg.Seed)
 	cfg.Rounds = c.Cfg.LocRounds
+	cfg.Workers = c.Cfg.Workers
 	loc, err := core.TrainLocator(c.DS, train, cfg)
 	if err != nil {
 		return nil, err

@@ -4,11 +4,15 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"nevermind/internal/parallel"
 )
 
 // Stump is one weak learner: a one-level decision tree on a quantized
 // feature. An example with bin(feature) <= Cut scores SLow, otherwise SHigh
-// — the S−/S+ confidence-rated outputs of the paper's Fig. 5.
+// — the S−/S+ confidence-rated outputs of the paper's Fig. 5. Feature -1
+// marks a constant stump (SLow == SHigh, no feature consulted), emitted for
+// unsplittable tree partitions.
 type Stump struct {
 	Feature   int
 	Cut       uint8
@@ -39,6 +43,11 @@ type TrainOptions struct {
 	// all features. Single-element slices give the per-feature predictors
 	// of the top-N AP selection method.
 	Features []int
+	// Workers sizes the worker pool for the per-round stump search:
+	// 0 = runtime.GOMAXPROCS, 1 = the exact sequential path. The trained
+	// model is bit-identical at any setting (see DESIGN.md, "Parallelism
+	// model").
+	Workers int
 }
 
 // TrainBStump boosts decision stumps on the quantized design matrix.
@@ -78,7 +87,7 @@ func TrainBStump(bm *BinnedMatrix, q *Quantizer, y []bool, opt TrainOptions) (*B
 
 	model := &BStump{Names: bm.Names}
 	for t := 0; t < opt.Rounds; t++ {
-		best, ok := bestStump(bm, q, y, w, nil, features, eps)
+		best, ok := bestStump(bm, q, y, w, nil, features, eps, opt.Workers)
 		if !ok {
 			break // no splittable feature
 		}
@@ -116,7 +125,7 @@ func TrainBStump(bm *BinnedMatrix, q *Quantizer, y []bool, opt TrainOptions) (*B
 func (m *BStump) Score(bm *BinnedMatrix, i int) float64 {
 	s := 0.0
 	for _, st := range m.Stumps {
-		if bm.Bins[st.Feature][i] <= st.Cut {
+		if st.Feature < 0 || bm.Bins[st.Feature][i] <= st.Cut {
 			s += st.SLow
 		} else {
 			s += st.SHigh
@@ -125,19 +134,36 @@ func (m *BStump) Score(bm *BinnedMatrix, i int) float64 {
 	return s
 }
 
-// ScoreAll scores every example, stump-major for cache efficiency.
+// ScoreAll scores every example with the default worker count.
 func (m *BStump) ScoreAll(bm *BinnedMatrix) []float64 {
+	return m.ScoreAllWorkers(bm, 0)
+}
+
+// ScoreAllWorkers scores every example on the given number of workers
+// (0 = GOMAXPROCS, 1 = sequential), stump-major within each example chunk
+// for cache efficiency. Each example's score accumulates over stumps in
+// ensemble order at any worker count, so the output is bit-identical to the
+// sequential pass.
+func (m *BStump) ScoreAllWorkers(bm *BinnedMatrix, workers int) []float64 {
 	out := make([]float64, bm.N)
-	for _, st := range m.Stumps {
-		bins := bm.Bins[st.Feature]
-		for i, b := range bins {
-			if b <= st.Cut {
-				out[i] += st.SLow
-			} else {
-				out[i] += st.SHigh
+	parallel.For(bm.N, workers, func(_, start, end int) {
+		for _, st := range m.Stumps {
+			if st.Feature < 0 {
+				for i := start; i < end; i++ {
+					out[i] += st.SLow
+				}
+				continue
+			}
+			bins := bm.Bins[st.Feature]
+			for i := start; i < end; i++ {
+				if bins[i] <= st.Cut {
+					out[i] += st.SLow
+				} else {
+					out[i] += st.SHigh
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -155,6 +181,9 @@ func (m *BStump) Probability(score float64) float64 {
 func (m *BStump) FeatureImportance() map[int]float64 {
 	imp := map[int]float64{}
 	for _, st := range m.Stumps {
+		if st.Feature < 0 {
+			continue // constant stump: no feature moves the output
+		}
 		d := st.SHigh - st.SLow
 		if d < 0 {
 			d = -d
@@ -207,6 +236,9 @@ func (m *BStump) TopFeatures(k int) []struct {
 // the paper's Fig. 5 walkthrough.
 func (m *BStump) Explain(t int) string {
 	st := m.Stumps[t]
+	if st.Feature < 0 {
+		return fmt.Sprintf("constant %+.3f", st.SLow)
+	}
 	name := fmt.Sprintf("f%d", st.Feature)
 	if st.Feature < len(m.Names) && m.Names[st.Feature] != "" {
 		name = m.Names[st.Feature]

@@ -20,6 +20,12 @@ func (m *BStump) ScorePrefix(bm *BinnedMatrix, k int) []float64 {
 	}
 	out := make([]float64, bm.N)
 	for _, st := range m.Stumps[:k] {
+		if st.Feature < 0 {
+			for i := range out {
+				out[i] += st.SLow
+			}
+			continue
+		}
 		bins := bm.Bins[st.Feature]
 		for i, b := range bins {
 			if b <= st.Cut {

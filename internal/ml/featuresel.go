@@ -3,6 +3,7 @@ package ml
 import (
 	"fmt"
 
+	"nevermind/internal/parallel"
 	"nevermind/internal/rng"
 )
 
@@ -65,6 +66,10 @@ type SelectOptions struct {
 	Bins int
 	// Seed drives the split and subsample.
 	Seed uint64
+	// Workers sizes the worker pool for the per-column scoring loop:
+	// 0 = runtime.GOMAXPROCS, 1 = the exact sequential path. Columns are
+	// scored independently, so scores are bit-identical at any setting.
+	Workers int
 }
 
 func (o SelectOptions) defaults() SelectOptions {
@@ -83,15 +88,45 @@ func (o SelectOptions) defaults() SelectOptions {
 	return o
 }
 
+// SkippedColumn records a candidate column that could not be scored and was
+// assigned score 0 instead of aborting the selection pass. A skip is always
+// counted and reported the same way whether the per-column failure happened
+// while training the single-feature predictor or while quantizing/scoring it,
+// so one malformed column can never kill a full selection run, and a skipped
+// column is distinguishable from a genuinely zero-signal one.
+type SkippedColumn struct {
+	Index int    // position in the cols slice passed to FeatureScores
+	Name  string // column name, for reporting
+	Stage string // "train" or "transform": where the per-column pass failed
+	Err   error  // the underlying error
+}
+
+func (s SkippedColumn) String() string {
+	return fmt.Sprintf("column %d (%s) skipped at %s: %v", s.Index, s.Name, s.Stage, s.Err)
+}
+
 // FeatureScores returns the criterion score of every column; higher is
-// better for all criteria.
+// better for all criteria. Columns that fail their per-column pass score 0;
+// use FeatureScoresDetail to see which ones and why.
 func FeatureScores(cols []Column, y []bool, crit Criterion, opt SelectOptions) ([]float64, error) {
+	scores, _, err := FeatureScoresDetail(cols, y, crit, opt)
+	return scores, err
+}
+
+// FeatureScoresDetail is FeatureScores plus the list of skipped columns,
+// ascending by column index.
+func FeatureScoresDetail(cols []Column, y []bool, crit Criterion, opt SelectOptions) ([]float64, []SkippedColumn, error) {
 	if len(cols) == 0 {
-		return nil, fmt.Errorf("ml: no columns to score")
+		return nil, nil, fmt.Errorf("ml: no columns to score")
 	}
 	n := len(y)
 	if n == 0 || len(cols[0].Values) != n {
-		return nil, fmt.Errorf("ml: labels/columns mismatch")
+		return nil, nil, fmt.Errorf("ml: labels/columns mismatch")
+	}
+	switch crit {
+	case CritTopNAP, CritAUC, CritAvgPrec, CritPCA, CritGainRatio:
+	default:
+		return nil, nil, fmt.Errorf("ml: unknown criterion %v", crit)
 	}
 	opt = opt.defaults()
 
@@ -138,22 +173,22 @@ func FeatureScores(cols []Column, y []bool, crit Criterion, opt SelectOptions) (
 		}
 		pca, err := FitPCA(subCols, k, opt.Seed)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return pca.FeatureScores(), nil
+		return pca.FeatureScores(), nil, nil
 
 	case CritGainRatio:
 		scores := make([]float64, len(cols))
-		for i := range cols {
+		parallel.ForEach(len(cols), opt.Workers, func(i int) {
 			scores[i] = GainRatio(sub(cols[i]), ySub, 16)
-		}
-		return scores, nil
+		})
+		return scores, nil, nil
 	}
 
 	// Predictor-based criteria share the per-feature train/test machinery.
 	split := int(float64(used) * opt.TrainFrac)
 	if split < 2 || used-split < 2 {
-		return nil, fmt.Errorf("ml: %d examples too few to split for selection", used)
+		return nil, nil, fmt.Errorf("ml: %d examples too few to split for selection", used)
 	}
 	perm := rng.Derive(opt.Seed, 0x5717).Perm(used)
 	trainIdx, testIdx := perm[:split], perm[split:]
@@ -170,12 +205,24 @@ func FeatureScores(cols []Column, y []bool, crit Criterion, opt SelectOptions) (
 		yTe[i] = ySub[idx]
 	}
 	if posTr == 0 || posTr == len(yTr) {
-		return nil, fmt.Errorf("ml: selection train split has a single class")
+		return nil, nil, fmt.Errorf("ml: selection train split has a single class")
 	}
 
+	// Each column trains and scores its own single-feature predictor —
+	// embarrassingly parallel. A failure anywhere in a column's pass skips
+	// that column with score 0 and a recorded reason (never an abort): a
+	// malformed column must not kill a 60k-example selection run, and it must
+	// stay distinguishable from a real zero-signal feature. The inner
+	// training runs sequentially (Workers: 1); the column axis carries the
+	// parallelism.
 	scores := make([]float64, len(cols))
+	skips := make([]*SkippedColumn, len(cols))
 	nEff := scaleN(len(testIdx))
-	for ci := range cols {
+	parallel.ForEach(len(cols), opt.Workers, func(ci int) {
+		skip := func(stage string, err error) {
+			scores[ci] = 0
+			skips[ci] = &SkippedColumn{Index: ci, Name: cols[ci].Name, Stage: stage, Err: err}
+		}
 		c := sub(cols[ci])
 		tr := Column{Name: c.Name, Categorical: c.Categorical, Values: make([]float32, len(trainIdx))}
 		te := Column{Name: c.Name, Categorical: c.Categorical, Values: make([]float32, len(testIdx))}
@@ -187,23 +234,26 @@ func FeatureScores(cols []Column, y []bool, crit Criterion, opt SelectOptions) (
 		}
 		q, err := FitQuantizer([]Column{tr}, opt.Bins)
 		if err != nil {
-			return nil, err
+			skip("transform", err)
+			return
 		}
-		bmTr, err := q.Transform([]Column{tr})
+		bmTr, err := q.TransformWorkers([]Column{tr}, 1)
 		if err != nil {
-			return nil, err
+			skip("transform", err)
+			return
 		}
-		model, err := TrainBStump(bmTr, q, yTr, TrainOptions{Rounds: opt.Rounds})
+		model, err := TrainBStump(bmTr, q, yTr, TrainOptions{Rounds: opt.Rounds, Workers: 1})
 		if err != nil {
-			// Constant feature: carries no signal under this criterion.
-			scores[ci] = 0
-			continue
+			// Constant feature, degenerate weights, ...: no signal here.
+			skip("train", err)
+			return
 		}
-		bmTe, err := q.Transform([]Column{te})
+		bmTe, err := q.TransformWorkers([]Column{te}, 1)
 		if err != nil {
-			return nil, err
+			skip("transform", err)
+			return
 		}
-		s := model.ScoreAll(bmTe)
+		s := model.ScoreAllWorkers(bmTe, 1)
 		switch crit {
 		case CritTopNAP:
 			scores[ci] = TopNAveragePrecision(s, yTe, nEff)
@@ -211,11 +261,15 @@ func FeatureScores(cols []Column, y []bool, crit Criterion, opt SelectOptions) (
 			scores[ci] = AUC(s, yTe)
 		case CritAvgPrec:
 			scores[ci] = AveragePrecision(s, yTe)
-		default:
-			return nil, fmt.Errorf("ml: unknown criterion %v", crit)
+		}
+	})
+	var skipped []SkippedColumn
+	for _, s := range skips {
+		if s != nil {
+			skipped = append(skipped, *s)
 		}
 	}
-	return scores, nil
+	return scores, skipped, nil
 }
 
 // SelectTopK returns the indices of the k highest-scoring features under

@@ -249,3 +249,74 @@ func TestCriterionStrings(t *testing.T) {
 		t.Fatal("unknown criterion string")
 	}
 }
+
+// TestFeatureScoresSkipsBadColumns mixes a constant column and a NaN-bearing
+// column into real features: the pass must not abort, the bad columns must be
+// counted as skips with score 0, and the genuine features must still score.
+func TestFeatureScoresSkipsBadColumns(t *testing.T) {
+	cols, y := selProblem(8000, 3)
+	n := len(y)
+	constant := make([]float32, n)
+	for i := range constant {
+		constant[i] = 7.25
+	}
+	nans := make([]float32, n)
+	for i := range nans {
+		nans[i] = float32(math.NaN())
+	}
+	mixed := append([]Column{
+		{Name: "allsame", Values: constant},
+		{Name: "allnan", Values: nans},
+	}, cols...)
+
+	scores, skips, err := FeatureScoresDetail(mixed, y, CritTopNAP, SelectOptions{N: 200, Seed: 11})
+	if err != nil {
+		t.Fatalf("bad columns aborted the pass: %v", err)
+	}
+	if len(scores) != len(mixed) {
+		t.Fatalf("got %d scores for %d columns", len(scores), len(mixed))
+	}
+	bySkip := map[int]SkippedColumn{}
+	for _, s := range skips {
+		bySkip[s.Index] = s
+		if s.Stage != "train" && s.Stage != "transform" {
+			t.Fatalf("skip %v has unknown stage %q", s, s.Stage)
+		}
+		if s.Err == nil {
+			t.Fatalf("skip %v carries no error", s)
+		}
+		if scores[s.Index] != 0 {
+			t.Fatalf("skipped column %d scored %v, want 0", s.Index, scores[s.Index])
+		}
+	}
+	sk, ok := bySkip[0]
+	if !ok {
+		t.Fatalf("constant column not skipped (skips: %v)", skips)
+	}
+	if sk.Name != "allsame" {
+		t.Fatalf("skip names %q, want allsame", sk.Name)
+	}
+	if _, ok := bySkip[1]; !ok && scores[1] != 0 {
+		t.Fatalf("NaN column neither skipped nor zeroed: score %v", scores[1])
+	}
+	// Real features must be untouched: "tail" (index 2) still carries signal.
+	if scores[2] <= 0 {
+		t.Fatalf("tail feature scored %v with bad columns present", scores[2])
+	}
+	for i := 4; i < len(mixed); i++ { // noise columns: scored, not skipped
+		if _, ok := bySkip[i]; ok {
+			t.Fatalf("healthy column %d (%s) was skipped", i, mixed[i].Name)
+		}
+	}
+
+	// The plain API returns the same zeros without the detail.
+	plain, err := FeatureScores(mixed, y, CritTopNAP, SelectOptions{N: 200, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != scores[i] {
+			t.Fatalf("FeatureScores[%d] = %v, Detail %v", i, plain[i], scores[i])
+		}
+	}
+}

@@ -214,3 +214,43 @@ func Histogram(values []float64, lo, hi float64, bins int) []int {
 	}
 	return h
 }
+
+// ReliabilityGap measures calibration error: predicted probabilities are
+// bucketed into equal-count bins by rank, and the gap is the example-weighted
+// mean of |mean predicted probability − empirical positive rate| across bins
+// (the expected calibration error over a quantile binning). 0 is perfectly
+// calibrated; an overconfident model — e.g. one whose calibration was fitted
+// on its own inflated training margins — shows a large gap on held-out data.
+func ReliabilityGap(probs []float64, labels []bool, bins int) float64 {
+	n := len(probs)
+	if n == 0 || len(labels) != n || bins <= 0 {
+		panic(fmt.Sprintf("ml: bad reliability spec: %d probs, %d labels, %d bins", n, len(labels), bins))
+	}
+	if bins > n {
+		bins = n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return probs[order[a]] < probs[order[b]] })
+	gap := 0.0
+	for b := 0; b < bins; b++ {
+		lo, hi := b*n/bins, (b+1)*n/bins
+		if hi == lo {
+			continue
+		}
+		var meanP, posRate float64
+		for _, i := range order[lo:hi] {
+			meanP += probs[i]
+			if labels[i] {
+				posRate++
+			}
+		}
+		size := float64(hi - lo)
+		meanP /= size
+		posRate /= size
+		gap += size / float64(n) * math.Abs(meanP-posRate)
+	}
+	return gap
+}

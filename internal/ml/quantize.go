@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"nevermind/internal/parallel"
 )
 
 // Column is one feature across all examples. Categorical columns must be
@@ -70,9 +72,17 @@ type BinnedMatrix struct {
 	Bins  [][]uint8 // per feature, per example: index into [0, len(cuts)]
 }
 
-// Transform quantizes columns with the learned cuts. The columns must match
-// the fitted schema.
+// Transform quantizes columns with the learned cuts using the default worker
+// count. The columns must match the fitted schema.
 func (q *Quantizer) Transform(cols []Column) (*BinnedMatrix, error) {
+	return q.TransformWorkers(cols, 0)
+}
+
+// TransformWorkers quantizes columns on the given number of workers
+// (0 = GOMAXPROCS, 1 = sequential). Example rows are chunked; every cell's
+// bin depends only on its own value and the fitted cuts, so the matrix is
+// bit-identical at any worker count.
+func (q *Quantizer) TransformWorkers(cols []Column, workers int) (*BinnedMatrix, error) {
 	if len(cols) != len(q.Cuts) {
 		return nil, fmt.Errorf("ml: transform got %d columns, fitted %d", len(cols), len(q.Cuts))
 	}
@@ -85,16 +95,36 @@ func (q *Quantizer) Transform(cols []Column) (*BinnedMatrix, error) {
 		if len(col.Values) != n {
 			return nil, fmt.Errorf("ml: column %q has %d values, want %d", col.Name, len(col.Values), n)
 		}
-		cuts := q.Cuts[ci]
-		bins := make([]uint8, n)
-		for i, v := range col.Values {
-			// First cut strictly greater than v; bin = count of cuts <= v.
-			b := sort.Search(len(cuts), func(j int) bool { return cuts[j] > v })
-			bins[i] = uint8(b)
-		}
-		bm.Bins[ci] = bins
+		bm.Bins[ci] = make([]uint8, n)
 	}
+	parallel.For(n, workers, func(_, start, end int) {
+		for ci := range cols {
+			cuts := q.Cuts[ci]
+			vals := cols[ci].Values
+			bins := bm.Bins[ci]
+			for i := start; i < end; i++ {
+				// First cut strictly greater than v; bin = count of cuts <= v.
+				v := vals[i]
+				bins[i] = uint8(sort.Search(len(cuts), func(j int) bool { return cuts[j] > v }))
+			}
+		}
+	})
 	return bm, nil
+}
+
+// SubsetRows returns a new BinnedMatrix holding the given example rows, in
+// the given order. Used to carve held-out slices (e.g. the calibration
+// holdout) out of an already-quantized training matrix without re-encoding.
+func (bm *BinnedMatrix) SubsetRows(idx []int) *BinnedMatrix {
+	out := &BinnedMatrix{N: len(idx), Names: bm.Names, Bins: make([][]uint8, len(bm.Bins))}
+	for f, bins := range bm.Bins {
+		sub := make([]uint8, len(idx))
+		for i, r := range idx {
+			sub[i] = bins[r]
+		}
+		out.Bins[f] = sub
+	}
+	return out
 }
 
 // NumBins returns the number of distinct bins for a feature (#cuts + 1).

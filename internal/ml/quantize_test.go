@@ -1,0 +1,103 @@
+package ml
+
+import (
+	"testing"
+
+	"nevermind/internal/rng"
+)
+
+// TestQuantizerBins256 pins the uint8 boundary: at the maximum alphabet a
+// feature may carry 255 cuts (bins 0..255), every bin must survive the uint8
+// round-trip, and each example must still sit between its bin's boundaries.
+func TestQuantizerBins256(t *testing.T) {
+	const n = 4096
+	r := rng.New(77)
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(r.Float64()) * 1000 // thousands of distinct values
+	}
+	cols := []Column{{Name: "dense", Values: vals}}
+
+	q, err := FitQuantizer(cols, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := q.NumBins(0)
+	if nb < 2 || nb > 256 {
+		t.Fatalf("NumBins = %d, want within [2,256]", nb)
+	}
+	if len(q.Cuts[0]) != nb-1 {
+		t.Fatalf("cuts %d inconsistent with NumBins %d", len(q.Cuts[0]), nb)
+	}
+
+	bm, err := q.Transform(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := q.Cuts[0]
+	maxBin := 0
+	for i, b := range bm.Bins[0] {
+		if int(b) >= nb {
+			t.Fatalf("example %d binned to %d, alphabet has %d bins", i, b, nb)
+		}
+		// bin = number of cuts <= v: the value lies in (cuts[bin-1], cuts[bin]].
+		if b > 0 && vals[i] < cuts[b-1] {
+			t.Fatalf("example %d (v=%v) below lower boundary %v of bin %d", i, vals[i], cuts[b-1], b)
+		}
+		if int(b) < len(cuts) && vals[i] >= cuts[b] {
+			t.Fatalf("example %d (v=%v) at or above upper boundary %v of bin %d", i, vals[i], cuts[b], b)
+		}
+		if int(b) > maxBin {
+			maxBin = int(b)
+		}
+	}
+	if maxBin != nb-1 {
+		t.Fatalf("top bin %d never used (max seen %d): uint8 overflow would shift it", nb-1, maxBin)
+	}
+
+	// CutValue must answer at both ends of the alphabet without stepping
+	// outside the cuts slice.
+	if got := q.CutValue(0, 0); got != cuts[0] {
+		t.Fatalf("CutValue(0,0) = %v, want %v", got, cuts[0])
+	}
+	if got := q.CutValue(0, nb-1); got != cuts[len(cuts)-1] {
+		t.Fatalf("CutValue(0,%d) = %v, want last cut %v", nb-1, got, cuts[len(cuts)-1])
+	}
+
+	if _, err := FitQuantizer(cols, 257); err == nil {
+		t.Fatal("FitQuantizer accepted 257 bins: uint8 cannot index them")
+	}
+}
+
+// TestQuantizerBins256IntegerLattice forces exactly 256 distinct values so
+// every one of the 255 cuts survives dedup and bin 255 is reachable.
+func TestQuantizerBins256IntegerLattice(t *testing.T) {
+	n := 256 * 4
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(i % 256)
+	}
+	cols := []Column{{Name: "lattice", Values: vals}}
+	q, err := FitQuantizer(cols, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb := q.NumBins(0); nb != 256 {
+		t.Fatalf("NumBins = %d, want 256", nb)
+	}
+	bm, err := q.Transform(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint8]bool{}
+	for i, b := range bm.Bins[0] {
+		seen[b] = true
+		// 256 lattice values against 256 bins: value k lands in bin k.
+		if int(b) != int(vals[i]) {
+			t.Fatalf("value %v binned to %d", vals[i], b)
+		}
+	}
+	if !seen[255] || !seen[0] {
+		t.Fatalf("alphabet endpoints unused: bin0=%v bin255=%v", seen[0], seen[255])
+	}
+}

@@ -3,6 +3,8 @@ package ml
 import (
 	"fmt"
 	"math"
+
+	"nevermind/internal/parallel"
 )
 
 // Depth-2 boosted trees: the non-linear alternative the paper declines in
@@ -26,6 +28,9 @@ func (t *Tree) Score(bm *BinnedMatrix, i int) float64 {
 	child := &t.Right
 	if bm.Bins[t.RootFeature][i] <= t.RootCut {
 		child = &t.Left
+	}
+	if child.Feature < 0 { // constant leaf: no feature is consulted
+		return child.SLow
 	}
 	if bm.Bins[child.Feature][i] <= child.Cut {
 		return child.SLow
@@ -72,7 +77,7 @@ func TrainBTree(bm *BinnedMatrix, q *Quantizer, y []bool, opt TrainOptions) (*BT
 
 	model := &BTree{}
 	for t := 0; t < opt.Rounds; t++ {
-		root, ok := bestStump(bm, q, y, w, nil, features, eps)
+		root, ok := bestStump(bm, q, y, w, nil, features, eps, opt.Workers)
 		if !ok {
 			break
 		}
@@ -80,8 +85,8 @@ func TrainBTree(bm *BinnedMatrix, q *Quantizer, y []bool, opt TrainOptions) (*BT
 		for i := range inLeft {
 			inLeft[i] = rootBins[i] <= root.Cut
 		}
-		left, okL := bestStumpMasked(bm, q, y, w, inLeft, true, features, eps)
-		right, okR := bestStumpMasked(bm, q, y, w, inLeft, false, features, eps)
+		left, okL := bestStumpMasked(bm, q, y, w, inLeft, true, features, eps, opt.Workers)
+		right, okR := bestStumpMasked(bm, q, y, w, inLeft, false, features, eps, opt.Workers)
 		if !okL {
 			left = constantStump(y, w, inLeft, true, eps)
 		}
@@ -114,15 +119,25 @@ func TrainBTree(bm *BinnedMatrix, q *Quantizer, y []bool, opt TrainOptions) (*BT
 	return model, nil
 }
 
-// ScoreAll scores every example.
+// ScoreAll scores every example with the default worker count.
 func (m *BTree) ScoreAll(bm *BinnedMatrix) []float64 {
+	return m.ScoreAllWorkers(bm, 0)
+}
+
+// ScoreAllWorkers scores every example on the given number of workers
+// (0 = GOMAXPROCS, 1 = sequential). Examples are chunked; each example's
+// score accumulates over trees in ensemble order regardless of the worker
+// count, so the output is bit-identical at any setting.
+func (m *BTree) ScoreAllWorkers(bm *BinnedMatrix, workers int) []float64 {
 	out := make([]float64, bm.N)
-	for ti := range m.Trees {
-		t := &m.Trees[ti]
-		for i := 0; i < bm.N; i++ {
-			out[i] += t.Score(bm, i)
+	parallel.For(bm.N, workers, func(_, start, end int) {
+		for ti := range m.Trees {
+			t := &m.Trees[ti]
+			for i := start; i < end; i++ {
+				out[i] += t.Score(bm, i)
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -140,58 +155,84 @@ func (m *BTree) Calibrate(scores []float64, labels []bool) error {
 func (m *BTree) Probability(score float64) float64 { return m.Calib.Apply(score) }
 
 // bestStump finds the Z-minimising stump over examples where mask is nil.
-func bestStump(bm *BinnedMatrix, q *Quantizer, y []bool, w []float64, _ []bool, features []int, eps float64) (Stump, bool) {
-	return bestStumpMasked(bm, q, y, w, nil, false, features, eps)
+func bestStump(bm *BinnedMatrix, q *Quantizer, y []bool, w []float64, _ []bool, features []int, eps float64, workers int) (Stump, bool) {
+	return bestStumpMasked(bm, q, y, w, nil, false, features, eps, workers)
 }
 
 // bestStumpMasked finds the Z-minimising stump over the examples where
-// inLeft[i] == wantLeft (or all examples when inLeft is nil).
-func bestStumpMasked(bm *BinnedMatrix, q *Quantizer, y []bool, w []float64, inLeft []bool, wantLeft bool, features []int, eps float64) (Stump, bool) {
-	var wp, wn [maxStumpBins]float64
-	best := Stump{Feature: -1}
-	bestZ := math.Inf(1)
-	for _, f := range features {
-		bins := bm.Bins[f]
-		nb := q.NumBins(f)
-		if nb < 2 {
-			continue
-		}
-		for b := 0; b < nb; b++ {
-			wp[b], wn[b] = 0, 0
-		}
-		for i, b := range bins {
-			if inLeft != nil && inLeft[i] != wantLeft {
+// inLeft[i] == wantLeft (or all examples when inLeft is nil), searching the
+// feature axis on the given number of workers (0 = GOMAXPROCS).
+//
+// The reduction is order-fixed so the result is bit-identical to the
+// sequential scan at any worker count: each worker scans one contiguous shard
+// of the features slice with the sequential rule (strictly lower Z wins, so
+// within a shard the earliest feature position and lowest cut break ties),
+// and the per-shard winners are merged in shard order under the same strict
+// rule. The composed comparison therefore realises exactly the sequential
+// tie-break: lowest Z, then lowest position in features, then lowest cut.
+func bestStumpMasked(bm *BinnedMatrix, q *Quantizer, y []bool, w []float64, inLeft []bool, wantLeft bool, features []int, eps float64, workers int) (Stump, bool) {
+	type shardBest struct {
+		stump Stump
+		z     float64
+	}
+	shards := parallel.Chunks(len(features), workers)
+	partial := make([]shardBest, len(shards))
+	parallel.For(len(features), workers, func(shard, start, end int) {
+		var wp, wn [maxStumpBins]float64
+		best := Stump{Feature: -1}
+		bestZ := math.Inf(1)
+		for _, f := range features[start:end] {
+			bins := bm.Bins[f]
+			nb := q.NumBins(f)
+			if nb < 2 {
 				continue
 			}
-			if y[i] {
-				wp[b] += w[i]
-			} else {
-				wn[b] += w[i]
+			for b := 0; b < nb; b++ {
+				wp[b], wn[b] = 0, 0
 			}
-		}
-		var tp, tn float64
-		for b := 0; b < nb; b++ {
-			tp += wp[b]
-			tn += wn[b]
-		}
-		if tp+tn == 0 {
-			continue
-		}
-		var lp, ln float64
-		for c := 0; c < nb-1; c++ {
-			lp += wp[c]
-			ln += wn[c]
-			rp, rn := tp-lp, tn-ln
-			z := 2 * (math.Sqrt(lp*ln) + math.Sqrt(rp*rn))
-			if z < bestZ {
-				bestZ = z
-				best = Stump{
-					Feature: f,
-					Cut:     uint8(c),
-					SLow:    0.5 * math.Log((lp+eps)/(ln+eps)),
-					SHigh:   0.5 * math.Log((rp+eps)/(rn+eps)),
+			for i, b := range bins {
+				if inLeft != nil && inLeft[i] != wantLeft {
+					continue
+				}
+				if y[i] {
+					wp[b] += w[i]
+				} else {
+					wn[b] += w[i]
 				}
 			}
+			var tp, tn float64
+			for b := 0; b < nb; b++ {
+				tp += wp[b]
+				tn += wn[b]
+			}
+			if tp+tn == 0 {
+				continue
+			}
+			var lp, ln float64
+			for c := 0; c < nb-1; c++ {
+				lp += wp[c]
+				ln += wn[c]
+				rp, rn := tp-lp, tn-ln
+				z := 2 * (math.Sqrt(lp*ln) + math.Sqrt(rp*rn))
+				if z < bestZ {
+					bestZ = z
+					best = Stump{
+						Feature: f,
+						Cut:     uint8(c),
+						SLow:    0.5 * math.Log((lp+eps)/(ln+eps)),
+						SHigh:   0.5 * math.Log((rp+eps)/(rn+eps)),
+					}
+				}
+			}
+		}
+		partial[shard] = shardBest{stump: best, z: bestZ}
+	})
+	best := Stump{Feature: -1}
+	bestZ := math.Inf(1)
+	for _, p := range partial {
+		if p.stump.Feature >= 0 && p.z < bestZ {
+			bestZ = p.z
+			best = p.stump
 		}
 	}
 	if best.Feature < 0 {
@@ -202,7 +243,9 @@ func bestStumpMasked(bm *BinnedMatrix, q *Quantizer, y []bool, w []float64, inLe
 }
 
 // constantStump emits the partition's prior score on both sides, for empty
-// or unsplittable partitions.
+// or unsplittable partitions. Feature -1 marks the stump as constant so
+// scoring and explanation never attribute it to a real feature (it used to
+// reuse feature 0 with a bogus threshold, which misled Explain/TopFeatures).
 func constantStump(y []bool, w []float64, inLeft []bool, wantLeft bool, eps float64) Stump {
 	var wp, wn float64
 	for i := range w {
@@ -216,5 +259,5 @@ func constantStump(y []bool, w []float64, inLeft []bool, wantLeft bool, eps floa
 		}
 	}
 	s := 0.5 * math.Log((wp+eps)/(wn+eps))
-	return Stump{Feature: 0, Cut: 255, SLow: s, SHigh: s}
+	return Stump{Feature: -1, Cut: 255, SLow: s, SHigh: s, Threshold: float32(math.NaN())}
 }

@@ -1,0 +1,262 @@
+package ml
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+// workerCounts are the knob settings every determinism test sweeps: the exact
+// sequential path, a forced multi-chunk path, and the machine default.
+func workerCounts() []int {
+	return []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+}
+
+// TestTrainBStumpIdenticalAcrossWorkers is the tentpole's contract: the
+// parallel stump search merges per-shard argmins in shard order, so the
+// trained model is bit-identical at any worker count.
+func TestTrainBStumpIdenticalAcrossWorkers(t *testing.T) {
+	cols, y := synthProblem(5000, 31)
+	q, err := FitQuantizer(cols, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := q.Transform(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := TrainBStump(bm, q, y, TrainOptions{Rounds: 40, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		m, err := TrainBStump(bm, q, y, TrainOptions{Rounds: 40, Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(m.Stumps) != len(ref.Stumps) {
+			t.Fatalf("workers=%d: %d stumps vs %d sequential", w, len(m.Stumps), len(ref.Stumps))
+		}
+		for i := range m.Stumps {
+			if m.Stumps[i] != ref.Stumps[i] {
+				t.Fatalf("workers=%d: stump %d = %+v, sequential %+v", w, i, m.Stumps[i], ref.Stumps[i])
+			}
+		}
+	}
+}
+
+func TestTrainBTreeIdenticalAcrossWorkers(t *testing.T) {
+	cols, y := xorProblem(3000, 9)
+	q, _ := FitQuantizer(cols, 64)
+	bm, _ := q.Transform(cols)
+	ref, err := TrainBTree(bm, q, y, TrainOptions{Rounds: 20, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		m, err := TrainBTree(bm, q, y, TrainOptions{Rounds: 20, Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(m.Trees) != len(ref.Trees) {
+			t.Fatalf("workers=%d: %d trees vs %d", w, len(m.Trees), len(ref.Trees))
+		}
+		for i := range m.Trees {
+			if m.Trees[i] != ref.Trees[i] {
+				t.Fatalf("workers=%d: tree %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestFeatureScoresIdenticalAcrossWorkers(t *testing.T) {
+	cols, y := selProblem(12000, 21)
+	for _, crit := range []Criterion{CritTopNAP, CritAUC, CritAvgPrec, CritGainRatio} {
+		ref, err := FeatureScores(cols, y, crit, SelectOptions{N: 400, Seed: 5, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts() {
+			got, err := FeatureScores(cols, y, crit, SelectOptions{N: 400, Seed: 5, Workers: w})
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", crit, w, err)
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("%v workers=%d: score[%d] = %v, sequential %v", crit, w, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestScoreAllIdenticalAcrossWorkers(t *testing.T) {
+	cols, y := synthProblem(7001, 13) // odd length: uneven chunks
+	q, _ := FitQuantizer(cols, 64)
+	bm, _ := q.Transform(cols)
+	m, err := TrainBStump(bm, q, y, TrainOptions{Rounds: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := m.ScoreAllWorkers(bm, 1)
+	for _, w := range workerCounts() {
+		got := m.ScoreAllWorkers(bm, w)
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: score[%d] = %v, sequential %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+	tr, err := TrainBTree(bm, q, y, TrainOptions{Rounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refT := tr.ScoreAllWorkers(bm, 1)
+	for _, w := range workerCounts() {
+		got := tr.ScoreAllWorkers(bm, w)
+		for i := range got {
+			if got[i] != refT[i] {
+				t.Fatalf("tree workers=%d: score[%d] differs", w, i)
+			}
+		}
+	}
+}
+
+func TestTransformIdenticalAcrossWorkers(t *testing.T) {
+	cols, _ := synthProblem(4999, 17)
+	q, err := FitQuantizer(cols, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := q.TransformWorkers(cols, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		got, err := q.TransformWorkers(cols, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for f := range ref.Bins {
+			for i := range ref.Bins[f] {
+				if got.Bins[f][i] != ref.Bins[f][i] {
+					t.Fatalf("workers=%d: bin[%d][%d] differs", w, f, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBestStumpTieBreakAcrossWorkers plants an exact Z tie between a feature
+// in the first shard and one in a later shard: the merged winner must be the
+// earlier feature at every worker count, as in the sequential scan.
+func TestBestStumpTieBreakAcrossWorkers(t *testing.T) {
+	n := 1000
+	dup := make([]float32, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		dup[i] = float32(i % 7)
+		y[i] = i%7 >= 4
+	}
+	// Eight identical copies: every split has identical Z on every feature.
+	cols := make([]Column, 8)
+	for c := range cols {
+		cols[c] = Column{Name: "f", Values: dup}
+	}
+	q, _ := FitQuantizer(cols, 16)
+	bm, _ := q.Transform(cols)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	feats := make([]int, len(cols))
+	for i := range feats {
+		feats[i] = i
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		best, ok := bestStumpMasked(bm, q, y, w, nil, false, feats, 1e-4, workers)
+		if !ok {
+			t.Fatalf("workers=%d: no stump", workers)
+		}
+		if best.Feature != 0 {
+			t.Fatalf("workers=%d: tie broken to feature %d, want 0", workers, best.Feature)
+		}
+	}
+}
+
+// TestConstantStumpMarkedAndScored covers the constant-stump fix: a tree
+// partition that cannot be split yields Feature -1, which Score/ScoreAll
+// treat as an unconditional leaf and Explain renders without attributing a
+// feature-0 threshold.
+func TestConstantStumpMarkedAndScored(t *testing.T) {
+	st := constantStump([]bool{true, true, false}, []float64{0.5, 0.25, 0.25}, nil, false, 1e-3)
+	if st.Feature != -1 {
+		t.Fatalf("constant stump Feature = %d, want -1", st.Feature)
+	}
+	if st.SLow != st.SHigh {
+		t.Fatalf("constant stump scores differ: %v vs %v", st.SLow, st.SHigh)
+	}
+	if !math.IsNaN(float64(st.Threshold)) {
+		t.Fatalf("constant stump carries threshold %v", st.Threshold)
+	}
+
+	bm := &BinnedMatrix{N: 2, Names: []string{"real"}, Bins: [][]uint8{{0, 3}}}
+	m := &BStump{
+		Stumps: []Stump{
+			{Feature: 0, Cut: 1, SLow: -1, SHigh: 1, Threshold: 2.5},
+			{Feature: -1, Cut: 255, SLow: 0.25, SHigh: 0.25},
+		},
+		Names: []string{"real"},
+	}
+	want := []float64{-0.75, 1.25}
+	all := m.ScoreAll(bm)
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("ScoreAll[%d] = %v, want %v", i, all[i], want[i])
+		}
+		if s := m.Score(bm, i); s != want[i] {
+			t.Fatalf("Score(%d) = %v, want %v", i, s, want[i])
+		}
+	}
+	if pre := m.ScorePrefix(bm, 2); pre[0] != want[0] || pre[1] != want[1] {
+		t.Fatalf("ScorePrefix = %v, want %v", pre, want)
+	}
+
+	if got := m.Explain(1); got != "constant +0.250" {
+		t.Fatalf("Explain(constant) = %q", got)
+	}
+	if imp := m.FeatureImportance(); imp[-1] != 0 || len(imp) != 1 {
+		t.Fatalf("constant stump leaked into importance: %v", imp)
+	}
+
+	// A tree whose left partition is constant routes through it without
+	// consulting any feature.
+	tree := Tree{
+		RootFeature: 0, RootCut: 0,
+		Left:  Stump{Feature: -1, Cut: 255, SLow: 2, SHigh: 2},
+		Right: Stump{Feature: 0, Cut: 2, SLow: -1, SHigh: 1},
+	}
+	if got := tree.Score(bm, 0); got != 2 {
+		t.Fatalf("constant left leaf scored %v, want 2", got)
+	}
+	if got := tree.Score(bm, 1); got != 1 {
+		t.Fatalf("right leaf scored %v, want 1", got)
+	}
+}
+
+func TestSubsetRows(t *testing.T) {
+	bm := &BinnedMatrix{N: 5, Names: []string{"a", "b"}, Bins: [][]uint8{
+		{0, 1, 2, 3, 4},
+		{9, 8, 7, 6, 5},
+	}}
+	sub := bm.SubsetRows([]int{4, 0, 2})
+	if sub.N != 3 {
+		t.Fatalf("subset N = %d", sub.N)
+	}
+	if sub.Bins[0][0] != 4 || sub.Bins[0][1] != 0 || sub.Bins[0][2] != 2 {
+		t.Fatalf("subset feature 0 = %v", sub.Bins[0])
+	}
+	if sub.Bins[1][0] != 5 || sub.Bins[1][1] != 9 || sub.Bins[1][2] != 7 {
+		t.Fatalf("subset feature 1 = %v", sub.Bins[1])
+	}
+}

@@ -1,0 +1,114 @@
+// Package parallel is the repository's worker-pool primitive: bounded
+// goroutine fan-out over chunked index ranges, stdlib only.
+//
+// Every hot path in the ranker (stump search, per-feature selection, scoring,
+// quantization, per-disposition locator training) is a loop over an index
+// range whose iterations are independent. This package runs such loops on a
+// fixed number of workers while keeping results deterministic: work is split
+// into one contiguous chunk per worker, chunk boundaries depend only on
+// (n, workers) — never on scheduling — and callers merge per-chunk results in
+// chunk order. A reduction merged that way is bit-identical to the sequential
+// loop at any worker count (see DESIGN.md, "Parallelism model").
+//
+// Panics inside workers are captured and re-raised on the calling goroutine,
+// so a panicking chunk behaves like a panicking sequential loop rather than
+// crashing the process from an anonymous goroutine.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: n <= 0 means runtime.GOMAXPROCS(0)
+// (the conventional "use the machine" default), anything else is taken
+// as-is. The resolved count is additionally capped at the loop length by
+// For/Chunks, so passing a large count to a small loop is harmless.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Chunks returns the chunk boundaries that For uses: min(workers, n)
+// near-equal contiguous ranges covering [0, n). Boundary layout depends only
+// on the two arguments, so per-chunk reductions merged in chunk order are
+// reproducible across runs and machines. An empty range yields no chunks.
+func Chunks(n, workers int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([][2]int, workers)
+	for c := 0; c < workers; c++ {
+		out[c] = [2]int{c * n / workers, (c + 1) * n / workers}
+	}
+	return out
+}
+
+// capturedPanic wraps a worker panic with the chunk that raised it, so the
+// re-raised value still identifies the failing shard.
+type capturedPanic struct {
+	chunk int
+	value any
+}
+
+func (p capturedPanic) String() string {
+	return fmt.Sprintf("parallel: worker chunk %d panicked: %v", p.chunk, p.value)
+}
+
+// For runs body over [0, n) split into one contiguous chunk per worker.
+// body(chunk, start, end) handles the half-open index range [start, end);
+// chunk is the chunk's ordinal (0-based, ascending with start), which callers
+// use to store per-chunk partial results for an order-fixed merge.
+//
+// workers <= 0 means GOMAXPROCS; workers == 1 (or a single chunk) runs body
+// inline on the calling goroutine — the exact sequential path, no goroutines.
+// For returns only after every chunk finished. If any chunk panicked, the
+// first panic (lowest chunk ordinal) is re-raised on the caller.
+func For(n, workers int, body func(chunk, start, end int)) {
+	chunks := Chunks(n, workers)
+	if len(chunks) == 0 {
+		return
+	}
+	if len(chunks) == 1 {
+		body(0, chunks[0][0], chunks[0][1])
+		return
+	}
+	panics := make([]*capturedPanic, len(chunks))
+	var wg sync.WaitGroup
+	wg.Add(len(chunks))
+	for c, rng := range chunks {
+		go func(c, start, end int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[c] = &capturedPanic{chunk: c, value: r}
+				}
+			}()
+			body(c, start, end)
+		}(c, rng[0], rng[1])
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p.String())
+		}
+	}
+}
+
+// ForEach runs body(i) over [0, n) with the same chunking, for loops whose
+// iterations are heavy enough that per-index closure dispatch is noise
+// (training one model per column, per disposition, ...).
+func ForEach(n, workers int, body func(i int)) {
+	For(n, workers, func(_, start, end int) {
+		for i := start; i < end; i++ {
+			body(i)
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestChunksCoverRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 100, 1000} {
+		for _, w := range []int{1, 2, 3, 8, 64} {
+			chunks := Chunks(n, w)
+			next := 0
+			for _, c := range chunks {
+				if c[0] != next {
+					t.Fatalf("n=%d w=%d: chunk starts at %d, want %d", n, w, c[0], next)
+				}
+				if c[1] <= c[0] {
+					t.Fatalf("n=%d w=%d: empty chunk %v", n, w, c)
+				}
+				next = c[1]
+			}
+			if n == 0 && chunks != nil {
+				t.Fatalf("Chunks(0, %d) = %v", w, chunks)
+			}
+			if n > 0 && next != n {
+				t.Fatalf("n=%d w=%d: chunks end at %d", n, w, next)
+			}
+			if n > 0 && len(chunks) > w && w >= 1 {
+				t.Fatalf("n=%d w=%d: %d chunks", n, w, len(chunks))
+			}
+		}
+	}
+}
+
+func TestChunksDependOnlyOnArguments(t *testing.T) {
+	a := Chunks(1000, 7)
+	b := Chunks(1000, 7)
+	if len(a) != len(b) {
+		t.Fatal("chunk counts differ across calls")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chunk %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{0, 1, 2, 5, 16} {
+		const n = 503
+		var visits [n]int32
+		For(n, w, func(_, start, end int) {
+			for i := start; i < end; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", w, i, v)
+			}
+		}
+	}
+}
+
+func TestForSingleWorkerRunsInline(t *testing.T) {
+	// With one worker the body must run on the calling goroutine: a value
+	// written without synchronisation is visible immediately after.
+	x := 0
+	For(10, 1, func(_, start, end int) { x = end })
+	if x != 10 {
+		t.Fatalf("inline run wrote %d", x)
+	}
+}
+
+// TestForDeterministicReduction is the contract the ml package relies on:
+// per-chunk argmin partials merged in chunk order equal the sequential scan,
+// at any worker count, including ties (strict < keeps the first minimum).
+func TestForDeterministicReduction(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64((i*2654435761)%997) / 997
+	}
+	vals[123] = -1 // unique minimum
+	vals[777] = -1 // tie: first index must win
+	seqBest, seqAt := vals[0], 0
+	for i, v := range vals {
+		if v < seqBest {
+			seqBest, seqAt = v, i
+		}
+	}
+	for _, w := range []int{1, 2, 3, 4, 13} {
+		chunks := Chunks(len(vals), w)
+		bests := make([]float64, len(chunks))
+		ats := make([]int, len(chunks))
+		For(len(vals), w, func(c, start, end int) {
+			b, at := vals[start], start
+			for i := start + 1; i < end; i++ {
+				if vals[i] < b {
+					b, at = vals[i], i
+				}
+			}
+			bests[c], ats[c] = b, at
+		})
+		mb, ma := bests[0], ats[0]
+		for c := 1; c < len(bests); c++ {
+			if bests[c] < mb {
+				mb, ma = bests[c], ats[c]
+			}
+		}
+		if mb != seqBest || ma != seqAt {
+			t.Fatalf("workers=%d: argmin (%v,%d) != sequential (%v,%d)", w, mb, ma, seqBest, seqAt)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	const n = 97
+	var sum int64
+	ForEach(n, 4, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if want := int64(n * (n - 1) / 2); sum != want {
+		t.Fatalf("sum %d, want %d", sum, want)
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", w)
+				}
+				if w > 1 {
+					s, ok := r.(string)
+					if !ok || !strings.Contains(s, "boom") {
+						t.Fatalf("workers=%d: panic value %v lost the cause", w, r)
+					}
+				}
+			}()
+			For(100, w, func(_, start, end int) {
+				for i := start; i < end; i++ {
+					if i == 42 {
+						panic("boom")
+					}
+				}
+			})
+		}()
+	}
+}
+
+func TestForEmptyRange(t *testing.T) {
+	called := false
+	For(0, 4, func(_, _, _ int) { called = true })
+	if called {
+		t.Fatal("body called for empty range")
+	}
+}
