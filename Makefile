@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench experiments examples fuzz clean
+.PHONY: all check build vet test race bench bench-json bench-smoke experiments examples fuzz clean
 
 all: build vet test
 
-# The full gate: compile, static checks, tests, and the race detector over
-# the parallel hot paths.
-check: build vet test race
+# The full gate: compile, static checks, tests, the race detector over the
+# parallel hot paths, and a one-iteration pass over every benchmark so the
+# bench code itself cannot rot.
+check: build vet test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -20,15 +21,27 @@ test:
 	$(GO) test ./...
 
 # Race-detect the worker-pool paths: the parallel package itself plus the
-# cross-worker determinism tests in ml and core.
+# cross-worker determinism, compiled-scoring, and encode-cache tests in the
+# packages that share state across goroutines.
 race:
 	$(GO) test -race ./internal/parallel/ ./internal/ml/
-	$(GO) test -race -run 'AcrossWorkers' ./internal/core/
+	$(GO) test -race -run 'AcrossWorkers|Compiled|Cache' ./internal/core/ ./internal/eval/
 
 # One benchmark per paper table/figure plus ablations; writes the artifacts
 # the repository documents.
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Machine-readable numbers for the ML hot paths (reference vs compiled
+# scoring, training, transform); BENCH_ml.json is committed so perf diffs
+# show up in review.
+bench-json:
+	$(GO) test -run '^$$' -bench 'ScoreAllWorkers|ScoreCompiled|CompileBStump|TrainBStump|Transform|FeatureScores' -benchmem . 2>&1 | tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_ml.json
+
+# One iteration of every benchmark — a compile-and-run smoke gate, not a
+# measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Regenerate every table and figure at full scale (~2 min on one core).
 experiments:

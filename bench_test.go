@@ -420,18 +420,86 @@ func BenchmarkFeatureScoresWorkers(b *testing.B) {
 	}
 }
 
-// BenchmarkScoreAllWorkers sweeps the example-chunk scoring pool on a trained
-// ensemble — the inner loop of the weekly ranking.
-func BenchmarkScoreAllWorkers(b *testing.B) {
-	bm, q, _, y := benchTrainingMatrix(b)
-	m, err := ml.TrainBStump(bm, q, y, ml.TrainOptions{Rounds: 80})
-	if err != nil {
-		b.Fatal(err)
+// benchScoringModel trains the shared scoring fixture once: a T=200
+// ensemble on the standard matrix. Reference and compiled scoring benchmark
+// against the same model and matrix, so their ratio is the leaf-table
+// speedup the compiled path claims (see DESIGN.md, "Compiled inference").
+var (
+	scoreBenchOnce  sync.Once
+	scoreBenchBM    *ml.BinnedMatrix
+	scoreBenchModel *ml.BStump
+	scoreBenchErr   error
+)
+
+func benchScoringModel(b *testing.B) (*ml.BinnedMatrix, *ml.BStump) {
+	b.Helper()
+	scoreBenchOnce.Do(func() {
+		bm, q, _, y := benchTrainingMatrix(b)
+		m, err := ml.TrainBStump(bm, q, y, ml.TrainOptions{Rounds: 200})
+		if err != nil {
+			scoreBenchErr = err
+			return
+		}
+		scoreBenchBM, scoreBenchModel = bm, m
+	})
+	if scoreBenchErr != nil {
+		b.Fatal(scoreBenchErr)
 	}
+	return scoreBenchBM, scoreBenchModel
+}
+
+// BenchmarkScoreAllWorkers sweeps the example-chunk scoring pool on the
+// trained T=200 ensemble — the stump-major reference path, O(T) per example.
+func BenchmarkScoreAllWorkers(b *testing.B) {
+	bm, m := benchScoringModel(b)
 	for _, w := range workerSweep {
 		b.Run(benchName("workers", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_ = m.ScoreAllWorkers(bm, w)
+			}
+			b.ReportMetric(float64(len(m.Stumps)), "rounds")
+		})
+	}
+}
+
+// BenchmarkScoreCompiled scores the same model and matrix through the
+// compiled per-bin tables — O(used features) per example, independent of T.
+// The acceptance criterion is >= 3x over BenchmarkScoreAllWorkers at the
+// matching worker count.
+func BenchmarkScoreCompiled(b *testing.B) {
+	bm, m := benchScoringModel(b)
+	c := m.Compiled()
+	for _, w := range workerSweep {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = c.ScoreAllWorkers(bm, w)
+			}
+			b.ReportMetric(float64(len(m.Stumps)), "rounds")
+			b.ReportMetric(float64(len(c.Features)), "used-features")
+		})
+	}
+}
+
+// BenchmarkCompileBStump measures the one-time fold cost the compiled path
+// amortises (microseconds against milliseconds of scoring).
+func BenchmarkCompileBStump(b *testing.B) {
+	_, m := benchScoringModel(b)
+	for i := 0; i < b.N; i++ {
+		_ = ml.CompileBStump(m)
+	}
+}
+
+// BenchmarkTrainBStumpTrim sweeps Friedman weight trimming on the per-round
+// stump search (quantile 0 is the exact path).
+func BenchmarkTrainBStumpTrim(b *testing.B) {
+	bm, q, _, y := benchTrainingMatrix(b)
+	for _, trim := range []int{0, 10, 30} {
+		b.Run(benchName("trimpct", trim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := ml.TrainOptions{Rounds: 40, TrimQuantile: float64(trim) / 100}
+				if _, err := ml.TrainBStump(bm, q, y, opt); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

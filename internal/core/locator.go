@@ -87,7 +87,15 @@ type TroubleLocator struct {
 	combiner map[faults.DispositionID]*ml.LogisticFit
 	quant    *ml.Quantizer
 	colNames []string
+
+	// cache, when set, memoizes case encodes and quantized matrices across
+	// experiments (see features.Cache); unexported so gob skips it.
+	cache *features.Cache
 }
+
+// SetEncodeCache attaches (or with nil detaches) a cross-experiment
+// encode/bin cache.
+func (l *TroubleLocator) SetEncodeCache(c *features.Cache) { l.cache = c }
 
 // CasesFromNotes joins disposition notes with their tickets and produces the
 // dispatch training/evaluation cases whose ticket day falls in [loDay,
@@ -115,6 +123,13 @@ func CasesFromNotes(ds *data.Dataset, loDay, hiDay int) []DispatchCase {
 
 // TrainLocator learns the flat and combined models from dispatch cases.
 func TrainLocator(ds *data.Dataset, cases []DispatchCase, cfg LocatorConfig) (*TroubleLocator, error) {
+	return TrainLocatorCached(ds, cases, cfg, nil)
+}
+
+// TrainLocatorCached is TrainLocator threading an optional encode/bin cache
+// through the case encode; the trained locator keeps the cache for its
+// subsequent Posteriors calls. A nil cache is TrainLocator exactly.
+func TrainLocatorCached(ds *data.Dataset, cases []DispatchCase, cfg LocatorConfig, cache *features.Cache) (*TroubleLocator, error) {
 	if cfg.Rounds <= 0 || cfg.Bins < 2 || cfg.MinCases < 1 {
 		return nil, fmt.Errorf("core: malformed locator config %+v", cfg)
 	}
@@ -132,6 +147,7 @@ func TrainLocator(ds *data.Dataset, cases []DispatchCase, cfg LocatorConfig) (*T
 		flat:     map[faults.DispositionID]*ml.BStump{},
 		locModel: map[faults.Location]*ml.BStump{},
 		combiner: map[faults.DispositionID]*ml.LogisticFit{},
+		cache:    cache,
 	}
 	total := 0
 	for d, n := range counts {
@@ -149,7 +165,7 @@ func TrainLocator(ds *data.Dataset, cases []DispatchCase, cfg LocatorConfig) (*T
 	}
 
 	// Encode the dispatch cases once.
-	enc, err := encodeCases(ds, cases, cfg.HistoryWeeks)
+	enc, err := encodeCases(ds, cases, cfg.HistoryWeeks, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -255,14 +271,47 @@ func TrainLocator(ds *data.Dataset, cases []DispatchCase, cfg LocatorConfig) (*T
 }
 
 // encodeCases builds the full Table 3 feature set (no products; §6.3 uses
-// all line features) for dispatch cases.
-func encodeCases(ds *data.Dataset, cases []DispatchCase, historyWeeks int) (*features.Encoded, error) {
+// all line features) for dispatch cases, memoized when a cache is given.
+func encodeCases(ds *data.Dataset, cases []DispatchCase, historyWeeks int, cache *features.Cache) (*features.Encoded, error) {
 	ex := make([]features.Example, len(cases))
 	for i, c := range cases {
 		ex[i] = features.Example{Line: c.Line, Week: c.Week}
 	}
 	ix := data.NewTicketIndex(ds)
-	return features.Encode(ds, ix, ex, features.Config{HistoryWeeks: historyWeeks, Quadratic: true})
+	return features.EncodeCached(cache, ds, ix, ex, features.Config{HistoryWeeks: historyWeeks, Quadratic: true})
+}
+
+// casesMatrix returns the quantized design matrix for dispatch cases,
+// memoized (keyed by the cases and the quantizer's content fingerprint)
+// when a cache is attached.
+func (l *TroubleLocator) casesMatrix(ds *data.Dataset, cases []DispatchCase) (*ml.BinnedMatrix, error) {
+	var bmKey string
+	if l.cache != nil {
+		ex := make([]features.Example, len(cases))
+		for i, c := range cases {
+			ex[i] = features.Example{Line: c.Line, Week: c.Week}
+		}
+		bmKey = fmt.Sprintf("bin|loc|%016x|h%d|q%016x",
+			features.ExamplesKey(ex), l.Cfg.HistoryWeeks, l.quant.Fingerprint())
+		if bm, ok := l.cache.GetBinned(bmKey); ok {
+			return bm, nil
+		}
+	}
+	enc, err := encodeCases(ds, cases, l.Cfg.HistoryWeeks, l.cache)
+	if err != nil {
+		return nil, err
+	}
+	if len(enc.Cols) != len(l.colNames) {
+		return nil, fmt.Errorf("core: locator schema drift: %d cols vs %d", len(enc.Cols), len(l.colNames))
+	}
+	bm, err := l.quant.Transform(enc.Cols)
+	if err != nil {
+		return nil, err
+	}
+	if l.cache != nil {
+		l.cache.PutBinned(bmKey, bm)
+	}
+	return bm, nil
 }
 
 // Posteriors returns, for each case, the per-disposition score under the
@@ -282,29 +331,25 @@ func (l *TroubleLocator) Posteriors(ds *data.Dataset, cases []DispatchCase, mode
 		return out, nil
 	}
 
-	enc, err := encodeCases(ds, cases, l.Cfg.HistoryWeeks)
-	if err != nil {
-		return nil, err
-	}
-	if len(enc.Cols) != len(l.colNames) {
-		return nil, fmt.Errorf("core: locator schema drift: %d cols vs %d", len(enc.Cols), len(l.colNames))
-	}
-	bm, err := l.quant.Transform(enc.Cols)
+	bm, err := l.casesMatrix(ds, cases)
 	if err != nil {
 		return nil, err
 	}
 
 	// Location scores are shared across dispositions of one location.
+	// Scoring runs on the compiled per-bin tables (see ml/compile.go):
+	// these ensembles are re-scored once per disposition per experiment,
+	// exactly the T-independent batch path the tables exist for.
 	locScores := map[faults.Location][]float64{}
 	for loc, m := range l.locModel {
-		locScores[loc] = m.ScoreAll(bm)
+		locScores[loc] = m.Compiled().ScoreAll(bm)
 	}
 
 	for i := range out {
 		out[i] = make([]float64, nd)
 	}
 	for j, d := range l.Dispositions {
-		sd := l.flat[d].ScoreAll(bm)
+		sd := l.flat[d].Compiled().ScoreAll(bm)
 		switch model {
 		case ModelFlat:
 			for i := range cases {

@@ -7,6 +7,8 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math"
 	"sort"
 
@@ -111,7 +113,17 @@ type TicketPredictor struct {
 	// boosting to fit the logistic calibration; 0 means the training set was
 	// too small to split and calibration fell back to in-sample scores.
 	CalibrationHoldout int
+
+	// cache, when set, memoizes feature encodes and quantized matrices
+	// across rankings and experiments (see features.Cache). Unexported so
+	// gob persistence skips it; a loaded predictor runs uncached until
+	// SetEncodeCache is called.
+	cache *features.Cache
 }
+
+// SetEncodeCache attaches (or with nil detaches) a cross-ranking encode/bin
+// cache. Safe to call on a freshly trained or gob-loaded predictor.
+func (p *TicketPredictor) SetEncodeCache(c *features.Cache) { p.cache = c }
 
 // Prediction is one ranked line.
 type Prediction struct {
@@ -124,6 +136,13 @@ type Prediction struct {
 // TrainPredictor learns the full pipeline on the given training weeks of a
 // dataset: encode → select features → train BStump → calibrate.
 func TrainPredictor(ds *data.Dataset, trainWeeks []int, cfg PredictorConfig) (*TicketPredictor, error) {
+	return TrainPredictorCached(ds, trainWeeks, cfg, nil)
+}
+
+// TrainPredictorCached is TrainPredictor threading an optional encode/bin
+// cache through the training encode; the trained predictor keeps the cache
+// for its subsequent rankings. A nil cache is TrainPredictor exactly.
+func TrainPredictorCached(ds *data.Dataset, trainWeeks []int, cfg PredictorConfig, cache *features.Cache) (*TicketPredictor, error) {
 	if err := validatePredictorConfig(cfg); err != nil {
 		return nil, err
 	}
@@ -132,7 +151,7 @@ func TrainPredictor(ds *data.Dataset, trainWeeks []int, cfg PredictorConfig) (*T
 	}
 	ix := data.NewTicketIndex(ds)
 	examples := features.ExamplesForWeeks(ds, trainWeeks)
-	enc, err := features.Encode(ds, ix, examples, features.Config{
+	enc, err := features.EncodeCached(cache, ds, ix, examples, features.Config{
 		HistoryWeeks: cfg.HistoryWeeks, Quadratic: cfg.UseDerived,
 	})
 	if err != nil {
@@ -162,7 +181,7 @@ func TrainPredictor(ds *data.Dataset, trainWeeks []int, cfg PredictorConfig) (*T
 	if err != nil {
 		return nil, fmt.Errorf("core: feature selection: %w", err)
 	}
-	p := &TicketPredictor{Cfg: cfg, SelectionScores: map[string]float64{}}
+	p := &TicketPredictor{Cfg: cfg, SelectionScores: map[string]float64{}, cache: cache}
 	for _, s := range skips {
 		p.SelectionSkips = append(p.SelectionSkips, s.String())
 	}
@@ -337,10 +356,39 @@ func subsetBools(y []bool, idx []int) []bool {
 	return out
 }
 
+// schemaKey fingerprints the predictor's scoring schema — selected columns,
+// product pairs, encoder settings, and the quantizer's content fingerprint —
+// for binned-matrix cache keys. Predictors that bin identical examples
+// identically share a key; retrained predictors with different cuts do not.
+func (p *TicketPredictor) schemaKey() uint64 {
+	h := fnv.New64a()
+	for _, name := range p.SelectedCols {
+		io.WriteString(h, name)
+		h.Write([]byte{0})
+	}
+	for _, pp := range p.ProductPairs {
+		io.WriteString(h, pp[0])
+		h.Write([]byte{1})
+		io.WriteString(h, pp[1])
+		h.Write([]byte{0})
+	}
+	fmt.Fprintf(h, "|h%d|d%v|q%016x", p.Cfg.HistoryWeeks, p.Cfg.UseDerived, p.Quant.Fingerprint())
+	return h.Sum64()
+}
+
 // encodeFor re-encodes arbitrary examples into the predictor's column
-// schema.
+// schema. With a cache attached, both the base feature encode and the final
+// quantized matrix are memoized (keyed by the examples and the predictor's
+// schemaKey), so repeated rankings of the same weeks skip the pipeline.
 func (p *TicketPredictor) encodeFor(ds *data.Dataset, ix *data.TicketIndex, examples []features.Example) (*ml.BinnedMatrix, error) {
-	enc, err := features.Encode(ds, ix, examples, features.Config{
+	var bmKey string
+	if p.cache != nil {
+		bmKey = fmt.Sprintf("bin|pred|%016x|%016x", features.ExamplesKey(examples), p.schemaKey())
+		if bm, ok := p.cache.GetBinned(bmKey); ok {
+			return bm, nil
+		}
+	}
+	enc, err := features.EncodeCached(p.cache, ds, ix, examples, features.Config{
 		HistoryWeeks: p.Cfg.HistoryWeeks, Quadratic: p.Cfg.UseDerived,
 	})
 	if err != nil {
@@ -375,7 +423,14 @@ func (p *TicketPredictor) encodeFor(ds *data.Dataset, ix *data.TicketIndex, exam
 			return nil, err
 		}
 	}
-	return p.Quant.TransformWorkers(finalEnc.Cols, p.Cfg.Workers)
+	bm, err := p.Quant.TransformWorkers(finalEnc.Cols, p.Cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if p.cache != nil {
+		p.cache.PutBinned(bmKey, bm)
+	}
+	return bm, nil
 }
 
 // Rank scores every line at the given week and returns the full ranking,
@@ -388,7 +443,7 @@ func (p *TicketPredictor) Rank(ds *data.Dataset, week int) ([]Prediction, error)
 	if err != nil {
 		return nil, err
 	}
-	scores := p.Model.ScoreAllWorkers(bm, p.Cfg.Workers)
+	scores := p.Model.Compiled().ScoreAllWorkers(bm, p.Cfg.Workers)
 	order := ml.RankDesc(scores)
 	out := make([]Prediction, len(order))
 	for rank, i := range order {
@@ -423,7 +478,7 @@ func (p *TicketPredictor) ScoreExamples(ds *data.Dataset, examples []features.Ex
 	if err != nil {
 		return nil, err
 	}
-	return p.Model.ScoreAllWorkers(bm, p.Cfg.Workers), nil
+	return p.Model.Compiled().ScoreAllWorkers(bm, p.Cfg.Workers), nil
 }
 
 func validatePredictorConfig(cfg PredictorConfig) error {

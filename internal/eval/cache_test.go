@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+)
+
+// cacheCfg is a deliberately small configuration — the cache tests retrain
+// fig6's fifteen predictors up to twice, and the race target runs them under
+// -race, so they get their own context instead of the shared ctxFixture.
+func cacheCfg(disable bool) Config {
+	return Config{
+		Lines:             1500,
+		Seed:              11,
+		Rounds:            12,
+		LocRounds:         12,
+		MaxSelectExamples: 6000,
+		TrainLo:           33,
+		TrainHi:           36,
+		TestWeeks:         []int{43},
+		DisableCache:      disable,
+	}
+}
+
+// TestCacheSharedAcrossFig4AndFig6 proves the experiments actually share
+// matrices: fig4 seeds the training-week encodes, and fig6's fifteen
+// predictor trainings plus scoring passes must hit them instead of
+// re-encoding.
+func TestCacheSharedAcrossFig4AndFig6(t *testing.T) {
+	ctx, err := NewContext(cacheCfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Cache == nil {
+		t.Fatal("context built without a cache")
+	}
+	if _, err := ctx.RunFig4(); err != nil {
+		t.Fatal(err)
+	}
+	hitsAfterFig4, missesAfterFig4 := ctx.Cache.Stats()
+	if missesAfterFig4 == 0 {
+		t.Fatal("fig4 never consulted the cache")
+	}
+	if _, err := ctx.RunFig6(); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := ctx.Cache.Stats()
+	// fig6 trains 5 criteria × 3 repeats on the training weeks fig4 already
+	// encoded: every training must hit the shared base encode, plus the
+	// test-week encodes shared across repeats.
+	if hits-hitsAfterFig4 < 15 {
+		t.Fatalf("fig6 hit the cache only %d times after fig4, want >= 15", hits-hitsAfterFig4)
+	}
+	// A second fig4 run reuses everything: no new misses.
+	_, missesBefore := ctx.Cache.Stats()
+	if _, err := ctx.RunFig4(); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := ctx.Cache.Stats(); misses != missesBefore {
+		t.Fatalf("repeat fig4 missed the cache (%d -> %d misses)", missesBefore, misses)
+	}
+}
+
+// TestCacheDisabledResultsUnchanged is the A/B guarantee: with the cache off
+// the experiments recompute everything, and every number must come out
+// identical.
+func TestCacheDisabledResultsUnchanged(t *testing.T) {
+	cached, err := NewContext(cacheCfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewContext(cacheCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cache != nil {
+		t.Fatal("DisableCache left a cache attached")
+	}
+
+	fig4Cached, err := cached.RunFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig4Plain, err := plain.RunFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fig4Cached, fig4Plain) {
+		t.Fatal("fig4 results differ with the cache disabled")
+	}
+
+	fig6Cached, err := cached.RunFig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig6Plain, err := plain.RunFig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fig6Cached, fig6Plain) {
+		t.Fatal("fig6 results differ with the cache disabled")
+	}
+
+	if hits, _ := cached.Cache.Stats(); hits == 0 {
+		t.Fatal("cached context never hit its cache — the A/B compared nothing")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"nevermind/internal/core"
 	"nevermind/internal/data"
+	"nevermind/internal/features"
 	"nevermind/internal/sim"
 )
 
@@ -41,6 +42,13 @@ type Config struct {
 	// Workers sizes the pipeline worker pools (0 = GOMAXPROCS,
 	// 1 = sequential); results are bit-identical at any setting.
 	Workers int
+	// DisableCache turns off the cross-experiment encode/bin cache; every
+	// experiment then recomputes its feature matrices from scratch. Results
+	// are identical either way (see eval/cache_test.go) — this exists for
+	// A/B verification and memory-constrained runs.
+	DisableCache bool
+	// CacheEntries bounds the cache (0 = features.DefaultCacheEntries).
+	CacheEntries int
 }
 
 // Defaults fills zero fields.
@@ -85,6 +93,11 @@ type Context struct {
 	DS  *data.Dataset
 	Ix  *data.TicketIndex
 
+	// Cache memoizes encoded/binned feature matrices across the
+	// experiments (fig4/fig6–fig9/table5/trend all walk the same weeks);
+	// nil when Cfg.DisableCache is set.
+	Cache *features.Cache
+
 	stdPred *core.TicketPredictor // lazily trained standard pipeline
 }
 
@@ -93,7 +106,7 @@ type Context struct {
 // Table 5, not-on-site).
 func (c *Context) StandardPredictor() (*core.TicketPredictor, error) {
 	if c.stdPred == nil {
-		p, err := core.TrainPredictor(c.DS, c.trainWeeks(), c.predictorConfig())
+		p, err := core.TrainPredictorCached(c.DS, c.trainWeeks(), c.predictorConfig(), c.Cache)
 		if err != nil {
 			return nil, err
 		}
@@ -117,7 +130,11 @@ func NewContext(cfg Config) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Context{Cfg: cfg, Res: res, DS: res.Dataset, Ix: data.NewTicketIndex(res.Dataset)}, nil
+	ctx := &Context{Cfg: cfg, Res: res, DS: res.Dataset, Ix: data.NewTicketIndex(res.Dataset)}
+	if !cfg.DisableCache {
+		ctx.Cache = features.NewCache(cfg.CacheEntries)
+	}
+	return ctx, nil
 }
 
 // predictorConfig builds the standard predictor configuration for this run.

@@ -40,7 +40,7 @@ func (c *Context) RunLocator() (*LocatorResult, error) {
 	cfg := core.DefaultLocatorConfig(c.Cfg.Seed)
 	cfg.Rounds = c.Cfg.LocRounds
 	cfg.Workers = c.Cfg.Workers
-	loc, err := core.TrainLocator(c.DS, train, cfg)
+	loc, err := core.TrainLocatorCached(c.DS, train, cfg, c.Cache)
 	if err != nil {
 		return nil, err
 	}

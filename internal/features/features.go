@@ -112,6 +112,20 @@ func (e *Encoded) IndicesOfGroups(groups ...Group) []int {
 // Encode builds the Table 3 feature columns for the examples.
 func Encode(ds *data.Dataset, ix *data.TicketIndex, examples []Example, cfg Config) (*Encoded, error) {
 	cfg = cfg.defaults()
+	enc, err := encodeBase(ds, ix, examples, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Quadratic {
+		enc = withQuadratic(enc)
+	}
+	return enc, nil
+}
+
+// encodeBase builds every non-derived column (the quadratic step is split
+// out so EncodeCached can share one base encode between quadratic and
+// non-quadratic callers).
+func encodeBase(ds *data.Dataset, ix *data.TicketIndex, examples []Example, cfg Config) (*Encoded, error) {
 	if len(examples) == 0 {
 		return nil, fmt.Errorf("features: no examples")
 	}
@@ -229,33 +243,39 @@ func Encode(ds *data.Dataset, ix *data.TicketIndex, examples []Example, cfg Conf
 		}
 	}
 
-	if cfg.Quadratic {
-		addQuadratic(enc, addCol)
-	}
 	return enc, nil
 }
 
-// addQuadratic appends squares of the signed deviation columns (delta and
-// time-series). The paper's quadratic features "model the variance of each
-// variable": the square of a deviation measures its magnitude regardless of
-// direction, which a single threshold stump cannot. Squares of the
-// positive-valued basic counters are monotone transforms — redundant for
-// stumps — so they would only waste selection slots.
-func addQuadratic(enc *Encoded, addCol func(string, Group, bool) []float32) {
-	base := len(enc.Cols)
-	for ci := 0; ci < base; ci++ {
-		col := enc.Cols[ci]
+// withQuadratic returns a new Encoded extending base with squares of the
+// signed deviation columns (delta and time-series). The paper's quadratic
+// features "model the variance of each variable": the square of a deviation
+// measures its magnitude regardless of direction, which a single threshold
+// stump cannot. Squares of the positive-valued basic counters are monotone
+// transforms — redundant for stumps — so they would only waste selection
+// slots. The base Encoded is left untouched (its column values are shared,
+// its headers copied), so a cached base can safely serve both quadratic and
+// non-quadratic callers.
+func withQuadratic(base *Encoded) *Encoded {
+	out := &Encoded{
+		Cols:     append(make([]ml.Column, 0, 2*len(base.Cols)), base.Cols...),
+		Groups:   append(make([]Group, 0, 2*len(base.Groups)), base.Groups...),
+		Examples: base.Examples,
+	}
+	for ci, col := range base.Cols {
 		if col.Categorical {
 			continue // the square of a binary indicator is itself
 		}
-		if g := enc.Groups[ci]; g != GroupDelta && g != GroupTS {
+		if g := base.Groups[ci]; g != GroupDelta && g != GroupTS {
 			continue
 		}
-		sq := addCol("quad:"+col.Name, GroupQuad, false)
+		sq := make([]float32, len(col.Values))
 		for i, v := range col.Values {
 			sq[i] = v * v
 		}
+		out.Cols = append(out.Cols, ml.Column{Name: "quad:" + col.Name, Values: sq})
+		out.Groups = append(out.Groups, GroupQuad)
 	}
+	return out
 }
 
 // imputeAt fills dst with the line's measurement at week w, carrying the

@@ -1,7 +1,10 @@
 package ml
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math"
 	"sort"
 
@@ -125,6 +128,28 @@ func (bm *BinnedMatrix) SubsetRows(idx []int) *BinnedMatrix {
 		out.Bins[f] = sub
 	}
 	return out
+}
+
+// Fingerprint identifies the fitted quantizer by content (feature names and
+// exact cut bit patterns): two quantizers with equal fingerprints bin
+// identical columns identically. Used as the quantizer-identity component of
+// encode/bin cache keys, where pointer identity would be unsafe.
+func (q *Quantizer) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, cuts := range q.Cuts {
+		binary.LittleEndian.PutUint32(buf[:], uint32(len(cuts)))
+		h.Write(buf[:])
+		for _, c := range cuts {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(c))
+			h.Write(buf[:])
+		}
+	}
+	for _, n := range q.Names {
+		io.WriteString(h, n)
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
 }
 
 // NumBins returns the number of distinct bins for a feature (#cuts + 1).

@@ -3,6 +3,7 @@ package ml
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"nevermind/internal/parallel"
 )
@@ -42,6 +43,10 @@ func (t *Tree) Score(bm *BinnedMatrix, i int) float64 {
 type BTree struct {
 	Trees []Tree
 	Calib Calibration
+
+	// compiled caches the partial per-bin table fold of this ensemble (see
+	// compile.go); unexported so gob persistence skips it.
+	compiled atomic.Pointer[CompiledBTree]
 }
 
 // TrainBTree boosts depth-2 trees. The greedy construction picks the best
@@ -63,6 +68,9 @@ func TrainBTree(bm *BinnedMatrix, q *Quantizer, y []bool, opt TrainOptions) (*BT
 			features[i] = i
 		}
 	}
+	if opt.TrimQuantile < 0 || opt.TrimQuantile >= 1 {
+		return nil, fmt.Errorf("ml: TrimQuantile %g outside [0, 1)", opt.TrimQuantile)
+	}
 	eps := opt.Smooth
 	if eps == 0 {
 		eps = 1 / (2 * float64(bm.N))
@@ -73,25 +81,46 @@ func TrainBTree(bm *BinnedMatrix, q *Quantizer, y []bool, opt TrainOptions) (*BT
 	for i := range w {
 		w[i] = 1 / float64(n)
 	}
-	inLeft := make([]bool, n)
+	// Partition row-index slices: each side's histogram build touches only
+	// its own rows instead of rescanning all N with a mask test.
+	leftRows := make([]int, 0, n)
+	rightRows := make([]int, 0, n)
+	var trimBuf []int
 
 	model := &BTree{}
 	for t := 0; t < opt.Rounds; t++ {
-		root, ok := bestStump(bm, q, y, w, nil, features, eps, opt.Workers)
+		var rows []int
+		rows, trimBuf = trimRows(w, opt.TrimQuantile, trimBuf)
+		root, ok := bestStumpRows(bm, q, y, w, rows, features, eps, opt.Workers)
 		if !ok {
 			break
 		}
 		rootBins := bm.Bins[root.Feature]
-		for i := range inLeft {
-			inLeft[i] = rootBins[i] <= root.Cut
+		leftRows, rightRows = leftRows[:0], rightRows[:0]
+		if rows == nil {
+			for i := 0; i < n; i++ {
+				if rootBins[i] <= root.Cut {
+					leftRows = append(leftRows, i)
+				} else {
+					rightRows = append(rightRows, i)
+				}
+			}
+		} else {
+			for _, i := range rows {
+				if rootBins[i] <= root.Cut {
+					leftRows = append(leftRows, i)
+				} else {
+					rightRows = append(rightRows, i)
+				}
+			}
 		}
-		left, okL := bestStumpMasked(bm, q, y, w, inLeft, true, features, eps, opt.Workers)
-		right, okR := bestStumpMasked(bm, q, y, w, inLeft, false, features, eps, opt.Workers)
+		left, okL := bestStumpRows(bm, q, y, w, leftRows, features, eps, opt.Workers)
+		right, okR := bestStumpRows(bm, q, y, w, rightRows, features, eps, opt.Workers)
 		if !okL {
-			left = constantStump(y, w, inLeft, true, eps)
+			left = constantStump(y, w, leftRows, eps)
 		}
 		if !okR {
-			right = constantStump(y, w, inLeft, false, eps)
+			right = constantStump(y, w, rightRows, eps)
 		}
 		tree := Tree{RootFeature: root.Feature, RootCut: root.Cut, Left: left, Right: right}
 		model.Trees = append(model.Trees, tree)
@@ -154,14 +183,12 @@ func (m *BTree) Calibrate(scores []float64, labels []bool) error {
 // Probability converts a raw score to a posterior.
 func (m *BTree) Probability(score float64) float64 { return m.Calib.Apply(score) }
 
-// bestStump finds the Z-minimising stump over examples where mask is nil.
-func bestStump(bm *BinnedMatrix, q *Quantizer, y []bool, w []float64, _ []bool, features []int, eps float64, workers int) (Stump, bool) {
-	return bestStumpMasked(bm, q, y, w, nil, false, features, eps, workers)
-}
-
-// bestStumpMasked finds the Z-minimising stump over the examples where
-// inLeft[i] == wantLeft (or all examples when inLeft is nil), searching the
-// feature axis on the given number of workers (0 = GOMAXPROCS).
+// bestStumpRows finds the Z-minimising stump over the given example rows
+// (nil = every example; row order must be ascending so weight sums keep the
+// sequential accumulation order), searching the feature axis on the given
+// number of workers (0 = GOMAXPROCS). TrainBTree passes each side's
+// partition as a row-index slice, so a side's histogram build touches only
+// its own rows instead of rescanning all N with a mask test.
 //
 // The reduction is order-fixed so the result is bit-identical to the
 // sequential scan at any worker count: each worker scans one contiguous shard
@@ -170,7 +197,7 @@ func bestStump(bm *BinnedMatrix, q *Quantizer, y []bool, w []float64, _ []bool, 
 // and the per-shard winners are merged in shard order under the same strict
 // rule. The composed comparison therefore realises exactly the sequential
 // tie-break: lowest Z, then lowest position in features, then lowest cut.
-func bestStumpMasked(bm *BinnedMatrix, q *Quantizer, y []bool, w []float64, inLeft []bool, wantLeft bool, features []int, eps float64, workers int) (Stump, bool) {
+func bestStumpRows(bm *BinnedMatrix, q *Quantizer, y []bool, w []float64, rows []int, features []int, eps float64, workers int) (Stump, bool) {
 	type shardBest struct {
 		stump Stump
 		z     float64
@@ -190,14 +217,21 @@ func bestStumpMasked(bm *BinnedMatrix, q *Quantizer, y []bool, w []float64, inLe
 			for b := 0; b < nb; b++ {
 				wp[b], wn[b] = 0, 0
 			}
-			for i, b := range bins {
-				if inLeft != nil && inLeft[i] != wantLeft {
-					continue
+			if rows == nil {
+				for i, b := range bins {
+					if y[i] {
+						wp[b] += w[i]
+					} else {
+						wn[b] += w[i]
+					}
 				}
-				if y[i] {
-					wp[b] += w[i]
-				} else {
-					wn[b] += w[i]
+			} else {
+				for _, i := range rows {
+					if y[i] {
+						wp[bins[i]] += w[i]
+					} else {
+						wn[bins[i]] += w[i]
+					}
 				}
 			}
 			var tp, tn float64
@@ -243,19 +277,27 @@ func bestStumpMasked(bm *BinnedMatrix, q *Quantizer, y []bool, w []float64, inLe
 }
 
 // constantStump emits the partition's prior score on both sides, for empty
-// or unsplittable partitions. Feature -1 marks the stump as constant so
-// scoring and explanation never attribute it to a real feature (it used to
-// reuse feature 0 with a bogus threshold, which misled Explain/TopFeatures).
-func constantStump(y []bool, w []float64, inLeft []bool, wantLeft bool, eps float64) Stump {
+// or unsplittable partitions (rows nil = every example). Feature -1 marks
+// the stump as constant so scoring and explanation never attribute it to a
+// real feature (it used to reuse feature 0 with a bogus threshold, which
+// misled Explain/TopFeatures).
+func constantStump(y []bool, w []float64, rows []int, eps float64) Stump {
 	var wp, wn float64
-	for i := range w {
-		if inLeft != nil && inLeft[i] != wantLeft {
-			continue
+	if rows == nil {
+		for i := range w {
+			if y[i] {
+				wp += w[i]
+			} else {
+				wn += w[i]
+			}
 		}
-		if y[i] {
-			wp += w[i]
-		} else {
-			wn += w[i]
+	} else {
+		for _, i := range rows {
+			if y[i] {
+				wp += w[i]
+			} else {
+				wn += w[i]
+			}
 		}
 	}
 	s := 0.5 * math.Log((wp+eps)/(wn+eps))

@@ -174,7 +174,7 @@ func TestBestStumpTieBreakAcrossWorkers(t *testing.T) {
 		feats[i] = i
 	}
 	for _, workers := range []int{1, 2, 3, 8} {
-		best, ok := bestStumpMasked(bm, q, y, w, nil, false, feats, 1e-4, workers)
+		best, ok := bestStumpRows(bm, q, y, w, nil, feats, 1e-4, workers)
 		if !ok {
 			t.Fatalf("workers=%d: no stump", workers)
 		}
@@ -189,7 +189,7 @@ func TestBestStumpTieBreakAcrossWorkers(t *testing.T) {
 // treat as an unconditional leaf and Explain renders without attributing a
 // feature-0 threshold.
 func TestConstantStumpMarkedAndScored(t *testing.T) {
-	st := constantStump([]bool{true, true, false}, []float64{0.5, 0.25, 0.25}, nil, false, 1e-3)
+	st := constantStump([]bool{true, true, false}, []float64{0.5, 0.25, 0.25}, nil, 1e-3)
 	if st.Feature != -1 {
 		t.Fatalf("constant stump Feature = %d, want -1", st.Feature)
 	}
