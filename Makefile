@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-json bench-smoke experiments examples fuzz clean
+.PHONY: all check build vet test race bench bench-json bench-smoke serve-smoke experiments examples fuzz clean
 
 all: build vet test
 
 # The full gate: compile, static checks, tests, the race detector over the
-# parallel hot paths, and a one-iteration pass over every benchmark so the
-# bench code itself cannot rot.
-check: build vet test race bench-smoke
+# parallel hot paths, a one-iteration pass over every benchmark so the
+# bench code itself cannot rot, and an end-to-end smoke of the daemon.
+check: build vet test race bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,12 @@ test:
 
 # Race-detect the worker-pool paths: the parallel package itself plus the
 # cross-worker determinism, compiled-scoring, and encode-cache tests in the
-# packages that share state across goroutines.
+# packages that share state across goroutines, and the serving subsystem
+# whose store is hammered by concurrent ingest and score requests.
 race:
 	$(GO) test -race ./internal/parallel/ ./internal/ml/
 	$(GO) test -race -run 'AcrossWorkers|Compiled|Cache' ./internal/core/ ./internal/eval/
+	$(GO) test -race ./internal/serve/
 
 # One benchmark per paper table/figure plus ablations; writes the artifacts
 # the repository documents.
@@ -36,12 +38,18 @@ bench:
 # scoring, training, transform); BENCH_ml.json is committed so perf diffs
 # show up in review.
 bench-json:
-	$(GO) test -run '^$$' -bench 'ScoreAllWorkers|ScoreCompiled|CompileBStump|TrainBStump|Transform|FeatureScores' -benchmem . 2>&1 | tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_ml.json
+	$(GO) test -run '^$$' -bench 'ScoreAllWorkers|ScoreCompiled|CompileBStump|TrainBStump|Transform|FeatureScores|ServeScore' -benchmem . 2>&1 | tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_ml.json
 
 # One iteration of every benchmark — a compile-and-run smoke gate, not a
 # measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# End-to-end smoke of the nevermindd daemon: boot it on a random port,
+# ingest a batch over HTTP, assert /healthz and /v1/rank answer, and shut
+# it down cleanly.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Regenerate every table and figure at full scale (~2 min on one core).
 experiments:

@@ -7,6 +7,11 @@ package nevermind
 // `go run ./cmd/experiments`.
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -18,6 +23,7 @@ import (
 	"nevermind/internal/features"
 	"nevermind/internal/ml"
 	"nevermind/internal/rng"
+	"nevermind/internal/serve"
 	"nevermind/internal/sim"
 )
 
@@ -344,6 +350,80 @@ func BenchmarkWeeklyRanking(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(ctx.DS.NumLines), "lines")
+}
+
+// BenchmarkServeScore measures the daemon's batch scoring endpoint end to
+// end — JSON in, store snapshot, compiled-scorer batch, JSON out — scoring
+// the whole population per request. The acceptance bar for the serving
+// subsystem is >= 10k lines/sec through this path.
+func BenchmarkServeScore(b *testing.B) {
+	ctx := benchContext(b)
+	pred, err := ctx.StandardPredictor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Predictor: pred})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate the store the way the weekly feed would: the recent test
+	// history plus the ticket record.
+	ds := ctx.DS
+	var tests []serve.TestRecord
+	for w := 30; w <= 43; w++ {
+		for l := 0; l < ds.NumLines; l++ {
+			m := ds.At(data.LineID(l), w)
+			tests = append(tests, serve.TestRecord{
+				Line: m.Line, Week: w, Missing: m.Missing, F: m.F[:],
+				Profile: ds.ProfileOf[l], DSLAM: ds.DSLAMOf[l], Usage: ds.UsageOf[l],
+			})
+		}
+	}
+	if _, err := srv.Store().IngestTests(tests); err != nil {
+		b.Fatal(err)
+	}
+	var tickets []serve.TicketRecord
+	for _, tk := range ds.Tickets {
+		tickets = append(tickets, serve.TicketRecord{ID: tk.ID, Line: tk.Line, Day: tk.Day, Category: uint8(tk.Category)})
+	}
+	if _, err := srv.Store().IngestTickets(tickets); err != nil {
+		b.Fatal(err)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	type ex struct {
+		Line int `json:"line"`
+		Week int `json:"week"`
+	}
+	examples := make([]ex, ds.NumLines)
+	for l := range examples {
+		examples[l] = ex{Line: l, Week: 43}
+	}
+	body, err := json.Marshal(map[string]any{"examples": examples})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func() {
+		resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("score: status %d", resp.StatusCode)
+		}
+	}
+	post() // warm the snapshot and encode/bin cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N*ds.NumLines)/s, "lines/sec")
+	}
 }
 
 // BenchmarkMeasurement measures the physical-layer line-test model.

@@ -42,10 +42,10 @@ func main() {
 
 	ds, err := loadOrSimulate(*dataPath, *lines, *seed)
 	if err != nil {
-		fatal(err)
+		fatal("dataset", err)
 	}
 	if *week < 1 || *week >= data.Weeks {
-		fatal(fmt.Errorf("week %d outside [1,%d)", *week, data.Weeks))
+		fatal("config", fmt.Errorf("week %d outside [1,%d)", *week, data.Weeks))
 	}
 
 	var pred *core.TicketPredictor
@@ -53,7 +53,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loading predictor %s...\n", *model)
 		pred, err = core.LoadPredictor(*model)
 		if err != nil {
-			fatal(err)
+			fatal("load predictor", err)
 		}
 		if *budget > 0 {
 			pred.Cfg.BudgetN = *budget
@@ -64,7 +64,7 @@ func main() {
 		hi := *week - 5
 		lo := hi - 8
 		if lo < 1 {
-			fatal(fmt.Errorf("week %d leaves no room for training; use a later week", *week))
+			fatal("config", fmt.Errorf("week %d leaves no room for training; use a later week", *week))
 		}
 		cfg := core.DefaultPredictorConfig(ds.NumLines, *seed)
 		cfg.Rounds = *rounds
@@ -80,13 +80,13 @@ func main() {
 		t0 := time.Now()
 		pred, err = core.TrainPredictor(ds, features.WeekRange(lo, hi), cfg)
 		if err != nil {
-			fatal(err)
+			fatal("train predictor", err)
 		}
 		fmt.Fprintf(os.Stderr, "trained in %v; model uses %d features + %d products\n",
 			time.Since(t0).Round(time.Millisecond), len(pred.SelectedCols), len(pred.ProductPairs))
 		if *saveTo != "" {
 			if err := pred.Save(*saveTo); err != nil {
-				fatal(err)
+				fatal("save predictor", err)
 			}
 			fmt.Fprintf(os.Stderr, "saved predictor to %s\n", *saveTo)
 		}
@@ -94,7 +94,7 @@ func main() {
 
 	top, err := pred.TopN(ds, *week)
 	if err != nil {
-		fatal(err)
+		fatal("rank", err)
 	}
 
 	var loc *core.TroubleLocator
@@ -106,7 +106,7 @@ func main() {
 		t0 := time.Now()
 		loc, err = core.TrainLocator(ds, cases, lcfg)
 		if err != nil {
-			fatal(err)
+			fatal("train locator", err)
 		}
 		fmt.Fprintf(os.Stderr, "trained %d disposition models in %v\n",
 			len(loc.Dispositions), time.Since(t0).Round(time.Millisecond))
@@ -235,7 +235,7 @@ func crossValidateRounds(ds *data.Dataset, lo, hi int, cfg core.PredictorConfig)
 	}
 	enc, err := features.Encode(ds, ix, ex, features.Config{HistoryWeeks: cfg.HistoryWeeks})
 	if err != nil {
-		fatal(err)
+		fatal("cross-validation", err)
 	}
 	y := features.Labels(ix, ex, cfg.WindowDays)
 	// The per-fold validation slice is a third of the examples; scale the
@@ -247,12 +247,14 @@ func crossValidateRounds(ds *data.Dataset, lo, hi int, cfg core.PredictorConfig)
 	res, err := ml.CrossValidateRounds(enc.Cols, y, []int{60, 150, 250, 400}, 3, 64, cfg.Seed,
 		func(s []float64, l []bool) float64 { return ml.TopNAveragePrecision(s, l, foldN) })
 	if err != nil {
-		fatal(err)
+		fatal("cross-validation", err)
 	}
 	return res.Best
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nevermind:", err)
+// fatal exits naming the pipeline stage that failed, so a failed run's last
+// line says whether loading, training, or ranking broke.
+func fatal(stage string, err error) {
+	fmt.Fprintf(os.Stderr, "nevermind: %s: %v\n", stage, err)
 	os.Exit(1)
 }

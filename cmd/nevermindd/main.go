@@ -1,0 +1,214 @@
+// Command nevermindd is the NEVERMIND serving daemon: the long-running
+// counterpart to the one-shot nevermind report. It keeps the latest line-test
+// history for the population in a sharded in-memory store, serves scoring,
+// ranking and trouble-location over a JSON HTTP API, and runs the weekly
+// §3.2 pipeline loop — ingest the Saturday tests, rank the population, push
+// the budgeted TopN into the ATDS dispatch queue — on a configurable tick.
+//
+// Models load from files at startup and hot-reload on SIGHUP or
+// POST /v1/reload without dropping requests; SIGINT/SIGTERM drain in-flight
+// requests before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nevermind/internal/core"
+	"nevermind/internal/data"
+	"nevermind/internal/features"
+	"nevermind/internal/serve"
+	"nevermind/internal/sim"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		lines     = flag.Int("lines", 20000, "subscriber population to simulate (ignored with -data)")
+		seed      = flag.Uint64("seed", 42, "simulation and training seed")
+		dataPath  = flag.String("data", "", "load a dataset written by dslsim instead of simulating")
+		model     = flag.String("model", "", "load a trained predictor instead of training at startup")
+		locator   = flag.String("locator", "", "load a trained trouble locator")
+		trainLoc  = flag.Bool("train-locator", false, "train a locator at startup when -locator is unset")
+		rounds    = flag.Int("rounds", 120, "boosting rounds when training at startup")
+		budget    = flag.Int("budget", 0, "ATDS capacity for predicted tickets (default population/50)")
+		workers   = flag.Int("workers", 0, "worker pool size for scoring (0 = all CPUs)")
+		shards    = flag.Int("shards", 0, "line-state store shards (0 = GOMAXPROCS, rounded up to a power of two)")
+		cacheEnt  = flag.Int("cache", 0, "encode/bin cache entries (0 = library default)")
+		pipeline  = flag.Bool("pipeline", true, "run the weekly pipeline loop over the simulated feed")
+		startWeek = flag.Int("start-week", 40, "first week the pipeline ingests and ranks")
+		endWeek   = flag.Int("end-week", 51, "last week the pipeline ingests and ranks")
+		tick      = flag.Duration("tick", 0, "wall-clock interval per simulated week (0 = back to back)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	)
+	flag.Parse()
+
+	if *startWeek < 1 || *endWeek >= data.Weeks || *startWeek > *endWeek {
+		fatalStage("config", fmt.Errorf("pipeline weeks [%d,%d] outside [1,%d)", *startWeek, *endWeek, data.Weeks))
+	}
+
+	ds, err := loadOrSimulate(*dataPath, *lines, *seed)
+	if err != nil {
+		fatalStage("dataset", err)
+	}
+
+	pred, err := loadOrTrainPredictor(ds, *model, *startWeek, *rounds, *budget, *workers, *seed)
+	if err != nil {
+		fatalStage("predictor", err)
+	}
+
+	var loc *core.TroubleLocator
+	switch {
+	case *locator != "":
+		fmt.Fprintf(os.Stderr, "nevermindd: loading locator %s...\n", *locator)
+		if loc, err = core.LoadLocator(*locator); err != nil {
+			fatalStage("locator", err)
+		}
+	case *trainLoc:
+		cases := core.CasesFromNotes(ds, data.FirstSaturday, data.SaturdayOf(*startWeek)-1)
+		lcfg := core.DefaultLocatorConfig(*seed)
+		lcfg.Workers = *workers
+		fmt.Fprintf(os.Stderr, "nevermindd: training trouble locator on %d dispatches...\n", len(cases))
+		if loc, err = core.TrainLocator(ds, cases, lcfg); err != nil {
+			fatalStage("locator", err)
+		}
+	}
+
+	srv, err := serve.New(serve.Config{
+		Predictor:     pred,
+		Locator:       loc,
+		PredictorPath: *model,
+		LocatorPath:   *locator,
+		Shards:        *shards,
+		CacheEntries:  *cacheEnt,
+		DrainTimeout:  *drain,
+	})
+	if err != nil {
+		fatalStage("server", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalStage("listen", err)
+	}
+	// The smoke test parses this line for the actual port.
+	fmt.Fprintf(os.Stderr, "nevermindd: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			res, err := srv.Reload()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nevermindd: reload: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "nevermindd: reloaded models (probe=%d identical=%v schema=%s)\n",
+				res.ProbeExamples, res.Identical, res.SchemaFingerprint)
+		}
+	}()
+
+	if *pipeline {
+		src, err := sim.NewSource(ds, *startWeek, *endWeek)
+		if err != nil {
+			fatalStage("pipeline", err)
+		}
+		pl, err := serve.NewPipeline(srv, serve.PipelineConfig{
+			Source: src,
+			Tick:   *tick,
+			OnWeek: func(r serve.WeekReport) {
+				fmt.Fprintf(os.Stderr,
+					"nevermindd: week %d: ingested %d tests %d tickets; submitted %d predictions; worked %d customer + %d predicted (%d expired, %d pending)\n",
+					r.Week, r.IngestedTests, r.IngestedTickets, r.Submitted,
+					r.Stats.Customer, r.Stats.Predicted, r.Stats.ExpiredPredicted, r.Pending)
+			},
+		})
+		if err != nil {
+			fatalStage("pipeline", err)
+		}
+		go func() {
+			if err := pl.Run(ctx); err != nil && ctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "nevermindd: pipeline: %v\n", err)
+				return
+			}
+			if ctx.Err() == nil {
+				t := pl.Totals()
+				fmt.Fprintf(os.Stderr,
+					"nevermindd: pipeline done: %d customer + %d predicted worked, %d predicted within 7 days, %d expired\n",
+					t.Customer, t.Predicted, t.WorkedWithinBudgetHorizon, t.ExpiredPredicted)
+			}
+		}()
+	}
+
+	if err := srv.Serve(ctx, ln); err != nil {
+		fatalStage("serve", err)
+	}
+	fmt.Fprintln(os.Stderr, "nevermindd: drained, exiting")
+}
+
+func loadOrSimulate(path string, lines int, seed uint64) (*data.Dataset, error) {
+	if path != "" {
+		fmt.Fprintf(os.Stderr, "nevermindd: loading dataset %s...\n", path)
+		return data.Load(path)
+	}
+	fmt.Fprintf(os.Stderr, "nevermindd: simulating %d lines for one year...\n", lines)
+	res, err := sim.Run(sim.DefaultConfig(lines, seed))
+	if err != nil {
+		return nil, err
+	}
+	return res.Dataset, nil
+}
+
+// loadOrTrainPredictor loads the model file when given one, otherwise trains
+// on the weeks preceding the pipeline's start week with the same 4-week label
+// gap the nevermind command uses.
+func loadOrTrainPredictor(ds *data.Dataset, path string, startWeek, rounds, budget, workers int, seed uint64) (*core.TicketPredictor, error) {
+	if path != "" {
+		fmt.Fprintf(os.Stderr, "nevermindd: loading predictor %s...\n", path)
+		pred, err := core.LoadPredictor(path)
+		if err != nil {
+			return nil, err
+		}
+		pred.Cfg.Workers = workers
+		if budget > 0 {
+			pred.Cfg.BudgetN = budget
+		}
+		return pred, nil
+	}
+	hi := startWeek - 5
+	lo := hi - 8
+	if lo < 1 {
+		return nil, fmt.Errorf("start week %d leaves no room for training; use a later week or -model", startWeek)
+	}
+	cfg := core.DefaultPredictorConfig(ds.NumLines, seed)
+	cfg.Rounds = rounds
+	cfg.Workers = workers
+	if budget > 0 {
+		cfg.BudgetN = budget
+	}
+	fmt.Fprintf(os.Stderr, "nevermindd: training ticket predictor on weeks %d-%d (%d lines)...\n", lo, hi, ds.NumLines)
+	t0 := time.Now()
+	pred, err := core.TrainPredictor(ds, features.WeekRange(lo, hi), cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "nevermindd: trained in %v; model uses %d features + %d products\n",
+		time.Since(t0).Round(time.Millisecond), len(pred.SelectedCols), len(pred.ProductPairs))
+	return pred, nil
+}
+
+// fatalStage exits naming the startup stage that failed, so a dead daemon's
+// last log line says whether loading, training, or serving broke.
+func fatalStage(stage string, err error) {
+	fmt.Fprintf(os.Stderr, "nevermindd: %s: %v\n", stage, err)
+	os.Exit(1)
+}

@@ -191,6 +191,24 @@ type Stats struct {
 	WorkedWithinBudgetHorizon int // predicted jobs started within 7 days
 }
 
+// Add merges another batch's stats into s, reweighting the mean waits by
+// job counts, so a long-running pipeline can accumulate a running total
+// across weekly ticks.
+func (s *Stats) Add(o Stats) {
+	if s.Customer+o.Customer > 0 {
+		s.MeanCustomerWaitDays = (s.MeanCustomerWaitDays*float64(s.Customer) +
+			o.MeanCustomerWaitDays*float64(o.Customer)) / float64(s.Customer+o.Customer)
+	}
+	if s.Predicted+o.Predicted > 0 {
+		s.MeanPredictedWaitDays = (s.MeanPredictedWaitDays*float64(s.Predicted) +
+			o.MeanPredictedWaitDays*float64(o.Predicted)) / float64(s.Predicted+o.Predicted)
+	}
+	s.Customer += o.Customer
+	s.Predicted += o.Predicted
+	s.ExpiredPredicted += o.ExpiredPredicted
+	s.WorkedWithinBudgetHorizon += o.WorkedWithinBudgetHorizon
+}
+
 // Summarize aggregates outcomes.
 func Summarize(outcomes []Outcome) Stats {
 	var s Stats

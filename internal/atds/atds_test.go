@@ -229,3 +229,56 @@ func TestExpiryConsumesNoCapacity(t *testing.T) {
 		t.Fatalf("expiries stole capacity: %+v", out)
 	}
 }
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{
+		Customer: 2, Predicted: 4, ExpiredPredicted: 1,
+		MeanCustomerWaitDays: 1, MeanPredictedWaitDays: 2,
+		WorkedWithinBudgetHorizon: 3,
+	}
+	b := Stats{
+		Customer: 6, Predicted: 0, ExpiredPredicted: 2,
+		MeanCustomerWaitDays: 5, MeanPredictedWaitDays: 99, // no predicted jobs: mean is noise
+		WorkedWithinBudgetHorizon: 0,
+	}
+	a.Add(b)
+	if a.Customer != 8 || a.Predicted != 4 || a.ExpiredPredicted != 3 || a.WorkedWithinBudgetHorizon != 3 {
+		t.Fatalf("counts wrong after Add: %+v", a)
+	}
+	// Means reweight by job counts: (1*2 + 5*6) / 8 = 4.
+	if a.MeanCustomerWaitDays != 4 {
+		t.Fatalf("customer mean %v, want 4", a.MeanCustomerWaitDays)
+	}
+	// b carried no predicted jobs, so its (meaningless) mean has zero weight.
+	if a.MeanPredictedWaitDays != 2 {
+		t.Fatalf("predicted mean %v, want 2", a.MeanPredictedWaitDays)
+	}
+
+	// Adding a batch into a zero total is the batch itself — except that a
+	// mean with zero jobs behind it carries no weight and does not survive.
+	var zero Stats
+	zero.Add(b)
+	want := b
+	want.MeanPredictedWaitDays = 0
+	if zero != want {
+		t.Fatalf("zero.Add(b) = %+v, want %+v", zero, want)
+	}
+
+	// Accumulating Summarize batches equals one Summarize of everything.
+	q := mustQueue(t, Config{DailyCapacity: 2, WeekendFactor: 1, MaxAgeDays: 30}, 0)
+	for i := 0; i < 6; i++ {
+		q.Submit(data.LineID(i), PriorityCustomer, 0)
+		q.Submit(data.LineID(10+i), PriorityPredicted, i)
+	}
+	var all []Outcome
+	var running Stats
+	for d := 0; d < 10; d++ {
+		out := q.Advance()
+		running.Add(Summarize(out))
+		all = append(all, out...)
+	}
+	oneShot := Summarize(all)
+	if running != oneShot {
+		t.Fatalf("accumulated %+v, one-shot %+v", running, oneShot)
+	}
+}

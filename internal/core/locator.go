@@ -27,6 +27,21 @@ const (
 	ModelCombined
 )
 
+// ParseLocatorModel maps the wire names ("basic", "flat", "combined") back
+// to a LocatorModel; the empty string defaults to the combined model the
+// paper deploys.
+func ParseLocatorModel(s string) (LocatorModel, error) {
+	switch s {
+	case "basic":
+		return ModelBasic, nil
+	case "flat":
+		return ModelFlat, nil
+	case "combined", "":
+		return ModelCombined, nil
+	}
+	return 0, fmt.Errorf("core: unknown locator model %q", s)
+}
+
 func (m LocatorModel) String() string {
 	switch m {
 	case ModelBasic:

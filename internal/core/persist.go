@@ -5,6 +5,9 @@ import (
 	"encoding/gob"
 	"fmt"
 	"os"
+
+	"nevermind/internal/faults"
+	"nevermind/internal/ml"
 )
 
 // Model persistence: the paper's deployment trains on a server in ~2 hours
@@ -61,4 +64,81 @@ func LoadPredictor(path string) (*TicketPredictor, error) {
 			len(p.SelectedCols), len(p.ProductPairs), len(p.Quant.Cuts))
 	}
 	return &p, nil
+}
+
+// locatorDisk mirrors TroubleLocator with exported fields so gob can reach
+// the per-disposition models. The in-memory struct keeps them unexported
+// (they are implementation detail to every caller but persistence), so the
+// mirror is converted to and from explicitly.
+type locatorDisk struct {
+	Cfg          LocatorConfig
+	Dispositions []faults.DispositionID
+	Priors       map[faults.DispositionID]float64
+	Flat         map[faults.DispositionID]*ml.BStump
+	LocModel     map[faults.Location]*ml.BStump
+	Combiner     map[faults.DispositionID]*ml.LogisticFit
+	Quant        *ml.Quantizer
+	ColNames     []string
+}
+
+// Save writes the trained locator to path as gzipped gob — the locator half
+// of the model lifecycle: the daemon loads both models at startup and
+// hot-reloads them without retraining.
+func (l *TroubleLocator) Save(path string) error {
+	if len(l.flat) == 0 || l.quant == nil {
+		return fmt.Errorf("core: cannot save an untrained locator")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save locator: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	disk := locatorDisk{
+		Cfg: l.Cfg, Dispositions: l.Dispositions, Priors: l.Priors,
+		Flat: l.flat, LocModel: l.locModel, Combiner: l.combiner,
+		Quant: l.quant, ColNames: l.colNames,
+	}
+	if err := gob.NewEncoder(zw).Encode(&disk); err != nil {
+		return fmt.Errorf("core: encode locator: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("core: flush locator: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadLocator reads a locator written by Save and sanity-checks it.
+func LoadLocator(path string) (*TroubleLocator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load locator: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: gzip locator: %w", err)
+	}
+	defer zr.Close()
+	var disk locatorDisk
+	if err := gob.NewDecoder(zr).Decode(&disk); err != nil {
+		return nil, fmt.Errorf("core: decode locator: %w", err)
+	}
+	if len(disk.Dispositions) < 2 || len(disk.Flat) != len(disk.Dispositions) {
+		return nil, fmt.Errorf("core: loaded locator has %d dispositions and %d flat models",
+			len(disk.Dispositions), len(disk.Flat))
+	}
+	if disk.Quant == nil || len(disk.Quant.Cuts) != len(disk.ColNames) {
+		return nil, fmt.Errorf("core: loaded locator quantizer does not match its %d columns", len(disk.ColNames))
+	}
+	for _, d := range disk.Dispositions {
+		if disk.Flat[d] == nil || len(disk.Flat[d].Stumps) == 0 {
+			return nil, fmt.Errorf("core: loaded locator missing model for disposition %d", d)
+		}
+	}
+	return &TroubleLocator{
+		Cfg: disk.Cfg, Dispositions: disk.Dispositions, Priors: disk.Priors,
+		flat: disk.Flat, locModel: disk.LocModel, combiner: disk.Combiner,
+		quant: disk.Quant, colNames: disk.ColNames,
+	}, nil
 }

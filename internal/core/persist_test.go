@@ -35,6 +35,70 @@ func TestPredictorSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestLocatorSaveLoadRoundTrip(t *testing.T) {
+	res, loc, test := locatorFixture(t)
+	ds := res.Dataset
+	path := filepath.Join(t.TempDir(), "locator.gob.gz")
+	if err := loc.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLocator(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Dispositions) != len(loc.Dispositions) {
+		t.Fatalf("loaded %d dispositions, want %d", len(loaded.Dispositions), len(loc.Dispositions))
+	}
+	for i := range loc.Dispositions {
+		if loaded.Dispositions[i] != loc.Dispositions[i] {
+			t.Fatalf("disposition %d differs", i)
+		}
+	}
+	if len(test) > 40 {
+		test = test[:40]
+	}
+	// The loaded locator must produce bit-identical posteriors under every
+	// inference model.
+	for _, model := range []LocatorModel{ModelBasic, ModelFlat, ModelCombined} {
+		a, err := loc.Posteriors(ds, test, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Posteriors(ds, test, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("%v posterior differs at case %d disposition %d: %v vs %v",
+						model, i, j, a[i][j], b[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestLocatorSaveRejectsUntrained(t *testing.T) {
+	l := &TroubleLocator{}
+	if err := l.Save(filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Fatal("untrained locator saved")
+	}
+}
+
+func TestLoadLocatorErrors(t *testing.T) {
+	if _, err := LoadLocator(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a gzip stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLocator(path); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+}
+
 func TestSaveRejectsUntrained(t *testing.T) {
 	p := &TicketPredictor{}
 	if err := p.Save(filepath.Join(t.TempDir(), "x")); err == nil {

@@ -473,13 +473,52 @@ func (p *TicketPredictor) TopN(ds *data.Dataset, week int) ([]Prediction, error)
 
 // ScoreExamples scores arbitrary (line, week) examples, for evaluation.
 func (p *TicketPredictor) ScoreExamples(ds *data.Dataset, examples []features.Example) ([]float64, error) {
-	ix := data.NewTicketIndex(ds)
+	return p.ScoreExamplesIx(ds, data.NewTicketIndex(ds), examples)
+}
+
+// ScoreExamplesIx is ScoreExamples with a caller-supplied ticket index, the
+// batch entry point for long-lived servers that score many requests against
+// one dataset snapshot: building the index once per snapshot instead of once
+// per request removes an O(tickets) pass from the hot path.
+func (p *TicketPredictor) ScoreExamplesIx(ds *data.Dataset, ix *data.TicketIndex, examples []features.Example) ([]float64, error) {
 	bm, err := p.encodeFor(ds, ix, examples)
 	if err != nil {
 		return nil, err
 	}
 	return p.Model.Compiled().ScoreAllWorkers(bm, p.Cfg.Workers), nil
 }
+
+// PredictExamples scores arbitrary examples and returns full Predictions
+// (score plus calibrated probability), preserving example order. It is the
+// store-backed batch entry point the serving subsystem ranks from; a nil ix
+// builds the ticket index from ds.
+func (p *TicketPredictor) PredictExamples(ds *data.Dataset, ix *data.TicketIndex, examples []features.Example) ([]Prediction, error) {
+	if ix == nil {
+		ix = data.NewTicketIndex(ds)
+	}
+	scores, err := p.ScoreExamplesIx(ds, ix, examples)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Prediction, len(examples))
+	for i, ex := range examples {
+		out[i] = Prediction{
+			Line:        ex.Line,
+			Week:        ex.Week,
+			Score:       scores[i],
+			Probability: p.Model.Probability(scores[i]),
+		}
+	}
+	return out, nil
+}
+
+// SchemaFingerprint exposes the predictor's scoring-schema hash (selected
+// columns, product pairs, encoder settings, quantizer cuts) for operational
+// surfaces: health endpoints and reload logs report it so operators can tell
+// whether a model swap changed the scoring schema. It does not cover the
+// stump values themselves — two retrains on the same schema share a
+// fingerprint.
+func (p *TicketPredictor) SchemaFingerprint() uint64 { return p.schemaKey() }
 
 func validatePredictorConfig(cfg PredictorConfig) error {
 	switch {

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"testing"
+
+	"nevermind/internal/core"
+	"nevermind/internal/data"
+	"nevermind/internal/features"
+	"nevermind/internal/sim"
+)
+
+// The shared fixture simulates a small network once and trains one predictor
+// and one locator; training is the expensive part, so every test in the
+// package shares it. The models only need to be mechanically sound — serving
+// tests probe the subsystem, not accuracy.
+var (
+	fixtureDS   *data.Dataset
+	fixturePred *core.TicketPredictor
+	fixtureLoc  *core.TroubleLocator
+)
+
+func fixture(t *testing.T) (*data.Dataset, *core.TicketPredictor, *core.TroubleLocator) {
+	t.Helper()
+	if fixtureDS == nil {
+		res, err := sim.Run(sim.DefaultConfig(2000, 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtureDS = res.Dataset
+
+		cfg := core.DefaultPredictorConfig(fixtureDS.NumLines, 11)
+		cfg.Rounds = 40
+		cfg.MaxSelectExamples = 12000
+		pred, err := core.TrainPredictor(fixtureDS, features.WeekRange(32, 38), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixturePred = pred
+
+		lcfg := core.DefaultLocatorConfig(11)
+		lcfg.Rounds = 20
+		lcfg.MinCases = 5
+		cases := core.CasesFromNotes(fixtureDS, data.FirstSaturday, data.SaturdayOf(40)-1)
+		loc, err := core.TrainLocator(fixtureDS, cases, lcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtureLoc = loc
+	}
+	return fixtureDS, fixturePred, fixtureLoc
+}
+
+// recordsFor converts weeks [lo, hi] of a simulated dataset into the wire
+// records the store ingests, tickets cut off at hi's Saturday — the same
+// shape the production telemetry feed would send.
+func recordsFor(ds *data.Dataset, lo, hi int) ([]TestRecord, []TicketRecord) {
+	var tests []TestRecord
+	for w := lo; w <= hi; w++ {
+		for li := 0; li < ds.NumLines; li++ {
+			m := ds.At(data.LineID(li), w)
+			tests = append(tests, TestRecord{
+				Line: m.Line, Week: w, Missing: m.Missing, F: append([]float32(nil), m.F[:]...),
+				Profile: ds.ProfileOf[li], DSLAM: ds.DSLAMOf[li], Usage: ds.UsageOf[li],
+			})
+		}
+	}
+	var tickets []TicketRecord
+	for _, tk := range ds.Tickets {
+		if tk.Day <= data.SaturdayOf(hi) {
+			tickets = append(tickets, TicketRecord{ID: tk.ID, Line: tk.Line, Day: tk.Day, Category: uint8(tk.Category)})
+		}
+	}
+	return tests, tickets
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"expvar"
+	"net/http"
+	"time"
+)
+
+// metrics holds the daemon's expvar counters. The maps are deliberately not
+// published into expvar's process-global registry — a test binary spins up
+// many servers, and global names collide — so /debug/vars renders them from
+// the server instance instead.
+type metrics struct {
+	start time.Time
+
+	requests  *expvar.Map // per endpoint: requests served
+	errors    *expvar.Map // per endpoint: responses with status >= 400
+	latencyNs *expvar.Map // per endpoint: summed handling time, ns
+
+	ingestedTests   expvar.Int
+	ingestedTickets expvar.Int
+	reloads         expvar.Int
+
+	pipelineTicks     expvar.Int
+	pipelineWeek      expvar.Int // latest completed week
+	pipelineSubmitted expvar.Int // predicted jobs pushed to ATDS
+	pipelineWorked    expvar.Int // predicted jobs started within the horizon
+	pipelineExpired   expvar.Int // predicted jobs aged out unworked
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:     time.Now(),
+		requests:  new(expvar.Map).Init(),
+		errors:    new(expvar.Map).Init(),
+		latencyNs: new(expvar.Map).Init(),
+	}
+}
+
+// statusWriter captures the response status so the instrumentation can count
+// error responses.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint request, error and latency
+// accounting under the given name.
+func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		h(sw, r)
+		m.requests.Add(name, 1)
+		m.latencyNs.Add(name, time.Since(t0).Nanoseconds())
+		if sw.status >= 400 {
+			m.errors.Add(name, 1)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"nevermind/internal/atds"
+	"nevermind/internal/core"
+	"nevermind/internal/data"
+	"nevermind/internal/features"
+	"nevermind/internal/sim"
+)
+
+// PipelineConfig drives the weekly serving loop.
+type PipelineConfig struct {
+	// Source feeds one simulated week per tick (the production stand-in for
+	// the telemetry feed).
+	Source *sim.Source
+	// Queue is the ATDS work queue predictions are dispatched into; nil
+	// builds a default-sized queue on the first batch.
+	Queue *atds.Queue
+	// Tick is the wall-clock interval between simulated weeks; <= 0 runs
+	// the whole stream back to back (the smoke-test mode).
+	Tick time.Duration
+	// OnWeek, when set, observes each completed week.
+	OnWeek func(WeekReport)
+}
+
+// WeekReport is what one pipeline tick did: the week it ingested and
+// ranked, the data volumes, and the dispatch outcomes of the seven days the
+// ATDS queue advanced.
+type WeekReport struct {
+	Week            int
+	IngestedTests   int
+	IngestedTickets int
+	Submitted       int // predicted jobs pushed into ATDS
+	Pending         int // queue depth after the week's dispatching
+	Stats           atds.Stats
+}
+
+// Pipeline is the weekly loop of §3.2 run against the live store: every
+// tick it pulls the next week of line tests from the source, ingests them,
+// ranks the population with the current model generation, submits the
+// budgeted TopN into the ATDS queue alongside the week's customer tickets,
+// advances the queue through the seven days, and accumulates outcome stats.
+type Pipeline struct {
+	srv   *Server
+	cfg   PipelineConfig
+	total atds.Stats
+}
+
+// NewPipeline binds a pipeline to a server.
+func NewPipeline(srv *Server, cfg PipelineConfig) (*Pipeline, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("serve: pipeline needs a source")
+	}
+	return &Pipeline{srv: srv, cfg: cfg}, nil
+}
+
+// Totals returns the outcome stats accumulated across all completed weeks.
+func (p *Pipeline) Totals() atds.Stats { return p.total }
+
+// Run executes the loop until the source is exhausted or ctx is cancelled.
+func (p *Pipeline) Run(ctx context.Context) error {
+	var tick <-chan time.Time
+	if p.cfg.Tick > 0 {
+		t := time.NewTicker(p.cfg.Tick)
+		defer t.Stop()
+		tick = t.C
+	}
+	for p.cfg.Source.Remaining() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := p.Step(); err != nil {
+			return err
+		}
+		if tick != nil && p.cfg.Source.Remaining() > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-tick:
+			}
+		}
+	}
+	return nil
+}
+
+// Step runs one tick: ingest the next week, rank, dispatch, advance. It
+// returns ok == false once the source is exhausted.
+func (p *Pipeline) Step() (ok bool, err error) {
+	batch, more := p.cfg.Source.Next()
+	if !more {
+		return false, nil
+	}
+	rep := WeekReport{Week: batch.Week}
+
+	// Ingest the week through the same store path the HTTP API uses.
+	tests := make([]TestRecord, len(batch.Tests))
+	for i, t := range batch.Tests {
+		tests[i] = TestRecord{
+			Line: t.M.Line, Week: t.M.Week, Missing: t.M.Missing, F: t.M.F[:],
+			Profile: t.Profile, DSLAM: t.DSLAM, Usage: t.Usage,
+		}
+	}
+	tickets := make([]TicketRecord, len(batch.Tickets))
+	for i, t := range batch.Tickets {
+		tickets[i] = TicketRecord{ID: t.ID, Line: t.Line, Day: t.Day, Category: uint8(t.Category)}
+	}
+	if rep.IngestedTests, err = p.srv.store.IngestTests(tests); err != nil {
+		return false, fmt.Errorf("serve: pipeline week %d ingest: %w", batch.Week, err)
+	}
+	if rep.IngestedTickets, err = p.srv.store.IngestTickets(tickets); err != nil {
+		return false, fmt.Errorf("serve: pipeline week %d tickets: %w", batch.Week, err)
+	}
+	p.srv.m.ingestedTests.Add(int64(rep.IngestedTests))
+	p.srv.m.ingestedTickets.Add(int64(rep.IngestedTickets))
+
+	sn := p.srv.store.Snapshot()
+	if sn == nil {
+		return false, fmt.Errorf("serve: pipeline week %d: empty snapshot after ingest", batch.Week)
+	}
+	if p.cfg.Queue == nil {
+		q, err := atds.NewQueue(atds.DefaultConfig(sn.DS.NumLines), data.SaturdayOf(batch.Week))
+		if err != nil {
+			return false, err
+		}
+		p.cfg.Queue = q
+	}
+
+	// Saturday ranking run: budgeted TopN into the dispatch queue.
+	models := p.srv.Models()
+	lines := sn.LinesAt(batch.Week)
+	if len(lines) > 0 {
+		examples := make([]features.Example, len(lines))
+		for i, l := range lines {
+			examples[i] = features.Example{Line: l, Week: batch.Week}
+		}
+		preds, err := models.Pred.PredictExamples(sn.DS, sn.Ix, examples)
+		if err != nil {
+			return false, fmt.Errorf("serve: pipeline week %d rank: %w", batch.Week, err)
+		}
+		order := rankOrder(preds)
+		n := models.Pred.Cfg.BudgetN
+		if n > len(order) {
+			n = len(order)
+		}
+		for rank, i := range order[:n] {
+			p.cfg.Queue.Submit(preds[i].Line, atds.PriorityPredicted, rank)
+		}
+		rep.Submitted = n
+	}
+	// The week's customer tickets contend for the same capacity and always
+	// win it (§3.2). The first batch also backfills the full ticket history
+	// for the time-since-ticket features; only tickets that actually arrived
+	// this week are new work for the queue.
+	weekStart := data.SaturdayOf(batch.Week) - 6
+	for _, t := range batch.Tickets {
+		if t.Day >= weekStart {
+			p.cfg.Queue.Submit(t.Line, atds.PriorityCustomer, 0)
+		}
+	}
+
+	// Advance the dispatch system through the week.
+	var outcomes []atds.Outcome
+	for d := 0; d < 7; d++ {
+		outcomes = append(outcomes, p.cfg.Queue.Advance()...)
+	}
+	rep.Stats = atds.Summarize(outcomes)
+	rep.Pending = p.cfg.Queue.Pending()
+	p.total.Add(rep.Stats)
+
+	m := p.srv.m
+	m.pipelineTicks.Add(1)
+	m.pipelineWeek.Set(int64(batch.Week))
+	m.pipelineSubmitted.Add(int64(rep.Submitted))
+	m.pipelineWorked.Add(int64(rep.Stats.Predicted))
+	m.pipelineExpired.Add(int64(rep.Stats.ExpiredPredicted))
+
+	if p.cfg.OnWeek != nil {
+		p.cfg.OnWeek(rep)
+	}
+	return true, nil
+}
+
+// rankOrder returns prediction indices best-first (score desc, line asc) —
+// the same order /v1/rank serves.
+func rankOrder(preds []core.Prediction) []int {
+	order := make([]int, len(preds))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pa, pb := preds[order[a]], preds[order[b]]
+		if pa.Score != pb.Score {
+			return pa.Score > pb.Score
+		}
+		return pa.Line < pb.Line
+	})
+	return order
+}

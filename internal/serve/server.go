@@ -1,0 +1,547 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nevermind/internal/core"
+	"nevermind/internal/data"
+	"nevermind/internal/faults"
+	"nevermind/internal/features"
+)
+
+// Models bundles the two trained models one atomic pointer swaps together,
+// so a ranking never sees a predictor from one generation and a locator
+// from another.
+type Models struct {
+	Pred *core.TicketPredictor
+	Loc  *core.TroubleLocator // nil when the daemon runs without a locator
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Predictor is required; Locator is optional.
+	Predictor *core.TicketPredictor
+	Locator   *core.TroubleLocator
+	// PredictorPath/LocatorPath, when set, enable hot-reload: SIGHUP or
+	// POST /v1/reload re-reads the files and atomically swaps the models.
+	PredictorPath string
+	LocatorPath   string
+	// Shards sizes the line-state store (0 = GOMAXPROCS).
+	Shards int
+	// CacheEntries bounds the encode/bin cache (0 = features default).
+	CacheEntries int
+	// DrainTimeout bounds graceful shutdown: in-flight requests get this
+	// long to finish after the listener closes (0 = 10s).
+	DrainTimeout time.Duration
+}
+
+// Server is the nevermindd HTTP server: the sharded store, the current
+// model pair, the encode/bin cache they score through, and the API mux.
+type Server struct {
+	store  *Store
+	cache  *features.Cache
+	models atomic.Pointer[Models]
+	m      *metrics
+	mux    *http.ServeMux
+
+	reloadMu      sync.Mutex
+	predictorPath string
+	locatorPath   string
+	drainTimeout  time.Duration
+
+	// scoreBarrier, when set by a test, runs at the top of every /v1/score
+	// request — the hook the graceful-shutdown test uses to hold a request
+	// in flight across a drain.
+	scoreBarrier func()
+}
+
+// New builds a Server around trained models. The encode/bin cache is
+// attached to both models so repeated scoring of an unchanged store version
+// skips the feature pipeline entirely.
+func New(cfg Config) (*Server, error) {
+	if cfg.Predictor == nil {
+		return nil, errors.New("serve: a trained predictor is required")
+	}
+	s := &Server{
+		store:         NewStore(cfg.Shards),
+		cache:         features.NewCache(cfg.CacheEntries),
+		m:             newMetrics(),
+		predictorPath: cfg.PredictorPath,
+		locatorPath:   cfg.LocatorPath,
+		drainTimeout:  cfg.DrainTimeout,
+	}
+	if s.drainTimeout <= 0 {
+		s.drainTimeout = 10 * time.Second
+	}
+	cfg.Predictor.SetEncodeCache(s.cache)
+	if cfg.Locator != nil {
+		cfg.Locator.SetEncodeCache(s.cache)
+	}
+	s.models.Store(&Models{Pred: cfg.Predictor, Loc: cfg.Locator})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", s.m.instrument("ingest", s.handleIngest))
+	mux.HandleFunc("POST /v1/score", s.m.instrument("score", s.handleScore))
+	mux.HandleFunc("GET /v1/rank", s.m.instrument("rank", s.handleRank))
+	mux.HandleFunc("POST /v1/locate", s.m.instrument("locate", s.handleLocate))
+	mux.HandleFunc("POST /v1/reload", s.m.instrument("reload", s.handleReload))
+	mux.HandleFunc("GET /healthz", s.m.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /debug/vars", s.m.instrument("debugvars", s.handleDebugVars))
+	s.mux = mux
+	return s, nil
+}
+
+// Store exposes the line-state store (the pipeline ingests through it).
+func (s *Server) Store() *Store { return s.store }
+
+// Models returns the current model generation.
+func (s *Server) Models() *Models { return s.models.Load() }
+
+// Handler returns the API handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve runs the HTTP server on ln until ctx is cancelled, then drains
+// gracefully: the listener closes immediately (new connections are
+// refused), in-flight requests run to completion within DrainTimeout, and
+// Serve returns once the last one finishes.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), s.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// --- wire types ---------------------------------------------------------------
+
+type exampleJSON struct {
+	Line data.LineID `json:"line"`
+	Week int         `json:"week"`
+}
+
+type predictionJSON struct {
+	Line        data.LineID `json:"line"`
+	Week        int         `json:"week"`
+	Score       float64     `json:"score"`
+	Probability float64     `json:"probability"`
+}
+
+func toWire(ps []core.Prediction) []predictionJSON {
+	out := make([]predictionJSON, len(ps))
+	for i, p := range ps {
+		out[i] = predictionJSON{Line: p.Line, Week: p.Week, Score: p.Score, Probability: p.Probability}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// maxBodyBytes bounds request bodies; a full weekly ingest for a large
+// population is tens of MB of JSON.
+const maxBodyBytes = 128 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// snapshotOr503 returns the current snapshot, writing a 503 if the store is
+// still empty (nothing has been ingested, so there is nothing to score).
+func (s *Server) snapshotOr503(w http.ResponseWriter) *Snapshot {
+	sn := s.store.Snapshot()
+	if sn == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("store is empty; ingest line tests first"))
+	}
+	return sn
+}
+
+// --- handlers -----------------------------------------------------------------
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Tests   []TestRecord   `json:"tests"`
+		Tickets []TicketRecord `json:"tickets"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	nt, err := s.store.IngestTests(req.Tests)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	nk, err := s.store.IngestTickets(req.Tickets)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.m.ingestedTests.Add(int64(nt))
+	s.m.ingestedTickets.Add(int64(nk))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ingested_tests":   nt,
+		"ingested_tickets": nk,
+		"lines":            s.store.NumLines(),
+		"version":          s.store.Version(),
+	})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if s.scoreBarrier != nil {
+		s.scoreBarrier()
+	}
+	var req struct {
+		Examples []exampleJSON `json:"examples"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Examples) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no examples"))
+		return
+	}
+	sn := s.snapshotOr503(w)
+	if sn == nil {
+		return
+	}
+	examples := make([]features.Example, len(req.Examples))
+	for i, e := range req.Examples {
+		if e.Week < 0 || e.Week >= data.Weeks {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("example %d: week %d outside [0,%d)", i, e.Week, data.Weeks))
+			return
+		}
+		if e.Line < 0 || int(e.Line) >= sn.DS.NumLines {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("example %d: line %d unknown to the store", i, e.Line))
+			return
+		}
+		examples[i] = features.Example{Line: e.Line, Week: e.Week}
+	}
+	preds, err := s.Models().Pred.PredictExamples(sn.DS, sn.Ix, examples)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version":     sn.Version,
+		"predictions": toWire(preds),
+	})
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	sn := s.snapshotOr503(w)
+	if sn == nil {
+		return
+	}
+	week := s.store.LatestWeek()
+	if v := r.URL.Query().Get("week"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &week); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad week %q", v))
+			return
+		}
+	}
+	if week < 0 || week >= data.Weeks {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("week %d outside [0,%d)", week, data.Weeks))
+		return
+	}
+	models := s.Models()
+	n := models.Pred.Cfg.BudgetN
+	if v := r.URL.Query().Get("n"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &n); err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
+			return
+		}
+	}
+	lines := sn.LinesAt(week)
+	examples := make([]features.Example, len(lines))
+	for i, l := range lines {
+		examples[i] = features.Example{Line: l, Week: week}
+	}
+	var preds []core.Prediction
+	if len(examples) > 0 {
+		var err error
+		preds, err = models.Pred.PredictExamples(sn.DS, sn.Ix, examples)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		sort.SliceStable(preds, func(a, b int) bool {
+			if preds[a].Score != preds[b].Score {
+				return preds[a].Score > preds[b].Score
+			}
+			return preds[a].Line < preds[b].Line
+		})
+		if n < len(preds) {
+			preds = preds[:n]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"week":        week,
+		"population":  len(lines),
+		"n":           len(preds),
+		"predictions": toWire(preds),
+	})
+}
+
+func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Line  data.LineID `json:"line"`
+		Week  int         `json:"week"`
+		Model string      `json:"model"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	model, err := core.ParseLocatorModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	loc := s.Models().Loc
+	if loc == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("no locator loaded"))
+		return
+	}
+	sn := s.snapshotOr503(w)
+	if sn == nil {
+		return
+	}
+	if req.Week < 0 || req.Week >= data.Weeks {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("week %d outside [0,%d)", req.Week, data.Weeks))
+		return
+	}
+	if req.Line < 0 || int(req.Line) >= sn.DS.NumLines {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("line %d unknown to the store", req.Line))
+		return
+	}
+	post, err := loc.Posteriors(sn.DS, []core.DispatchCase{{Line: req.Line, Week: req.Week}}, model)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	type dispJSON struct {
+		ID          int     `json:"id"`
+		Name        string  `json:"name"`
+		Location    string  `json:"location"`
+		Probability float64 `json:"probability"`
+	}
+	out := make([]dispJSON, len(loc.Dispositions))
+	for j, d := range loc.Dispositions {
+		out[j] = dispJSON{
+			ID:          int(d),
+			Name:        faults.Catalog[d].Name,
+			Location:    faults.Catalog[d].Loc.String(),
+			Probability: post[0][j],
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Probability != out[b].Probability {
+			return out[a].Probability > out[b].Probability
+		}
+		return out[a].ID < out[b].ID
+	})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"line":         req.Line,
+		"week":         req.Week,
+		"model":        model.String(),
+		"dispositions": out,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	models := s.Models()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":             "ok",
+		"lines":              s.store.NumLines(),
+		"latest_week":        s.store.LatestWeek(),
+		"predictor":          true,
+		"locator":            models.Loc != nil,
+		"schema_fingerprint": fmt.Sprintf("%016x", models.Pred.SchemaFingerprint()),
+		"uptime_seconds":     time.Since(s.m.start).Seconds(),
+	})
+}
+
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	models := s.Models()
+	m := s.m
+	vars := map[string]any{
+		"uptime_seconds":   time.Since(m.start).Seconds(),
+		"requests":         json.RawMessage(m.requests.String()),
+		"errors":           json.RawMessage(m.errors.String()),
+		"latency_ns_sum":   json.RawMessage(m.latencyNs.String()),
+		"ingested_tests":   m.ingestedTests.Value(),
+		"ingested_tickets": m.ingestedTickets.Value(),
+		"reloads":          m.reloads.Value(),
+		"store": map[string]any{
+			"lines":       s.store.NumLines(),
+			"version":     s.store.Version(),
+			"latest_week": s.store.LatestWeek(),
+			"shard_lines": s.store.ShardSizes(),
+		},
+		"cache": s.cache.StatsDetail(),
+		"model": map[string]any{
+			"schema_fingerprint":   fmt.Sprintf("%016x", models.Pred.SchemaFingerprint()),
+			"rounds":               len(models.Pred.Model.Stumps),
+			"budget_n":             models.Pred.Cfg.BudgetN,
+			"locator_dispositions": locatorDispositions(models.Loc),
+		},
+		"pipeline": map[string]any{
+			"ticks":     m.pipelineTicks.Value(),
+			"week":      m.pipelineWeek.Value(),
+			"submitted": m.pipelineSubmitted.Value(),
+			"worked":    m.pipelineWorked.Value(),
+			"expired":   m.pipelineExpired.Value(),
+		},
+	}
+	writeJSON(w, http.StatusOK, vars)
+}
+
+func locatorDispositions(loc *core.TroubleLocator) int {
+	if loc == nil {
+		return 0
+	}
+	return len(loc.Dispositions)
+}
+
+// --- hot reload ---------------------------------------------------------------
+
+// ReloadResult reports what a hot reload did. ProbeExamples is how many
+// store-backed examples the equality probe scored with both generations
+// (0 when the store is empty — the swap then proceeds unprobed). Identical
+// is whether old and new scores (and locator posteriors, when both exist)
+// were bit-identical; reloading an unchanged model file must report true.
+type ReloadResult struct {
+	ProbeExamples     int     `json:"probe_examples"`
+	Identical         bool    `json:"identical"`
+	MaxAbsDiff        float64 `json:"max_abs_diff"`
+	SchemaFingerprint string  `json:"schema_fingerprint"`
+}
+
+// reloadProbeMax bounds the equality probe: two logistic-calibrated scores
+// per example over a few hundred examples is ample evidence, and the probe
+// runs with the reload lock held.
+const reloadProbeMax = 256
+
+// Reload re-reads the model files and atomically swaps the current model
+// pair. The contract: the new models must successfully score a probe batch
+// drawn from the live store before the swap happens — a model file whose
+// schema has drifted from the store's data is rejected and the old
+// generation keeps serving. Requests racing the reload see either the old
+// or the new pair, never a mix.
+func (s *Server) Reload() (*ReloadResult, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if s.predictorPath == "" {
+		return nil, errors.New("serve: reload needs a predictor model path")
+	}
+	old := s.Models()
+	pred, err := core.LoadPredictor(s.predictorPath)
+	if err != nil {
+		return nil, err
+	}
+	// Operational settings travel with the process, not the model file.
+	pred.Cfg.Workers = old.Pred.Cfg.Workers
+	pred.SetEncodeCache(s.cache)
+	loc := old.Loc
+	if s.locatorPath != "" {
+		loc, err = core.LoadLocator(s.locatorPath)
+		if err != nil {
+			return nil, err
+		}
+		loc.SetEncodeCache(s.cache)
+	}
+
+	res := &ReloadResult{Identical: true, SchemaFingerprint: fmt.Sprintf("%016x", pred.SchemaFingerprint())}
+	if sn := s.store.Snapshot(); sn != nil {
+		week := s.store.LatestWeek()
+		lines := sn.LinesAt(week)
+		if len(lines) > reloadProbeMax {
+			lines = lines[:reloadProbeMax]
+		}
+		if len(lines) > 0 {
+			examples := make([]features.Example, len(lines))
+			for i, l := range lines {
+				examples[i] = features.Example{Line: l, Week: week}
+			}
+			oldScores, err := old.Pred.ScoreExamplesIx(sn.DS, sn.Ix, examples)
+			if err != nil {
+				return nil, fmt.Errorf("serve: probing current predictor: %w", err)
+			}
+			newScores, err := pred.ScoreExamplesIx(sn.DS, sn.Ix, examples)
+			if err != nil {
+				return nil, fmt.Errorf("serve: reloaded predictor cannot score the store: %w", err)
+			}
+			res.ProbeExamples = len(examples)
+			for i := range oldScores {
+				if d := math.Abs(oldScores[i] - newScores[i]); d > res.MaxAbsDiff {
+					res.MaxAbsDiff = d
+				}
+				if oldScores[i] != newScores[i] {
+					res.Identical = false
+				}
+			}
+			if loc != nil {
+				cases := []core.DispatchCase{{Line: examples[0].Line, Week: examples[0].Week}}
+				newPost, err := loc.Posteriors(sn.DS, cases, core.ModelCombined)
+				if err != nil {
+					return nil, fmt.Errorf("serve: reloaded locator cannot score the store: %w", err)
+				}
+				if old.Loc != nil && len(old.Loc.Dispositions) == len(loc.Dispositions) {
+					oldPost, err := old.Loc.Posteriors(sn.DS, cases, core.ModelCombined)
+					if err != nil {
+						return nil, fmt.Errorf("serve: probing current locator: %w", err)
+					}
+					for j := range newPost[0] {
+						if newPost[0][j] != oldPost[0][j] {
+							res.Identical = false
+						}
+					}
+				}
+			}
+		}
+	}
+	s.models.Store(&Models{Pred: pred, Loc: loc})
+	s.m.reloads.Add(1)
+	return res, nil
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

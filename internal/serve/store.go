@@ -1,0 +1,364 @@
+// Package serve is the online serving subsystem: the long-running half of
+// NEVERMIND that the paper's deployment implies but one-shot CLIs cannot
+// provide. It keeps the latest per-line test history in a sharded in-memory
+// store, exposes the trained models behind a JSON HTTP API (ingest, score,
+// rank, locate), runs the weekly pipeline loop that feeds predictions into
+// the ATDS queue, and manages the model lifecycle: load at startup, atomic
+// hot-reload, graceful drain on shutdown.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nevermind/internal/data"
+)
+
+// MaxLineID bounds accepted line ids. The snapshot materialises a dense
+// (weeks x lines) grid, so a single wild id must not be able to demand an
+// absurd allocation.
+const MaxLineID = 1 << 22
+
+// TestRecord is one ingested weekly line-test result: the measurement plus
+// the static line attributes (service tier, serving DSLAM, usage propensity)
+// the collector forwards alongside it. F holds the Table 2 feature values in
+// data.BasicFeatureNames order; shorter vectors are zero-extended, which is
+// also how a Missing (modem-off) record with no measurements is sent.
+type TestRecord struct {
+	Line    data.LineID `json:"line"`
+	Week    int         `json:"week"`
+	Missing bool        `json:"missing,omitempty"`
+	F       []float32   `json:"f,omitempty"`
+	Profile uint8       `json:"profile,omitempty"`
+	DSLAM   int32       `json:"dslam,omitempty"`
+	Usage   float32     `json:"usage,omitempty"`
+}
+
+// TicketRecord is one ingested customer ticket.
+type TicketRecord struct {
+	ID       int         `json:"id"`
+	Line     data.LineID `json:"line"`
+	Day      int         `json:"day"`
+	Category uint8       `json:"category"`
+}
+
+// lineState is everything the store knows about one line: its static
+// attributes and every week's test result seen so far (at-most-one record
+// per week; re-ingesting a week overwrites, so replayed feeds converge).
+type lineState struct {
+	profile uint8
+	dslam   int32
+	usage   float32
+	seen    [data.Weeks]bool
+	tests   [data.Weeks]data.Measurement
+}
+
+// shard is one lock domain of the store. Lines hash to shards by id, so
+// concurrent ingest batches for different line ranges proceed in parallel;
+// tickets live with the shard of their line.
+type shard struct {
+	mu      sync.RWMutex
+	lines   map[data.LineID]*lineState
+	tickets []data.Ticket
+	// dedup guards against replayed ticket feeds: the exact same ticket
+	// (id, line, day, category) ingests once.
+	dedup map[data.Ticket]struct{}
+}
+
+// Store is the sharded in-memory line-state store. Writers (ingest) take one
+// shard's write lock per batch slice; readers (snapshot) take read locks
+// shard by shard. Scoring never reads shards directly — it reads an
+// immutable Snapshot materialised on demand and cached until the next
+// ingest, so the scoring hot path costs zero lock traffic after the first
+// request per store version.
+type Store struct {
+	shards  []shard
+	mask    uint32
+	version atomic.Uint64
+	// latestWeek tracks the newest week ingested (-1 before any).
+	latestWeek atomic.Int64
+	snap       atomic.Pointer[Snapshot]
+}
+
+// NewStore creates a store with the given shard count rounded up to a power
+// of two; 0 sizes it to GOMAXPROCS, the lock-contention sweet spot for one
+// writer goroutine per core.
+func NewStore(shards int) *Store {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &Store{shards: make([]shard, n), mask: uint32(n - 1)}
+	for i := range s.shards {
+		s.shards[i].lines = make(map[data.LineID]*lineState)
+		s.shards[i].dedup = make(map[data.Ticket]struct{})
+	}
+	s.latestWeek.Store(-1)
+	return s
+}
+
+func (s *Store) shardOf(line data.LineID) *shard {
+	return &s.shards[uint32(line)&s.mask]
+}
+
+// NumShards returns the shard count (a power of two).
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Version returns the ingest counter; it bumps on every successful ingest
+// batch and keys the snapshot cache.
+func (s *Store) Version() uint64 { return s.version.Load() }
+
+// LatestWeek returns the newest week any test record carried, or -1 before
+// the first ingest.
+func (s *Store) LatestWeek() int { return int(s.latestWeek.Load()) }
+
+// ShardSizes returns the number of lines held per shard, for the monitoring
+// surface.
+func (s *Store) ShardSizes() []int {
+	out := make([]int, len(s.shards))
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		out[i] = len(s.shards[i].lines)
+		s.shards[i].mu.RUnlock()
+	}
+	return out
+}
+
+// NumLines returns the number of distinct lines ingested.
+func (s *Store) NumLines() int {
+	n := 0
+	for _, c := range s.ShardSizes() {
+		n += c
+	}
+	return n
+}
+
+func validateTest(r *TestRecord) error {
+	switch {
+	case r.Line < 0 || r.Line >= MaxLineID:
+		return fmt.Errorf("serve: line %d outside [0,%d)", r.Line, MaxLineID)
+	case r.Week < 0 || r.Week >= data.Weeks:
+		return fmt.Errorf("serve: week %d outside [0,%d)", r.Week, data.Weeks)
+	case len(r.F) > data.NumBasicFeatures:
+		return fmt.Errorf("serve: %d feature values exceed the %d of Table 2", len(r.F), data.NumBasicFeatures)
+	case int(r.Profile) >= len(data.Profiles):
+		return fmt.Errorf("serve: unknown profile %d", r.Profile)
+	case r.DSLAM < 0:
+		return fmt.Errorf("serve: negative DSLAM %d", r.DSLAM)
+	}
+	return nil
+}
+
+// IngestTests applies a batch of line-test records. The batch is validated
+// up front and applied shard by shard; on a validation error nothing is
+// applied. Returns the number of records stored.
+func (s *Store) IngestTests(recs []TestRecord) (int, error) {
+	for i := range recs {
+		if err := validateTest(&recs[i]); err != nil {
+			return 0, fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	// Group by shard so each shard's lock is taken once per batch.
+	byShard := make(map[uint32][]int)
+	maxWeek := -1
+	for i := range recs {
+		si := uint32(recs[i].Line) & s.mask
+		byShard[si] = append(byShard[si], i)
+		if recs[i].Week > maxWeek {
+			maxWeek = recs[i].Week
+		}
+	}
+	for si, idxs := range byShard {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			r := &recs[i]
+			ls := sh.lines[r.Line]
+			if ls == nil {
+				ls = &lineState{}
+				sh.lines[r.Line] = ls
+			}
+			ls.profile, ls.dslam, ls.usage = r.Profile, r.DSLAM, r.Usage
+			m := data.Measurement{Line: r.Line, Week: r.Week, Missing: r.Missing}
+			copy(m.F[:], r.F)
+			ls.tests[r.Week] = m
+			ls.seen[r.Week] = true
+		}
+		sh.mu.Unlock()
+	}
+	for {
+		cur := s.latestWeek.Load()
+		if int64(maxWeek) <= cur || s.latestWeek.CompareAndSwap(cur, int64(maxWeek)) {
+			break
+		}
+	}
+	s.version.Add(1)
+	return len(recs), nil
+}
+
+// IngestTickets applies a batch of customer tickets (exact duplicates are
+// dropped). Returns the number of new tickets stored.
+func (s *Store) IngestTickets(recs []TicketRecord) (int, error) {
+	for i, r := range recs {
+		switch {
+		case r.Line < 0 || r.Line >= MaxLineID:
+			return 0, fmt.Errorf("ticket %d: line %d outside [0,%d)", i, r.Line, MaxLineID)
+		case r.Day < 0 || r.Day >= data.DaysInYear:
+			return 0, fmt.Errorf("ticket %d: day %d outside the year", i, r.Day)
+		case r.Category > uint8(data.CatOther):
+			return 0, fmt.Errorf("ticket %d: unknown category %d", i, r.Category)
+		}
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	added := 0
+	for _, r := range recs {
+		t := data.Ticket{ID: r.ID, Line: r.Line, Day: r.Day, Category: data.TicketCategory(r.Category)}
+		sh := s.shardOf(r.Line)
+		sh.mu.Lock()
+		if _, dup := sh.dedup[t]; !dup {
+			sh.dedup[t] = struct{}{}
+			sh.tickets = append(sh.tickets, t)
+			added++
+		}
+		sh.mu.Unlock()
+	}
+	if added > 0 {
+		s.version.Add(1)
+	}
+	return added, nil
+}
+
+// Snapshot is an immutable point-in-use view of the store in the shape the
+// feature encoder consumes: a dense data.Dataset grid (never-ingested
+// (line, week) cells are Missing), a prebuilt ticket index, and the presence
+// matrix that distinguishes "line tested this week with the modem off" from
+// "no record at all". Consumers must treat every field as read-only.
+type Snapshot struct {
+	Version uint64
+	DS      *data.Dataset
+	Ix      *data.TicketIndex
+	// Present is week-major: Present[w][l] reports whether a test record
+	// was ingested for line l at week w.
+	Present [][]bool
+	// Lines holds every ingested line id, ascending.
+	Lines []data.LineID
+}
+
+// LinesAt returns the lines with a test record at the given week, ascending
+// — the population a weekly ranking covers.
+func (sn *Snapshot) LinesAt(week int) []data.LineID {
+	if week < 0 || week >= data.Weeks {
+		return nil
+	}
+	var out []data.LineID
+	for _, l := range sn.Lines {
+		if sn.Present[week][l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Snapshot materialises (or returns the cached) dataset view of the store.
+// The cache is keyed by the store version: any ingest invalidates it, and
+// the first read after an ingest pays the rebuild. Shards are read-locked
+// one at a time, so a snapshot overlapping concurrent ingests may split
+// them across shards — each line's state is still internally consistent,
+// and the version recorded is the one read before the build, so the next
+// read rebuilds. An empty store yields a nil snapshot.
+func (s *Store) Snapshot() *Snapshot {
+	v := s.version.Load()
+	if sn := s.snap.Load(); sn != nil && sn.Version == v {
+		return sn
+	}
+	sn := s.build(v)
+	if sn != nil {
+		s.snap.Store(sn)
+	}
+	return sn
+}
+
+func (s *Store) build(version uint64) *Snapshot {
+	// Pass 1: dimensions.
+	maxLine, maxDSLAM := data.LineID(-1), int32(0)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for l, ls := range sh.lines {
+			if l > maxLine {
+				maxLine = l
+			}
+			if ls.dslam > maxDSLAM {
+				maxDSLAM = ls.dslam
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if maxLine < 0 {
+		return nil
+	}
+	n := int(maxLine) + 1
+	ds := &data.Dataset{
+		NumLines:     n,
+		NumDSLAMs:    int(maxDSLAM) + 1,
+		ProfileOf:    make([]uint8, n),
+		DSLAMOf:      make([]int32, n),
+		UsageOf:      make([]float32, n),
+		Measurements: make([]data.Measurement, data.Weeks*n),
+	}
+	present := make([][]bool, data.Weeks)
+	for w := 0; w < data.Weeks; w++ {
+		present[w] = make([]bool, n)
+		row := ds.Measurements[w*n : (w+1)*n]
+		for l := range row {
+			row[l] = data.Measurement{Line: data.LineID(l), Week: w, Missing: true}
+		}
+	}
+	// Pass 2: copy line states and tickets.
+	var lines []data.LineID
+	var tickets []data.Ticket
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for l, ls := range sh.lines {
+			lines = append(lines, l)
+			ds.ProfileOf[l], ds.DSLAMOf[l], ds.UsageOf[l] = ls.profile, ls.dslam, ls.usage
+			for w := 0; w < data.Weeks; w++ {
+				if ls.seen[w] {
+					ds.Measurements[w*n+int(l)] = ls.tests[w]
+					present[w][l] = true
+				}
+			}
+		}
+		// Tickets for lines the store has never seen a test for stay out of
+		// the snapshot: the grid has no row for them, and they join once the
+		// line's first test record arrives.
+		for _, t := range sh.tickets {
+			if t.Line <= maxLine {
+				tickets = append(tickets, t)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(lines, func(a, b int) bool { return lines[a] < lines[b] })
+	sort.SliceStable(tickets, func(a, b int) bool { return tickets[a].Day < tickets[b].Day })
+	ds.Tickets = tickets
+	return &Snapshot{
+		Version: version,
+		DS:      ds,
+		Ix:      data.NewTicketIndex(ds),
+		Present: present,
+		Lines:   lines,
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+
+	"nevermind/internal/data"
+)
+
+// LineTest is one weekly line-test record annotated with the static line
+// attributes a telemetry collector would forward alongside it (service tier,
+// serving DSLAM, usage propensity). The serving subsystem's ingest path is
+// shaped around exactly this record.
+type LineTest struct {
+	M       data.Measurement
+	Profile uint8
+	DSLAM   int32
+	Usage   float32
+}
+
+// Batch is one week of fresh operational data: the Saturday line tests plus
+// every customer ticket that arrived since the previous batch (up to and
+// including this week's Saturday).
+type Batch struct {
+	Week    int
+	Tests   []LineTest
+	Tickets []data.Ticket
+}
+
+// Source streams a simulated year to a consumer week by week, the stand-in
+// for the production telemetry feed: each Next call releases one Saturday's
+// line tests and the ticket arrivals since the last call. The first batch
+// also carries every ticket that preceded its week, so a consumer starting
+// mid-year sees the full ticket history the paper's features depend on
+// (time-since-last-ticket reaches arbitrarily far back).
+type Source struct {
+	ds        *data.Dataset
+	week      int
+	endWeek   int
+	ticketPos int
+}
+
+// NewSource positions a stream over ds starting at startWeek (inclusive) and
+// ending after endWeek (inclusive).
+func NewSource(ds *data.Dataset, startWeek, endWeek int) (*Source, error) {
+	if startWeek < 0 || endWeek >= data.Weeks || startWeek > endWeek {
+		return nil, fmt.Errorf("sim: source weeks [%d,%d] outside [0,%d)", startWeek, endWeek, data.Weeks)
+	}
+	return &Source{ds: ds, week: startWeek, endWeek: endWeek}, nil
+}
+
+// Remaining reports how many batches Next will still produce.
+func (s *Source) Remaining() int {
+	if s.week > s.endWeek {
+		return 0
+	}
+	return s.endWeek - s.week + 1
+}
+
+// Next returns the next weekly batch, and ok == false once the stream is
+// exhausted. Tickets are released strictly in day order across batches.
+func (s *Source) Next() (Batch, bool) {
+	if s.week > s.endWeek {
+		return Batch{}, false
+	}
+	w := s.week
+	s.week++
+	b := Batch{Week: w, Tests: make([]LineTest, 0, s.ds.NumLines)}
+	for li := 0; li < s.ds.NumLines; li++ {
+		b.Tests = append(b.Tests, LineTest{
+			M:       *s.ds.At(data.LineID(li), w),
+			Profile: s.ds.ProfileOf[li],
+			DSLAM:   s.ds.DSLAMOf[li],
+			Usage:   s.ds.UsageOf[li],
+		})
+	}
+	// Tickets are sorted by day (a Dataset invariant); advance the cursor
+	// through everything that has arrived by this week's Saturday.
+	cutoff := data.SaturdayOf(w)
+	for s.ticketPos < len(s.ds.Tickets) && s.ds.Tickets[s.ticketPos].Day <= cutoff {
+		b.Tickets = append(b.Tickets, s.ds.Tickets[s.ticketPos])
+		s.ticketPos++
+	}
+	return b, true
+}

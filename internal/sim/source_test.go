@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"testing"
+
+	"nevermind/internal/data"
+)
+
+func sourceDataset(t *testing.T) *data.Dataset {
+	t.Helper()
+	res, err := Run(DefaultConfig(300, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Dataset
+}
+
+func TestSourceRangeValidation(t *testing.T) {
+	ds := sourceDataset(t)
+	for _, r := range [][2]int{{-1, 5}, {0, data.Weeks}, {10, 9}} {
+		if _, err := NewSource(ds, r[0], r[1]); err == nil {
+			t.Fatalf("range %v accepted", r)
+		}
+	}
+}
+
+func TestSourceStreamsWeeks(t *testing.T) {
+	ds := sourceDataset(t)
+	src, err := NewSource(ds, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Remaining() != 3 {
+		t.Fatalf("Remaining = %d", src.Remaining())
+	}
+
+	var allTickets []data.Ticket
+	for want := 3; want <= 5; want++ {
+		b, ok := src.Next()
+		if !ok {
+			t.Fatalf("stream ended before week %d", want)
+		}
+		if b.Week != want {
+			t.Fatalf("batch week %d, want %d", b.Week, want)
+		}
+		if len(b.Tests) != ds.NumLines {
+			t.Fatalf("week %d carried %d tests, want one per line", b.Week, len(b.Tests))
+		}
+		for i, lt := range b.Tests {
+			if lt.M.Line != data.LineID(i) || lt.M.Week != want {
+				t.Fatalf("test %d of week %d holds (%d,%d)", i, want, lt.M.Line, lt.M.Week)
+			}
+			if lt.M != *ds.At(lt.M.Line, want) {
+				t.Fatalf("measurement for line %d week %d differs from the dataset", i, want)
+			}
+			if lt.Profile != ds.ProfileOf[i] || lt.DSLAM != ds.DSLAMOf[i] || lt.Usage != ds.UsageOf[i] {
+				t.Fatalf("static attributes for line %d differ from the dataset", i)
+			}
+		}
+		cutoff := data.SaturdayOf(want)
+		for _, tk := range b.Tickets {
+			if tk.Day > cutoff {
+				t.Fatalf("week %d released a day-%d ticket past its Saturday %d", want, tk.Day, cutoff)
+			}
+		}
+		allTickets = append(allTickets, b.Tickets...)
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("stream did not end")
+	}
+	if src.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after exhaustion", src.Remaining())
+	}
+
+	// Across batches the stream releases exactly the dataset's tickets up to
+	// the final Saturday, in day order, each exactly once — and the first
+	// batch carried the full history preceding its week.
+	var want []data.Ticket
+	for _, tk := range ds.Tickets {
+		if tk.Day <= data.SaturdayOf(5) {
+			want = append(want, tk)
+		}
+	}
+	if len(allTickets) != len(want) {
+		t.Fatalf("stream released %d tickets, dataset holds %d in range", len(allTickets), len(want))
+	}
+	for i := range want {
+		if allTickets[i] != want[i] {
+			t.Fatalf("ticket %d differs: %+v vs %+v", i, allTickets[i], want[i])
+		}
+	}
+}
+
+func TestSourceLateStartCarriesHistory(t *testing.T) {
+	ds := sourceDataset(t)
+	src, err := NewSource(ds, 40, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := src.Next()
+	if !ok {
+		t.Fatal("no batch")
+	}
+	// A consumer starting at week 40 needs every prior ticket for the
+	// time-since-ticket features; the first batch must reach back to day 0.
+	early := 0
+	for _, tk := range b.Tickets {
+		if tk.Day < data.SaturdayOf(35) {
+			early++
+		}
+	}
+	if early == 0 {
+		t.Fatal("first batch carries no ticket history before week 35")
+	}
+}
