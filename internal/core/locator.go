@@ -297,8 +297,8 @@ func encodeCases(ds *data.Dataset, cases []DispatchCase, historyWeeks int, cache
 }
 
 // casesMatrix returns the quantized design matrix for dispatch cases,
-// memoized (keyed by the cases and the quantizer's content fingerprint)
-// when a cache is attached.
+// memoized (keyed by the dataset generation, the cases, and the quantizer's
+// content fingerprint) when a cache is attached.
 func (l *TroubleLocator) casesMatrix(ds *data.Dataset, cases []DispatchCase) (*ml.BinnedMatrix, error) {
 	var bmKey string
 	if l.cache != nil {
@@ -306,8 +306,8 @@ func (l *TroubleLocator) casesMatrix(ds *data.Dataset, cases []DispatchCase) (*m
 		for i, c := range cases {
 			ex[i] = features.Example{Line: c.Line, Week: c.Week}
 		}
-		bmKey = fmt.Sprintf("bin|loc|%016x|h%d|q%016x",
-			features.ExamplesKey(ex), l.Cfg.HistoryWeeks, l.quant.Fingerprint())
+		bmKey = fmt.Sprintf("bin|loc|g%d|%016x|h%d|q%016x",
+			ds.Generation, features.ExamplesKey(ex), l.Cfg.HistoryWeeks, l.quant.Fingerprint())
 		if bm, ok := l.cache.GetBinned(bmKey); ok {
 			return bm, nil
 		}

@@ -378,12 +378,13 @@ func (p *TicketPredictor) schemaKey() uint64 {
 
 // encodeFor re-encodes arbitrary examples into the predictor's column
 // schema. With a cache attached, both the base feature encode and the final
-// quantized matrix are memoized (keyed by the examples and the predictor's
-// schemaKey), so repeated rankings of the same weeks skip the pipeline.
+// quantized matrix are memoized (keyed by the dataset generation, the
+// examples, and the predictor's schemaKey), so repeated rankings of the same
+// weeks skip the pipeline while ingests of new data are never served stale.
 func (p *TicketPredictor) encodeFor(ds *data.Dataset, ix *data.TicketIndex, examples []features.Example) (*ml.BinnedMatrix, error) {
 	var bmKey string
 	if p.cache != nil {
-		bmKey = fmt.Sprintf("bin|pred|%016x|%016x", features.ExamplesKey(examples), p.schemaKey())
+		bmKey = fmt.Sprintf("bin|pred|g%d|%016x|%016x", ds.Generation, features.ExamplesKey(examples), p.schemaKey())
 		if bm, ok := p.cache.GetBinned(bmKey); ok {
 			return bm, nil
 		}

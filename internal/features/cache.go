@@ -15,13 +15,16 @@ import (
 // feature extraction many times over.
 //
 // Keys fingerprint everything a cached value depends on. Encoded matrices
-// are keyed by (examples hash, history window) — note the hash covers the
-// FULL example list, not per-week pieces, because the encoder's
-// missing-line fallback vector averages over the examples' whole week-set
-// (per-week concatenation would change results). Binned matrices
-// additionally key on the consumer's column schema and the quantizer's
-// content fingerprint (ml.Quantizer.Fingerprint — pointer identity would be
-// unsafe across retrains).
+// are keyed by (dataset generation, examples hash, history window) — note
+// the hash covers the FULL example list, not per-week pieces, because the
+// encoder's missing-line fallback vector averages over the examples' whole
+// week-set (per-week concatenation would change results). The dataset
+// generation (data.Dataset.Generation) is how a mutable source like the
+// serving store invalidates entries: each ingest produces snapshots with a
+// new generation, so stale encodes of the old contents can never be served.
+// Binned matrices additionally key on the consumer's column schema and the
+// quantizer's content fingerprint (ml.Quantizer.Fingerprint — pointer
+// identity would be unsafe across retrains).
 //
 // Entries are bounded by an LRU policy (default 24). Cached values are
 // shared, never copied: all consumers treat encoded/binned matrices as
@@ -182,7 +185,7 @@ func EncodeCached(c *Cache, ds *data.Dataset, ix *data.TicketIndex, examples []E
 		return Encode(ds, ix, examples, cfg)
 	}
 	cfg = cfg.defaults()
-	baseKey := fmt.Sprintf("enc|%016x|h%d", ExamplesKey(examples), cfg.HistoryWeeks)
+	baseKey := fmt.Sprintf("enc|g%d|%016x|h%d", ds.Generation, ExamplesKey(examples), cfg.HistoryWeeks)
 	if !cfg.Quadratic {
 		if v, ok := c.get(baseKey); ok {
 			return v.(*Encoded), nil

@@ -171,6 +171,52 @@ func TestEncodeCachedMatchesEncode(t *testing.T) {
 	}
 }
 
+// TestEncodeCachedGenerationInvalidates: the cache key covers the dataset
+// generation, so a mutable source (the serving store) that stamps each
+// snapshot with a new generation never gets stale encodes — the bug class
+// where re-ingested tests were scored off the previous contents.
+func TestEncodeCachedGenerationInvalidates(t *testing.T) {
+	ds := cacheDataset(t)
+	ix := data.NewTicketIndex(ds)
+	examples := ExamplesForWeeks(ds, []int{30})
+	c := NewCache(0)
+
+	stale, err := EncodeCached(c, ds, ix, examples, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New contents, new generation — as a store ingest produces.
+	for l := 0; l < ds.NumLines; l++ {
+		ds.Measurements[30*ds.NumLines+l].F[0] += 100
+	}
+	ds.Generation++
+	want, err := Encode(ds, ix, examples, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := EncodeCached(c, ds, ix, examples, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == stale {
+		t.Fatal("new generation served the previous generation's encode")
+	}
+	if !reflect.DeepEqual(fresh, want) {
+		t.Fatal("new-generation encode differs from plain Encode of the new contents")
+	}
+
+	// Both generations stay addressable: re-asking for the old one hits it.
+	ds.Generation--
+	back, err := EncodeCached(c, ds, ix, examples, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != stale {
+		t.Fatal("previous generation's entry was lost")
+	}
+}
+
 // TestEncodeCachedNilCache: a nil cache must degrade to plain Encode.
 func TestEncodeCachedNilCache(t *testing.T) {
 	ds := cacheDataset(t)

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -266,7 +267,8 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	week := s.store.LatestWeek()
 	if v := r.URL.Query().Get("week"); v != "" {
-		if _, err := fmt.Sscanf(v, "%d", &week); err != nil {
+		var err error
+		if week, err = strconv.Atoi(v); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad week %q", v))
 			return
 		}
@@ -278,7 +280,8 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	models := s.Models()
 	n := models.Pred.Cfg.BudgetN
 	if v := r.URL.Query().Get("n"); v != "" {
-		if _, err := fmt.Sscanf(v, "%d", &n); err != nil || n < 1 {
+		var err error
+		if n, err = strconv.Atoi(v); err != nil || n < 1 {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
 			return
 		}
@@ -471,8 +474,10 @@ func (s *Server) Reload() (*ReloadResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Operational settings travel with the process, not the model file.
+	// Operational settings travel with the process, not the model file:
+	// the worker-pool size and the -budget override both outlive a reload.
 	pred.Cfg.Workers = old.Pred.Cfg.Workers
+	pred.Cfg.BudgetN = old.Pred.Cfg.BudgetN
 	pred.SetEncodeCache(s.cache)
 	loc := old.Loc
 	if s.locatorPath != "" {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"nevermind/internal/data"
+	"nevermind/internal/features"
 )
 
 func newTestServer(t *testing.T, cfg Config) *Server {
@@ -205,6 +206,17 @@ func TestServerEndpoints(t *testing.T) {
 	if resp, _ := http.Get(ts.URL + "/v1/score"); resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET on a POST route: %d", resp.StatusCode)
 	}
+	// Query params with trailing garbage must be rejected, not silently
+	// parsed as their numeric prefix.
+	for _, q := range []string{"week=41xyz", "week=1e2", "n=7abc", "n=0"} {
+		resp, body := getJSON(t, ts.URL+"/v1/rank?"+q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("rank?%s: status %d", q, resp.StatusCode)
+		}
+		if len(body["error"]) == 0 {
+			t.Fatalf("rank?%s error response has no message", q)
+		}
+	}
 
 	// The monitoring surface reflects the traffic above.
 	resp, vars := getJSON(t, ts.URL+"/debug/vars")
@@ -243,6 +255,81 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if cache.Misses == 0 {
 		t.Fatal("cache counters never moved")
+	}
+}
+
+// TestScoreFreshAfterReingest pins the cache-invalidation contract: the
+// encode/bin cache keys include the snapshot's dataset generation, so a
+// score repeated with the same example list after a re-ingest that changed
+// the data must reflect the new store contents, not the cached matrix of
+// the old snapshot.
+func TestScoreFreshAfterReingest(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ds, _, _ := fixture(t)
+
+	ingestWeeks(t, ts, 39, 41)
+
+	examples := make([]map[string]any, 0, 16)
+	for l := 0; l < 16; l++ {
+		examples = append(examples, map[string]any{"line": l * 13 % ds.NumLines, "week": 41})
+	}
+	score := func() (uint64, []predictionJSON) {
+		resp, body := postJSON(t, ts.URL+"/v1/score", map[string]any{"examples": examples})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("score: %d %s", resp.StatusCode, body["error"])
+		}
+		var version uint64
+		if err := json.Unmarshal(body["version"], &version); err != nil {
+			t.Fatal(err)
+		}
+		var preds []predictionJSON
+		if err := json.Unmarshal(body["predictions"], &preds); err != nil {
+			t.Fatal(err)
+		}
+		return version, preds
+	}
+	v0, _ := score()
+	score() // populate the cache for the current generation
+
+	// Replay week 41 with perturbed measurements — re-ingested tests, as a
+	// corrected upstream feed would send.
+	tests, _ := recordsFor(ds, 41, 41)
+	for i := range tests {
+		if !tests[i].Missing {
+			for j := range tests[i].F {
+				tests[i].F[j] += 3
+			}
+		}
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", map[string]any{"tests": tests})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-ingest: %d %s", resp.StatusCode, body["error"])
+	}
+
+	v1, got := score()
+	if v1 == v0 {
+		t.Fatal("re-ingest did not bump the served version")
+	}
+	// Ground truth: the same predictor scoring the new snapshot with no
+	// cache in the path at all.
+	pred := srv.Models().Pred
+	pred.SetEncodeCache(nil)
+	sn := srv.store.Snapshot()
+	ex := make([]features.Example, len(examples))
+	for i, e := range examples {
+		ex[i] = features.Example{Line: data.LineID(e["line"].(int)), Week: e["week"].(int)}
+	}
+	want, err := pred.PredictExamples(sn.DS, sn.Ix, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred.SetEncodeCache(srv.cache)
+	for i := range got {
+		if got[i].Score != want[i].Score || got[i].Probability != want[i].Probability {
+			t.Fatalf("post-reingest score %d served stale: %+v, uncached truth %+v", i, got[i], want[i])
+		}
 	}
 }
 
@@ -499,6 +586,22 @@ func TestHotReloadEquality(t *testing.T) {
 	_, vars := getJSON(t, ts.URL+"/debug/vars")
 	if string(vars["reloads"]) != "1" {
 		t.Fatalf("reloads counter = %s", vars["reloads"])
+	}
+
+	// Operational settings set on the process (the -budget and -workers
+	// flags) survive a reload instead of reverting to the model file's.
+	cur := srv.Models().Pred
+	cur.Cfg.BudgetN = 123
+	cur.Cfg.Workers = 3
+	resp, body = postJSON(t, ts.URL+"/v1/reload", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second reload: %d %s", resp.StatusCode, body["error"])
+	}
+	if got := srv.Models().Pred.Cfg.BudgetN; got != 123 {
+		t.Fatalf("reload reverted BudgetN to %d", got)
+	}
+	if got := srv.Models().Pred.Cfg.Workers; got != 3 {
+		t.Fatalf("reload reverted Workers to %d", got)
 	}
 
 	// Without model paths, reload is an error and the old generation stays.

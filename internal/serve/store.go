@@ -26,7 +26,10 @@ const MaxLineID = 1 << 22
 // the static line attributes (service tier, serving DSLAM, usage propensity)
 // the collector forwards alongside it. F holds the Table 2 feature values in
 // data.BasicFeatureNames order; shorter vectors are zero-extended, which is
-// also how a Missing (modem-off) record with no measurements is sent.
+// also how a Missing (modem-off) record with no measurements is sent. Static
+// attributes update from non-Missing records only (a modem-off probe learns
+// nothing about the line), except that a line's very first record seeds them
+// regardless.
 type TestRecord struct {
 	Line    data.LineID `json:"line"`
 	Week    int         `json:"week"`
@@ -183,11 +186,19 @@ func (s *Store) IngestTests(recs []TestRecord) (int, error) {
 		for _, i := range idxs {
 			r := &recs[i]
 			ls := sh.lines[r.Line]
-			if ls == nil {
+			isNew := ls == nil
+			if isNew {
 				ls = &lineState{}
 				sh.lines[r.Line] = ls
 			}
-			ls.profile, ls.dslam, ls.usage = r.Profile, r.DSLAM, r.Usage
+			// A Missing (modem-off) record carries no measurements and
+			// typically no static attributes either; letting it overwrite
+			// them would zero a known line's profile/DSLAM/usage. Only
+			// non-Missing records update attributes — except on a brand-new
+			// line, where whatever the record carries beats all-zeros.
+			if !r.Missing || isNew {
+				ls.profile, ls.dslam, ls.usage = r.Profile, r.DSLAM, r.Usage
+			}
 			m := data.Measurement{Line: r.Line, Week: r.Week, Missing: r.Missing}
 			copy(m.F[:], r.F)
 			ls.tests[r.Week] = m
@@ -283,10 +294,21 @@ func (s *Store) Snapshot() *Snapshot {
 		return sn
 	}
 	sn := s.build(v)
-	if sn != nil {
-		s.snap.Store(sn)
+	if sn == nil {
+		return nil
 	}
-	return sn
+	// Publish unless a concurrent builder already cached a snapshot at
+	// least as new — a slow build racing a faster one at a later version
+	// must not clobber it and force the next reader into a full rebuild.
+	for {
+		old := s.snap.Load()
+		if old != nil && old.Version >= sn.Version {
+			return sn
+		}
+		if s.snap.CompareAndSwap(old, sn) {
+			return sn
+		}
+	}
 }
 
 func (s *Store) build(version uint64) *Snapshot {
@@ -310,6 +332,9 @@ func (s *Store) build(version uint64) *Snapshot {
 	}
 	n := int(maxLine) + 1
 	ds := &data.Dataset{
+		// Generation keys the feature caches downstream: snapshots of
+		// different store versions must never share cached encodes.
+		Generation:   version,
 		NumLines:     n,
 		NumDSLAMs:    int(maxDSLAM) + 1,
 		ProfileOf:    make([]uint8, n),

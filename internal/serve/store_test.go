@@ -30,7 +30,8 @@ func TestStoreIngestAndSnapshot(t *testing.T) {
 	recs := []TestRecord{
 		{Line: 7, Week: 10, F: []float32{1, 2, 3}, Profile: 1, DSLAM: 2, Usage: 0.5},
 		{Line: 3, Week: 10, Missing: true},
-		// Every record re-states the static attributes (last write wins).
+		// Non-Missing records re-state the static attributes (last write
+		// wins); Missing ones leave them alone.
 		{Line: 7, Week: 11, F: []float32{4}, Profile: 1, DSLAM: 2, Usage: 0.5},
 	}
 	n, err := s.IngestTests(recs)
@@ -90,7 +91,7 @@ func TestStoreIngestAndSnapshot(t *testing.T) {
 		t.Fatal("unchanged store rebuilt its snapshot")
 	}
 	// ...an overwrite bumps the version and rebuilds...
-	if _, err := s.IngestTests([]TestRecord{{Line: 7, Week: 10, F: []float32{9}}}); err != nil {
+	if _, err := s.IngestTests([]TestRecord{{Line: 7, Week: 10, F: []float32{9}, Profile: 1, DSLAM: 2, Usage: 0.5}}); err != nil {
 		t.Fatal(err)
 	}
 	sn2 := s.Snapshot()
@@ -103,6 +104,26 @@ func TestStoreIngestAndSnapshot(t *testing.T) {
 	// ...and the old snapshot is untouched (immutability).
 	if sn.DS.At(7, 10).F[0] != 1 {
 		t.Fatal("old snapshot mutated by ingest")
+	}
+	// Snapshots carry the store version as the dataset generation, so the
+	// feature caches downstream can never serve one version's encodes for
+	// another.
+	if sn.DS.Generation != sn.Version || sn2.DS.Generation != sn2.Version || sn.DS.Generation == sn2.DS.Generation {
+		t.Fatalf("snapshot generations %d/%d for versions %d/%d", sn.DS.Generation, sn2.DS.Generation, sn.Version, sn2.Version)
+	}
+
+	// A Missing record for a known line (modem off that week) must not zero
+	// its static attributes.
+	if _, err := s.IngestTests([]TestRecord{{Line: 7, Week: 12, Missing: true}}); err != nil {
+		t.Fatal(err)
+	}
+	sn3 := s.Snapshot()
+	if !sn3.DS.At(7, 12).Missing {
+		t.Fatal("Missing record lost its flag")
+	}
+	if sn3.DS.ProfileOf[7] != 1 || sn3.DS.DSLAMOf[7] != 2 || sn3.DS.UsageOf[7] != 0.5 {
+		t.Fatalf("Missing record clobbered static attributes: profile=%d dslam=%d usage=%v",
+			sn3.DS.ProfileOf[7], sn3.DS.DSLAMOf[7], sn3.DS.UsageOf[7])
 	}
 }
 
