@@ -2,14 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-json bench-smoke serve-smoke experiments examples fuzz clean
+.PHONY: all check build vet test race bench bench-json bench-smoke serve-smoke chaos-smoke chaos-soak experiments examples fuzz fuzz-smoke clean
 
 all: build vet test
 
 # The full gate: compile, static checks, tests, the race detector over the
 # parallel hot paths, a one-iteration pass over every benchmark so the
-# bench code itself cannot rot, and an end-to-end smoke of the daemon.
-check: build vet test race bench-smoke serve-smoke
+# bench code itself cannot rot, an end-to-end smoke of the daemon, a short
+# fuzz pass over the API decoders, and the chaos smoke (daemon under
+# injected faults).
+check: build vet test race bench-smoke serve-smoke fuzz-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -27,7 +29,7 @@ test:
 race:
 	$(GO) test -race ./internal/parallel/ ./internal/ml/
 	$(GO) test -race -run 'AcrossWorkers|Compiled|Cache' ./internal/core/ ./internal/eval/
-	$(GO) test -race ./internal/serve/
+	$(GO) test -race ./internal/serve/ ./internal/chaos/
 
 # One benchmark per paper table/figure plus ablations; writes the artifacts
 # the repository documents.
@@ -51,6 +53,19 @@ bench-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# Chaos smoke: the daemon boots with every fault mode armed and must ride
+# the storm out — weeks complete exactly once, /healthz never fails, and
+# SIGTERM still drains. (The in-process equivalent, TestChaosSoak, runs in
+# plain `make test`.)
+chaos-smoke:
+	./scripts/chaos_soak.sh --smoke
+
+# Full chaos soak: the long-mode Go soak (five fault seeds over the whole
+# simulated year, convergence to a clean replay asserted bit for bit)
+# plus a 12-week daemon-level storm.
+chaos-soak:
+	./scripts/chaos_soak.sh
+
 # Regenerate every table and figure at full scale (~2 min on one core).
 experiments:
 	$(GO) run ./cmd/experiments -exp all
@@ -67,6 +82,13 @@ examples:
 fuzz:
 	$(GO) test ./internal/data/ -fuzz FuzzReadMeasurementsCSV -fuzztime 20s
 	$(GO) test ./internal/data/ -fuzz FuzzReadTicketsCSV -fuzztime 20s
+
+# Fuzz the serving API's decoders: the ingest body decoder and the rank
+# query parser, 30s each. Seed corpora for both also run (instantly) in
+# plain `make test`.
+fuzz-smoke:
+	$(GO) test ./internal/serve/ -fuzz FuzzIngestJSON -fuzztime 30s -run '^$$'
+	$(GO) test ./internal/serve/ -fuzz FuzzRankParams -fuzztime 30s -run '^$$'
 
 clean:
 	rm -f test_output.txt bench_output.txt dsl-year.gob.gz

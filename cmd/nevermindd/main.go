@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"nevermind/internal/chaos"
 	"nevermind/internal/core"
 	"nevermind/internal/data"
 	"nevermind/internal/features"
@@ -46,6 +47,25 @@ func main() {
 		endWeek   = flag.Int("end-week", 51, "last week the pipeline ingests and ranks")
 		tick      = flag.Duration("tick", 0, "wall-clock interval per simulated week (0 = back to back)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+
+		reqTimeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline on the API (0 disables)")
+		maxInflight = flag.Int("max-inflight", 512, "load-shed threshold: concurrent API requests before 503 + Retry-After (0 disables)")
+
+		retryAttempts = flag.Int("retry.attempts", 6, "pipeline per-week attempt budget for pull/ingest/snapshot")
+		retryBase     = flag.Duration("retry.base", 50*time.Millisecond, "pipeline first backoff; doubles per retry with jitter")
+		retryMax      = flag.Duration("retry.max", 2*time.Second, "pipeline backoff ceiling")
+
+		chaosSeed      = flag.Uint64("chaos.seed", 1, "fault-injection seed (schedules replay bit-identically)")
+		chaosSource    = flag.Float64("chaos.source-error", 0, "P(feed pull fails transiently)")
+		chaosPartial   = flag.Float64("chaos.partial-batch", 0, "P(feed delivers a truncated batch with a transport error)")
+		chaosMalformed = flag.Float64("chaos.malformed-batch", 0, "P(feed silently delivers corrupt records)")
+		chaosIngest    = flag.Float64("chaos.ingest-error", 0, "P(store ingest fails transiently)")
+		chaosSnapshot  = flag.Float64("chaos.snapshot-error", 0, "P(snapshot rebuild fails; last good snapshot keeps serving)")
+		chaosReload    = flag.Float64("chaos.reload-error", 0, "P(model reload probe fails; old generation keeps serving)")
+		chaosSlowShard = flag.Float64("chaos.slow-shard", 0, "P(a shard read stalls during snapshot builds)")
+		chaosShardLag  = flag.Duration("chaos.shard-delay", 20*time.Millisecond, "max injected per-shard stall")
+		chaosSlowReq   = flag.Float64("chaos.slow-request", 0, "P(an API request stalls in the handler)")
+		chaosReqLag    = flag.Duration("chaos.request-delay", 50*time.Millisecond, "max injected per-request stall")
 	)
 	flag.Parse()
 
@@ -80,14 +100,41 @@ func main() {
 		}
 	}
 
+	// Any non-zero chaos rate arms the fault-injection layer; its faults are
+	// exactly what the retry/degradation machinery is built to absorb, so a
+	// chaotic daemon must still serve every healthy request.
+	var inj *chaos.Injector
+	var faults *serve.FaultHooks
+	if *chaosSource+*chaosPartial+*chaosMalformed+*chaosIngest+*chaosSnapshot+
+		*chaosReload+*chaosSlowShard+*chaosSlowReq > 0 {
+		inj = chaos.New(chaos.Config{
+			Seed:           *chaosSeed,
+			SourceError:    *chaosSource,
+			PartialBatch:   *chaosPartial,
+			MalformedBatch: *chaosMalformed,
+			IngestError:    *chaosIngest,
+			SnapshotError:  *chaosSnapshot,
+			ReloadError:    *chaosReload,
+			SlowShard:      *chaosSlowShard,
+			ShardDelay:     *chaosShardLag,
+			SlowRequest:    *chaosSlowReq,
+			RequestDelay:   *chaosReqLag,
+		})
+		faults = inj.Hooks()
+		fmt.Fprintf(os.Stderr, "nevermindd: CHAOS armed (seed %d)\n", *chaosSeed)
+	}
+
 	srv, err := serve.New(serve.Config{
-		Predictor:     pred,
-		Locator:       loc,
-		PredictorPath: *model,
-		LocatorPath:   *locator,
-		Shards:        *shards,
-		CacheEntries:  *cacheEnt,
-		DrainTimeout:  *drain,
+		Predictor:      pred,
+		Locator:        loc,
+		PredictorPath:  *model,
+		LocatorPath:    *locator,
+		Shards:         *shards,
+		CacheEntries:   *cacheEnt,
+		DrainTimeout:   *drain,
+		RequestTimeout: *reqTimeout,
+		MaxInflight:    *maxInflight,
+		Faults:         faults,
 	})
 	if err != nil {
 		fatalStage("server", err)
@@ -122,14 +169,28 @@ func main() {
 		if err != nil {
 			fatalStage("pipeline", err)
 		}
+		feed := serve.SimFeed(src)
+		if inj != nil {
+			feed = inj.WrapSource(feed)
+		}
 		pl, err := serve.NewPipeline(srv, serve.PipelineConfig{
-			Source: src,
+			Source: feed,
 			Tick:   *tick,
+			Retry: serve.RetryConfig{
+				MaxAttempts: *retryAttempts,
+				BaseDelay:   *retryBase,
+				MaxDelay:    *retryMax,
+				Seed:        *seed,
+			},
 			OnWeek: func(r serve.WeekReport) {
 				fmt.Fprintf(os.Stderr,
-					"nevermindd: week %d: ingested %d tests %d tickets; submitted %d predictions; worked %d customer + %d predicted (%d expired, %d pending)\n",
+					"nevermindd: week %d: ingested %d tests %d tickets; submitted %d predictions; worked %d customer + %d predicted (%d expired, %d pending, %d retries)\n",
 					r.Week, r.IngestedTests, r.IngestedTickets, r.Submitted,
-					r.Stats.Customer, r.Stats.Predicted, r.Stats.ExpiredPredicted, r.Pending)
+					r.Stats.Customer, r.Stats.Predicted, r.Stats.ExpiredPredicted, r.Pending, r.Retries)
+			},
+			OnRetry: func(e serve.RetryEvent) {
+				fmt.Fprintf(os.Stderr, "nevermindd: week %d %s attempt %d failed (%v); backing off %v\n",
+					e.Week, e.Op, e.Attempt, e.Err, e.Backoff)
 			},
 		})
 		if err != nil {

@@ -1,0 +1,39 @@
+package chaos
+
+import (
+	"testing"
+
+	"nevermind/internal/core"
+	"nevermind/internal/data"
+	"nevermind/internal/features"
+	"nevermind/internal/sim"
+)
+
+// The chaos fixture is deliberately smaller than serve's: the soak runs the
+// pipeline many times over, and the models only need to be mechanically
+// sound — the soak asserts convergence and determinism, not accuracy.
+var (
+	fixtureDS   *data.Dataset
+	fixturePred *core.TicketPredictor
+)
+
+func fixture(t *testing.T) (*data.Dataset, *core.TicketPredictor) {
+	t.Helper()
+	if fixtureDS == nil {
+		res, err := sim.Run(sim.DefaultConfig(800, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtureDS = res.Dataset
+
+		cfg := core.DefaultPredictorConfig(fixtureDS.NumLines, 7)
+		cfg.Rounds = 15
+		cfg.MaxSelectExamples = 6000
+		pred, err := core.TrainPredictor(fixtureDS, features.WeekRange(32, 38), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixturePred = pred
+	}
+	return fixtureDS, fixturePred
+}

@@ -1,0 +1,68 @@
+//go:build soak
+
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestChaosSoakLong is the extended soak, excluded from tier-1 by the
+// `soak` build tag (run via `make chaos-soak` or
+// `go test -tags soak ./internal/chaos -run TestChaosSoakLong`).
+//
+// It drives the pipeline over the full remaining simulated year under
+// several independent fault seeds and a harsher fault mix than the tier-1
+// soak, with more concurrent readers. Every seed must independently
+// converge to the same clean replay: identical per-week ATDS outcomes and a
+// bit-identical final ranking. A seed that converges differently — or a
+// reader that catches a torn snapshot anywhere in hours of simulated
+// operation — fails the run.
+func TestChaosSoakLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak skipped in -short mode")
+	}
+	lo, hi := 40, 51 // the whole post-training year
+	clean := runSoak(t, soakConfig{
+		loWeek: lo, hiWeek: hi, hammers: 0, retrySeed: 17, maxAttempt: 24,
+	})
+	if len(clean.reports) != hi-lo+1 {
+		t.Fatalf("clean run covered %d weeks, want %d", len(clean.reports), hi-lo+1)
+	}
+
+	for _, seed := range []uint64{101, 202, 303, 404, 505} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			chaotic := runSoak(t, soakConfig{
+				chaos: &Config{
+					Seed:        seed,
+					SourceError: 0.20, PartialBatch: 0.20, MalformedBatch: 0.20,
+					IngestError: 0.30, SnapshotError: 0.35, ReloadError: 0.50,
+					SlowShard: 0.50, ShardDelay: time.Millisecond,
+					SlowRequest: 0.50, RequestDelay: time.Millisecond,
+					Sleep: func(time.Duration) {},
+				},
+				loWeek: lo, hiWeek: hi, hammers: 8, retrySeed: seed, maxAttempt: 24,
+			})
+			if len(chaotic.reports) != len(clean.reports) {
+				t.Fatalf("seed %d: %d weeks dispatched, want %d", seed, len(chaotic.reports), len(clean.reports))
+			}
+			for i := range chaotic.reports {
+				c, f := clean.reports[i], chaotic.reports[i]
+				if c.Week != f.Week || c.IngestedTests != f.IngestedTests ||
+					c.IngestedTickets != f.IngestedTickets || c.Submitted != f.Submitted ||
+					c.Pending != f.Pending || c.Stats != f.Stats {
+					t.Fatalf("seed %d week %d diverged:\nclean %+v\nchaos %+v", seed, c.Week, c, f)
+				}
+			}
+			if chaotic.rankBody != clean.rankBody {
+				t.Fatalf("seed %d: final ranking diverged from clean replay", seed)
+			}
+			if chaotic.stats.Total() == 0 {
+				t.Fatalf("seed %d injected nothing", seed)
+			}
+			t.Logf("seed %d: %d injected faults, converged", seed, chaotic.stats.Total())
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"bytes"
+	"net/url"
+	"testing"
+
+	"nevermind/internal/data"
+)
+
+// FuzzIngestJSON drives the exact decode-and-ingest path /v1/ingest uses —
+// decodeStrict into ingestRequest, then both store ingest calls — with
+// arbitrary bodies. It pins the hardening the fuzzer originally motivated:
+//
+//   - no panic and no store mutation on any malformed body;
+//   - trailing data after the JSON value is rejected, not silently dropped
+//     (`{"tests":[...]}garbage` used to ingest the prefix and say 200);
+//   - a body that decodes but fails validation leaves the store untouched
+//     (version unchanged), so a bad batch can never half-apply.
+func FuzzIngestJSON(f *testing.F) {
+	f.Add([]byte(`{"tests":[{"line":1,"week":40,"f":[1,2,3]}],"tickets":[{"id":1,"line":1,"day":274,"category":2}]}`))
+	f.Add([]byte(`{"tests":[{"line":1,"week":40}]}garbage`)) // trailing-data regression
+	f.Add([]byte(`{"tests":[{"line":1,"week":40}]} {"tests":[]}`))
+	f.Add([]byte(`{"tests":[{"line":-1,"week":40}]}`))
+	f.Add([]byte(`{"tests":[{"line":1,"week":9999}]}`))
+	f.Add([]byte(`{"tests":[{"line":1,"week":40,"f":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17]}]}`))
+	f.Add([]byte(`{"tickets":[{"id":1,"line":1,"day":-3}]}`))
+	f.Add([]byte(`{"tickets":[{"id":1,"line":1,"day":4,"category":255}]}`))
+	f.Add([]byte(`{"unknown_field":true}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"tests":`))
+	f.Add([]byte("{\"tests\":[{\"line\":4194303,\"week\":51,\"missing\":true}]}"))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s := NewStore(2)
+		var req ingestRequest
+		if err := decodeStrict(bytes.NewReader(body), &req); err != nil {
+			// Rejected at decode: nothing may have been applied.
+			if s.Version() != 0 {
+				t.Fatalf("decode error but store version %d", s.Version())
+			}
+			return
+		}
+		// Decoded bodies must round-trip the strictness property: the decoder
+		// consumed exactly one JSON value, so no accepted body may contain a
+		// second one.
+		v0 := s.Version()
+		nt, errT := s.IngestTests(req.Tests)
+		if errT != nil {
+			if s.Version() != v0 {
+				t.Fatalf("IngestTests failed (%v) but bumped version", errT)
+			}
+			if nt != 0 {
+				t.Fatalf("IngestTests failed (%v) but reported %d stored", errT, nt)
+			}
+			return
+		}
+		if nt != len(req.Tests) {
+			t.Fatalf("IngestTests stored %d of %d valid records", nt, len(req.Tests))
+		}
+		v1 := s.Version()
+		nk, errK := s.IngestTickets(req.Tickets)
+		if errK != nil {
+			if s.Version() != v1 {
+				t.Fatalf("IngestTickets failed (%v) but bumped version", errK)
+			}
+			return
+		}
+		// Everything accepted: every stored test record must be readable back
+		// through a snapshot without panicking, and the snapshot must be
+		// internally consistent.
+		sn := s.Snapshot()
+		if len(req.Tests) > 0 {
+			if sn == nil {
+				t.Fatal("accepted tests but snapshot is nil")
+			}
+			if sn.Version != s.Version() {
+				t.Fatalf("snapshot version %d != store version %d", sn.Version, s.Version())
+			}
+			for _, r := range req.Tests {
+				if !sn.Present[r.Week][r.Line] {
+					t.Fatalf("accepted record (line %d, week %d) absent from snapshot", r.Line, r.Week)
+				}
+			}
+			// The snapshot carries the subset of accepted tickets whose line
+			// fits the grid — never more than were stored.
+			if got := len(sn.DS.Tickets); got > nk {
+				t.Fatalf("snapshot has %d tickets, only %d were stored", got, nk)
+			}
+		}
+	})
+}
+
+// FuzzRankParams holds /v1/rank's query parsing to its contract: it either
+// errors, or returns a week inside [0, data.Weeks) and n >= 1. No input may
+// panic, be prefix-parsed, or be silently clamped into range.
+func FuzzRankParams(f *testing.F) {
+	f.Add("week=40&n=10")
+	f.Add("week=40")
+	f.Add("n=1")
+	f.Add("")
+	f.Add("week=-1")
+	f.Add("week=52")
+	f.Add("week=40.5")
+	f.Add("week=40notanumber")
+	f.Add("n=0")
+	f.Add("n=-5")
+	f.Add("n=99999999999999999999")
+	f.Add("week=%zz")
+	f.Add("week=40&week=51")
+
+	f.Fuzz(func(t *testing.T, query string) {
+		q, err := url.ParseQuery(query)
+		if err != nil {
+			return
+		}
+		week, n, err := parseRankParams(q, 40, 10)
+		if err != nil {
+			return
+		}
+		if week < 0 || week >= data.Weeks {
+			t.Fatalf("accepted week %d outside [0,%d) from %q", week, data.Weeks, query)
+		}
+		if n < 1 {
+			t.Fatalf("accepted n %d < 1 from %q", n, query)
+		}
+	})
+}

@@ -20,12 +20,17 @@ type metrics struct {
 	ingestedTests   expvar.Int
 	ingestedTickets expvar.Int
 	reloads         expvar.Int
+	reloadFailures  expvar.Int // reload attempts that kept the old generation
+
+	loadShed expvar.Int // requests refused 503 at admission (max-inflight)
+	timeouts expvar.Int // requests whose deadline expired mid-handling
 
 	pipelineTicks     expvar.Int
 	pipelineWeek      expvar.Int // latest completed week
 	pipelineSubmitted expvar.Int // predicted jobs pushed to ATDS
 	pipelineWorked    expvar.Int // predicted jobs started within the horizon
 	pipelineExpired   expvar.Int // predicted jobs aged out unworked
+	pipelineRetries   expvar.Int // pull/ingest/snapshot attempts that were retried
 }
 
 func newMetrics() *metrics {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -10,33 +11,123 @@ import (
 	"nevermind/internal/core"
 	"nevermind/internal/data"
 	"nevermind/internal/features"
+	"nevermind/internal/rng"
 	"nevermind/internal/sim"
 )
+
+// Source is the pipeline's input feed: one weekly batch per successful Next,
+// ok == false on exhaustion. The error return is the seam a real telemetry
+// feed (and the chaos layer standing in for one) needs: a pull can fail
+// transiently, or deliver a batch that later fails ingest validation. The
+// re-delivery contract: after a pull error or a bad-batch rejection, the
+// next Next call re-serves the same week — a week is consumed only once it
+// has been delivered cleanly. The simulator's never-failing stream
+// trivially satisfies this because it never errors.
+type Source interface {
+	Remaining() int
+	Next() (sim.Batch, bool, error)
+}
+
+// simFeed adapts the simulator's infallible stream to the Source contract.
+type simFeed struct{ src *sim.Source }
+
+func (f simFeed) Remaining() int { return f.src.Remaining() }
+func (f simFeed) Next() (sim.Batch, bool, error) {
+	b, ok := f.src.Next()
+	return b, ok, nil
+}
+
+// SimFeed wraps a simulator stream as a pipeline Source.
+func SimFeed(src *sim.Source) Source { return simFeed{src} }
+
+// RetryConfig bounds how hard the pipeline fights a failing week before
+// giving up: each of a week's operations (pull, ingest, snapshot refresh)
+// shares one attempt budget, and failed attempts back off exponentially
+// with deterministic jitter.
+type RetryConfig struct {
+	// MaxAttempts is the per-week attempt budget (default 6).
+	MaxAttempts int
+	// BaseDelay is the first backoff (default 50ms); each retry doubles it
+	// up to MaxDelay (default 2s). The actual sleep is jittered uniformly
+	// in [delay/2, delay) from a seeded stream, so a fleet of retriers
+	// cannot synchronise into a thundering herd yet a given seed replays
+	// the exact same schedule.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed drives the jitter stream.
+	Seed uint64
+}
+
+func (r RetryConfig) withDefaults() RetryConfig {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 6
+	}
+	if r.BaseDelay <= 0 {
+		r.BaseDelay = 50 * time.Millisecond
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = 2 * time.Second
+	}
+	return r
+}
+
+// backoffFor returns the jittered exponential delay for the given attempt
+// (1-based): min(Base<<(attempt-1), Max) scaled into [1/2, 1).
+func (r RetryConfig) backoffFor(op string, week, attempt int) time.Duration {
+	d := r.BaseDelay << uint(attempt-1)
+	if d > r.MaxDelay || d <= 0 { // <= 0 guards shift overflow
+		d = r.MaxDelay
+	}
+	var oph uint64
+	for _, c := range op {
+		oph = oph*131 + uint64(c)
+	}
+	j := rng.Derive(r.Seed, oph, uint64(week), uint64(attempt)).Float64()
+	return d/2 + time.Duration(float64(d/2)*j)
+}
+
+// RetryEvent describes one failed attempt the pipeline is about to back off
+// from; OnRetry observers get it before the sleep.
+type RetryEvent struct {
+	Week    int
+	Op      string // "pull", "ingest", "snapshot"
+	Attempt int
+	Err     error
+	Backoff time.Duration
+}
 
 // PipelineConfig drives the weekly serving loop.
 type PipelineConfig struct {
 	// Source feeds one simulated week per tick (the production stand-in for
-	// the telemetry feed).
-	Source *sim.Source
+	// the telemetry feed). Wrap a *sim.Source with SimFeed.
+	Source Source
 	// Queue is the ATDS work queue predictions are dispatched into; nil
 	// builds a default-sized queue on the first batch.
 	Queue *atds.Queue
 	// Tick is the wall-clock interval between simulated weeks; <= 0 runs
 	// the whole stream back to back (the smoke-test mode).
 	Tick time.Duration
+	// Retry bounds the per-week retry budget and backoff schedule.
+	Retry RetryConfig
+	// Sleep, when set, replaces time.Sleep for backoff waits — the soak
+	// tests inject an instant fake to run years of faults in seconds.
+	Sleep func(time.Duration)
 	// OnWeek, when set, observes each completed week.
 	OnWeek func(WeekReport)
+	// OnRetry, when set, observes each backed-off attempt.
+	OnRetry func(RetryEvent)
 }
 
 // WeekReport is what one pipeline tick did: the week it ingested and
-// ranked, the data volumes, and the dispatch outcomes of the seven days the
-// ATDS queue advanced.
+// ranked, the data volumes, the dispatch outcomes of the seven days the
+// ATDS queue advanced, and how many faults it had to retry through.
 type WeekReport struct {
 	Week            int
 	IngestedTests   int
 	IngestedTickets int
 	Submitted       int // predicted jobs pushed into ATDS
 	Pending         int // queue depth after the week's dispatching
+	Retries         int // attempts that failed and were retried
 	Stats           atds.Stats
 }
 
@@ -45,16 +136,30 @@ type WeekReport struct {
 // ranks the population with the current model generation, submits the
 // budgeted TopN into the ATDS queue alongside the week's customer tickets,
 // advances the queue through the seven days, and accumulates outcome stats.
+//
+// The loop is built to survive a misbehaving feed: transient pull and
+// ingest errors retry with bounded exponential backoff, a batch that fails
+// validation is discarded and the week re-pulled, and a stale snapshot
+// (failed rebuild) is retried until fresh — so a ranking never runs over
+// partial data. Only an error that persists through the whole attempt
+// budget, or one not marked transient, stops the loop; each week is
+// dispatched into ATDS exactly once.
 type Pipeline struct {
-	srv   *Server
-	cfg   PipelineConfig
-	total atds.Stats
+	srv       *Server
+	cfg       PipelineConfig
+	total     atds.Stats
+	lastWeek  int // last week dispatched into ATDS (exactly-once guard)
+	haveWeeks bool
 }
 
 // NewPipeline binds a pipeline to a server.
 func NewPipeline(srv *Server, cfg PipelineConfig) (*Pipeline, error) {
 	if cfg.Source == nil {
 		return nil, fmt.Errorf("serve: pipeline needs a source")
+	}
+	cfg.Retry = cfg.Retry.withDefaults()
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
 	}
 	return &Pipeline{srv: srv, cfg: cfg}, nil
 }
@@ -88,46 +193,116 @@ func (p *Pipeline) Run(ctx context.Context) error {
 	return nil
 }
 
+// errStaleSnapshot is the retryable "rebuild failed, still serving the old
+// version" condition the snapshot-refresh loop spins on.
+var errStaleSnapshot = errors.New("snapshot stale after ingest")
+
+// retry records a failed attempt, backs off, and reports whether the budget
+// still has room. attempt is the week's running attempt counter.
+func (p *Pipeline) retry(rep *WeekReport, op string, week int, attempt *int, cause error) bool {
+	*attempt++
+	if *attempt >= p.cfg.Retry.MaxAttempts {
+		return false
+	}
+	d := p.cfg.Retry.backoffFor(op, week, *attempt)
+	rep.Retries++
+	p.srv.m.pipelineRetries.Add(1)
+	if p.cfg.OnRetry != nil {
+		p.cfg.OnRetry(RetryEvent{Week: week, Op: op, Attempt: *attempt, Err: cause, Backoff: d})
+	}
+	p.cfg.Sleep(d)
+	return true
+}
+
 // Step runs one tick: ingest the next week, rank, dispatch, advance. It
 // returns ok == false once the source is exhausted.
 func (p *Pipeline) Step() (ok bool, err error) {
-	batch, more := p.cfg.Source.Next()
-	if !more {
-		return false, nil
-	}
-	rep := WeekReport{Week: batch.Week}
+	var rep WeekReport
+	var batch sim.Batch
+	attempt := 0
 
-	// Ingest the week through the same store path the HTTP API uses.
-	tests := make([]TestRecord, len(batch.Tests))
-	for i, t := range batch.Tests {
-		tests[i] = TestRecord{
-			Line: t.M.Line, Week: t.M.Week, Missing: t.M.Missing, F: t.M.F[:],
-			Profile: t.Profile, DSLAM: t.DSLAM, Usage: t.Usage,
+	// Pull + ingest with a shared bounded attempt budget. Error classes:
+	//   - transient pull error: nothing was delivered; back off, re-pull.
+	//   - bad batch (ErrBadBatch): the store rejected the delivery whole;
+	//     back off, re-pull — the feed re-serves the week.
+	//   - transient ingest error: the validated batch hit an injected or
+	//     real infrastructure fault before any state change; back off and
+	//     re-ingest the same batch (ingest is idempotent: test records
+	//     overwrite per (line, week), tickets dedup).
+	//   - anything else is terminal for the loop.
+pull:
+	for {
+		b, more, perr := p.cfg.Source.Next()
+		if !more {
+			return false, nil
 		}
-	}
-	tickets := make([]TicketRecord, len(batch.Tickets))
-	for i, t := range batch.Tickets {
-		tickets[i] = TicketRecord{ID: t.ID, Line: t.Line, Day: t.Day, Category: uint8(t.Category)}
-	}
-	if rep.IngestedTests, err = p.srv.store.IngestTests(tests); err != nil {
-		return false, fmt.Errorf("serve: pipeline week %d ingest: %w", batch.Week, err)
-	}
-	if rep.IngestedTickets, err = p.srv.store.IngestTickets(tickets); err != nil {
-		return false, fmt.Errorf("serve: pipeline week %d tickets: %w", batch.Week, err)
+		batch = b
+		rep.Week = batch.Week
+		if perr != nil {
+			if !IsTransient(perr) {
+				return false, fmt.Errorf("serve: pipeline week %d pull: %w", batch.Week, perr)
+			}
+			if !p.retry(&rep, "pull", batch.Week, &attempt, perr) {
+				return false, fmt.Errorf("serve: pipeline week %d pull failed after %d attempts: %w",
+					batch.Week, attempt, perr)
+			}
+			continue
+		}
+		for {
+			ierr := p.ingest(&batch, &rep)
+			if ierr == nil {
+				break pull
+			}
+			switch {
+			case IsBadBatch(ierr):
+				if !p.retry(&rep, "ingest", batch.Week, &attempt, ierr) {
+					return false, fmt.Errorf("serve: pipeline week %d: bad batches exhausted %d attempts: %w",
+						batch.Week, attempt, ierr)
+				}
+				continue pull // discard the delivery, re-pull the week
+			case IsTransient(ierr):
+				if !p.retry(&rep, "ingest", batch.Week, &attempt, ierr) {
+					return false, fmt.Errorf("serve: pipeline week %d ingest failed after %d attempts: %w",
+						batch.Week, attempt, ierr)
+				}
+				continue // same batch, retry the ingest
+			default:
+				return false, fmt.Errorf("serve: pipeline week %d ingest: %w", batch.Week, ierr)
+			}
+		}
 	}
 	p.srv.m.ingestedTests.Add(int64(rep.IngestedTests))
 	p.srv.m.ingestedTickets.Add(int64(rep.IngestedTickets))
 
-	sn := p.srv.store.Snapshot()
-	if sn == nil {
-		return false, fmt.Errorf("serve: pipeline week %d: empty snapshot after ingest", batch.Week)
+	// The ranking must see this week's data: a snapshot older than the
+	// store version after our ingest means a rebuild failed (the API keeps
+	// serving the stale one; the pipeline retries until fresh).
+	wantVersion := p.srv.store.Version()
+	var sn *Snapshot
+	for {
+		sn = p.srv.store.Snapshot()
+		if sn != nil && sn.Version >= wantVersion {
+			break
+		}
+		if !p.retry(&rep, "snapshot", batch.Week, &attempt, errStaleSnapshot) {
+			return false, fmt.Errorf("serve: pipeline week %d: %w after %d attempts",
+				batch.Week, errStaleSnapshot, attempt)
+		}
 	}
+
 	if p.cfg.Queue == nil {
 		q, err := atds.NewQueue(atds.DefaultConfig(sn.DS.NumLines), data.SaturdayOf(batch.Week))
 		if err != nil {
 			return false, err
 		}
 		p.cfg.Queue = q
+	}
+
+	// Exactly-once dispatch: a week enters ATDS the first time it completes
+	// ingest+rank, never again (a re-served or replayed week would
+	// otherwise double the dispatch load).
+	if p.haveWeeks && batch.Week <= p.lastWeek {
+		return true, nil
 	}
 
 	// Saturday ranking run: budgeted TopN into the dispatch queue.
@@ -162,6 +337,7 @@ func (p *Pipeline) Step() (ok bool, err error) {
 			p.cfg.Queue.Submit(t.Line, atds.PriorityCustomer, 0)
 		}
 	}
+	p.lastWeek, p.haveWeeks = batch.Week, true
 
 	// Advance the dispatch system through the week.
 	var outcomes []atds.Outcome
@@ -183,6 +359,31 @@ func (p *Pipeline) Step() (ok bool, err error) {
 		p.cfg.OnWeek(rep)
 	}
 	return true, nil
+}
+
+// ingest applies one delivered batch through the same store path the HTTP
+// API uses. On any error the store is unchanged (validation rejects whole
+// batches; injected faults fire before mutation), so the caller may retry.
+func (p *Pipeline) ingest(batch *sim.Batch, rep *WeekReport) error {
+	tests := make([]TestRecord, len(batch.Tests))
+	for i, t := range batch.Tests {
+		tests[i] = TestRecord{
+			Line: t.M.Line, Week: t.M.Week, Missing: t.M.Missing, F: t.M.F[:],
+			Profile: t.Profile, DSLAM: t.DSLAM, Usage: t.Usage,
+		}
+	}
+	tickets := make([]TicketRecord, len(batch.Tickets))
+	for i, t := range batch.Tickets {
+		tickets[i] = TicketRecord{ID: t.ID, Line: t.Line, Day: t.Day, Category: uint8(t.Category)}
+	}
+	var err error
+	if rep.IngestedTests, err = p.srv.store.IngestTests(tests); err != nil {
+		return err
+	}
+	if rep.IngestedTickets, err = p.srv.store.IngestTickets(tickets); err != nil {
+		return err
+	}
+	return nil
 }
 
 // rankOrder returns prediction indices best-first (score desc, line asc) —

@@ -16,7 +16,7 @@ func TestPipelineRunsWeeks(t *testing.T) {
 	}
 	var reports []WeekReport
 	pl, err := NewPipeline(srv, PipelineConfig{
-		Source: src,
+		Source: SimFeed(src),
 		OnWeek: func(r WeekReport) { reports = append(reports, r) },
 	})
 	if err != nil {
@@ -81,7 +81,7 @@ func TestPipelineCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl, err := NewPipeline(srv, PipelineConfig{Source: src})
+	pl, err := NewPipeline(srv, PipelineConfig{Source: SimFeed(src)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"sync"
@@ -44,16 +46,29 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown: in-flight requests get this
 	// long to finish after the listener closes (0 = 10s).
 	DrainTimeout time.Duration
+	// RequestTimeout bounds each API request; a request that exceeds it is
+	// answered 503 while the monitoring endpoints stay un-timed. 0 disables.
+	RequestTimeout time.Duration
+	// MaxInflight load-sheds: when this many API requests are already in
+	// flight, new ones are refused with 503 + Retry-After instead of
+	// queueing behind a stall. 0 disables. /healthz and /debug/vars are
+	// exempt — the monitoring plane must answer during overload.
+	MaxInflight int
+	// Faults installs fault-injection hooks on the store, the reload probe
+	// and the request path; nil in production.
+	Faults *FaultHooks
 }
 
 // Server is the nevermindd HTTP server: the sharded store, the current
 // model pair, the encode/bin cache they score through, and the API mux.
 type Server struct {
-	store  *Store
-	cache  *features.Cache
-	models atomic.Pointer[Models]
-	m      *metrics
-	mux    *http.ServeMux
+	store   *Store
+	cache   *features.Cache
+	models  atomic.Pointer[Models]
+	m       *metrics
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in admission control + timeouts
+	faults  *FaultHooks
 
 	reloadMu      sync.Mutex
 	predictorPath string
@@ -77,6 +92,7 @@ func New(cfg Config) (*Server, error) {
 		store:         NewStore(cfg.Shards),
 		cache:         features.NewCache(cfg.CacheEntries),
 		m:             newMetrics(),
+		faults:        cfg.Faults,
 		predictorPath: cfg.PredictorPath,
 		locatorPath:   cfg.LocatorPath,
 		drainTimeout:  cfg.DrainTimeout,
@@ -84,6 +100,7 @@ func New(cfg Config) (*Server, error) {
 	if s.drainTimeout <= 0 {
 		s.drainTimeout = 10 * time.Second
 	}
+	s.store.SetFaults(cfg.Faults)
 	cfg.Predictor.SetEncodeCache(s.cache)
 	if cfg.Locator != nil {
 		cfg.Locator.SetEncodeCache(s.cache)
@@ -99,7 +116,52 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /healthz", s.m.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /debug/vars", s.m.instrument("debugvars", s.handleDebugVars))
 	s.mux = mux
+	s.handler = s.buildHandler(cfg.RequestTimeout, cfg.MaxInflight)
 	return s, nil
+}
+
+// buildHandler wraps the mux in the degradation middleware: a max-inflight
+// admission gate that sheds load with 503 + Retry-After, then a per-request
+// deadline. The monitoring endpoints bypass both — during an overload or a
+// stall, /healthz and /debug/vars are exactly what the operator needs.
+func (s *Server) buildHandler(timeout time.Duration, maxInflight int) http.Handler {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := s.faults; h != nil && h.Request != nil {
+			h.Request(r.URL.Path)
+		}
+		s.mux.ServeHTTP(w, r)
+		if errors.Is(r.Context().Err(), context.DeadlineExceeded) {
+			s.m.timeouts.Add(1)
+		}
+	})
+	var core http.Handler = inner
+	if timeout > 0 {
+		core = http.TimeoutHandler(inner, timeout, `{"error":"request deadline exceeded"}`)
+	}
+	var slots chan struct{}
+	if maxInflight > 0 {
+		slots = make(chan struct{}, maxInflight)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/debug/vars":
+			s.mux.ServeHTTP(w, r)
+			return
+		}
+		if slots != nil {
+			select {
+			case slots <- struct{}{}:
+				defer func() { <-slots }()
+			default:
+				s.m.loadShed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable,
+					errors.New("overloaded: max in-flight requests reached; retry after backoff"))
+				return
+			}
+		}
+		core.ServeHTTP(w, r)
+	})
 }
 
 // Store exposes the line-state store (the pipeline ingests through it).
@@ -108,15 +170,16 @@ func (s *Server) Store() *Store { return s.store }
 // Models returns the current model generation.
 func (s *Server) Models() *Models { return s.models.Load() }
 
-// Handler returns the API handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the API handler, wrapped in the admission/timeout
+// middleware when the Config enabled it.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Serve runs the HTTP server on ln until ctx is cancelled, then drains
 // gracefully: the listener closes immediately (new connections are
 // refused), in-flight requests run to completion within DrainTimeout, and
 // Serve returns once the last one finishes.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Handler: s.handler, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -172,9 +235,24 @@ func writeError(w http.ResponseWriter, code int, err error) {
 const maxBodyBytes = 128 << 20
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	return decodeStrict(http.MaxBytesReader(w, r.Body, maxBodyBytes), v)
+}
+
+// decodeStrict decodes exactly one JSON value: unknown fields and trailing
+// data are both rejected. The trailing-data check closes a silent-accept
+// hole the ingest fuzzer found — `{"tests":[...]}garbage` used to ingest the
+// first value and discard the rest without complaint.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
-	return dec.Decode(v)
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
 }
 
 // snapshotOr503 returns the current snapshot, writing a 503 if the store is
@@ -189,11 +267,15 @@ func (s *Server) snapshotOr503(w http.ResponseWriter) *Snapshot {
 
 // --- handlers -----------------------------------------------------------------
 
+// ingestRequest is /v1/ingest's body; package-scoped so the fuzz targets
+// drive the exact decoder the handler uses.
+type ingestRequest struct {
+	Tests   []TestRecord   `json:"tests"`
+	Tickets []TicketRecord `json:"tickets"`
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Tests   []TestRecord   `json:"tests"`
-		Tickets []TicketRecord `json:"tickets"`
-	}
+	var req ingestRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -265,26 +347,11 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if sn == nil {
 		return
 	}
-	week := s.store.LatestWeek()
-	if v := r.URL.Query().Get("week"); v != "" {
-		var err error
-		if week, err = strconv.Atoi(v); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad week %q", v))
-			return
-		}
-	}
-	if week < 0 || week >= data.Weeks {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("week %d outside [0,%d)", week, data.Weeks))
-		return
-	}
 	models := s.Models()
-	n := models.Pred.Cfg.BudgetN
-	if v := r.URL.Query().Get("n"); v != "" {
-		var err error
-		if n, err = strconv.Atoi(v); err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
-			return
-		}
+	week, n, err := parseRankParams(r.URL.Query(), s.store.LatestWeek(), models.Pred.Cfg.BudgetN)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	lines := sn.LinesAt(week)
 	examples := make([]features.Example, len(lines))
@@ -315,6 +382,28 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		"n":           len(preds),
 		"predictions": toWire(preds),
 	})
+}
+
+// parseRankParams parses /v1/rank's query parameters: week defaults to the
+// store's latest, n to the model's budget; non-integer or out-of-range
+// values are rejected rather than clamped or prefix-parsed, and the fuzz
+// target FuzzRankParams holds it to that.
+func parseRankParams(q url.Values, defWeek, defN int) (week, n int, err error) {
+	week, n = defWeek, defN
+	if v := q.Get("week"); v != "" {
+		if week, err = strconv.Atoi(v); err != nil {
+			return 0, 0, fmt.Errorf("bad week %q", v)
+		}
+	}
+	if week < 0 || week >= data.Weeks {
+		return 0, 0, fmt.Errorf("week %d outside [0,%d)", week, data.Weeks)
+	}
+	if v := q.Get("n"); v != "" {
+		if n, err = strconv.Atoi(v); err != nil || n < 1 {
+			return 0, 0, fmt.Errorf("bad n %q", v)
+		}
+	}
+	return week, n, nil
 }
 
 func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
@@ -413,6 +502,17 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 			"latest_week": s.store.LatestWeek(),
 			"shard_lines": s.store.ShardSizes(),
 		},
+		// The degradation surface: snapshot_lag > 0 means rebuilds are
+		// failing and scoring is serving the last good (stale) snapshot;
+		// the counters say how the server has been shedding trouble.
+		"degraded": map[string]any{
+			"snapshot_lag":            s.store.SnapshotLag(),
+			"snapshot_stale":          s.store.SnapshotLag() > 0,
+			"snapshot_build_failures": s.store.BuildFailures(),
+			"load_shed":               m.loadShed.Value(),
+			"timeouts":                m.timeouts.Value(),
+			"reload_failures":         m.reloadFailures.Value(),
+		},
 		"cache": s.cache.StatsDetail(),
 		"model": map[string]any{
 			"schema_fingerprint":   fmt.Sprintf("%016x", models.Pred.SchemaFingerprint()),
@@ -426,6 +526,7 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 			"submitted": m.pipelineSubmitted.Value(),
 			"worked":    m.pipelineWorked.Value(),
 			"expired":   m.pipelineExpired.Value(),
+			"retries":   m.pipelineRetries.Value(),
 		},
 	}
 	writeJSON(w, http.StatusOK, vars)
@@ -462,8 +563,18 @@ const reloadProbeMax = 256
 // drawn from the live store before the swap happens — a model file whose
 // schema has drifted from the store's data is rejected and the old
 // generation keeps serving. Requests racing the reload see either the old
-// or the new pair, never a mix.
+// or the new pair, never a mix. Any failure — unreadable file, schema
+// drift, or an injected probe fault — leaves the old generation serving and
+// bumps the reload_failures gauge.
 func (s *Server) Reload() (*ReloadResult, error) {
+	res, err := s.reload()
+	if err != nil {
+		s.m.reloadFailures.Add(1)
+	}
+	return res, err
+}
+
+func (s *Server) reload() (*ReloadResult, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	if s.predictorPath == "" {
@@ -488,6 +599,11 @@ func (s *Server) Reload() (*ReloadResult, error) {
 		loc.SetEncodeCache(s.cache)
 	}
 
+	if h := s.faults; h != nil && h.ReloadProbe != nil {
+		if err := h.ReloadProbe(); err != nil {
+			return nil, fmt.Errorf("serve: reload probe: %w", err)
+		}
+	}
 	res := &ReloadResult{Identical: true, SchemaFingerprint: fmt.Sprintf("%016x", pred.SchemaFingerprint())}
 	if sn := s.store.Snapshot(); sn != nil {
 		week := s.store.LatestWeek()

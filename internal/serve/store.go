@@ -84,6 +84,12 @@ type Store struct {
 	// latestWeek tracks the newest week ingested (-1 before any).
 	latestWeek atomic.Int64
 	snap       atomic.Pointer[Snapshot]
+	// faults is the injection seam; nil in production.
+	faults *FaultHooks
+	// buildFailures counts snapshot rebuilds that failed (injected or
+	// otherwise); while it climbs, readers keep getting the last good
+	// snapshot and SnapshotLag reports how stale it is.
+	buildFailures atomic.Uint64
 }
 
 // NewStore creates a store with the given shard count rounded up to a power
@@ -108,6 +114,26 @@ func NewStore(shards int) *Store {
 
 func (s *Store) shardOf(line data.LineID) *shard {
 	return &s.shards[uint32(line)&s.mask]
+}
+
+// SetFaults installs the fault-injection hooks. Call before the store takes
+// traffic; nil removes them.
+func (s *Store) SetFaults(h *FaultHooks) { s.faults = h }
+
+// BuildFailures returns how many snapshot rebuilds have failed so far.
+func (s *Store) BuildFailures() uint64 { return s.buildFailures.Load() }
+
+// SnapshotLag reports how many ingest versions the cached snapshot trails
+// the store: 0 means the next read is (or will build) a fresh view, anything
+// higher means rebuilds have been failing and readers are being served a
+// stale-but-consistent generation.
+func (s *Store) SnapshotLag() uint64 {
+	v := s.version.Load()
+	sn := s.snap.Load()
+	if sn == nil {
+		return v
+	}
+	return v - sn.Version
 }
 
 // NumShards returns the shard count (a power of two).
@@ -164,11 +190,16 @@ func validateTest(r *TestRecord) error {
 func (s *Store) IngestTests(recs []TestRecord) (int, error) {
 	for i := range recs {
 		if err := validateTest(&recs[i]); err != nil {
-			return 0, fmt.Errorf("record %d: %w", i, err)
+			return 0, fmt.Errorf("%w: record %d: %w", ErrBadBatch, i, err)
 		}
 	}
 	if len(recs) == 0 {
 		return 0, nil
+	}
+	if h := s.faults; h != nil && h.IngestTests != nil {
+		if err := h.IngestTests(len(recs)); err != nil {
+			return 0, err
+		}
 	}
 	// Group by shard so each shard's lock is taken once per batch.
 	byShard := make(map[uint32][]int)
@@ -222,15 +253,20 @@ func (s *Store) IngestTickets(recs []TicketRecord) (int, error) {
 	for i, r := range recs {
 		switch {
 		case r.Line < 0 || r.Line >= MaxLineID:
-			return 0, fmt.Errorf("ticket %d: line %d outside [0,%d)", i, r.Line, MaxLineID)
+			return 0, fmt.Errorf("%w: ticket %d: line %d outside [0,%d)", ErrBadBatch, i, r.Line, MaxLineID)
 		case r.Day < 0 || r.Day >= data.DaysInYear:
-			return 0, fmt.Errorf("ticket %d: day %d outside the year", i, r.Day)
+			return 0, fmt.Errorf("%w: ticket %d: day %d outside the year", ErrBadBatch, i, r.Day)
 		case r.Category > uint8(data.CatOther):
-			return 0, fmt.Errorf("ticket %d: unknown category %d", i, r.Category)
+			return 0, fmt.Errorf("%w: ticket %d: unknown category %d", ErrBadBatch, i, r.Category)
 		}
 	}
 	if len(recs) == 0 {
 		return 0, nil
+	}
+	if h := s.faults; h != nil && h.IngestTickets != nil {
+		if err := h.IngestTickets(len(recs)); err != nil {
+			return 0, err
+		}
 	}
 	added := 0
 	for _, r := range recs {
@@ -288,12 +324,22 @@ func (sn *Snapshot) LinesAt(week int) []data.LineID {
 // them across shards — each line's state is still internally consistent,
 // and the version recorded is the one read before the build, so the next
 // read rebuilds. An empty store yields a nil snapshot.
+//
+// Degradation contract: when a rebuild fails (an injected or real
+// infrastructure fault), Snapshot falls back to the last successfully built
+// snapshot — stale by SnapshotLag versions but internally consistent — and
+// the next read retries the rebuild. Readers therefore never observe a torn
+// or partially built view; they observe an older complete one.
 func (s *Store) Snapshot() *Snapshot {
 	v := s.version.Load()
 	if sn := s.snap.Load(); sn != nil && sn.Version == v {
 		return sn
 	}
-	sn := s.build(v)
+	sn, err := s.build(v)
+	if err != nil {
+		s.buildFailures.Add(1)
+		return s.snap.Load()
+	}
 	if sn == nil {
 		return nil
 	}
@@ -311,24 +357,30 @@ func (s *Store) Snapshot() *Snapshot {
 	}
 }
 
-func (s *Store) build(version uint64) *Snapshot {
-	// Pass 1: dimensions.
-	maxLine, maxDSLAM := data.LineID(-1), int32(0)
+func (s *Store) build(version uint64) (*Snapshot, error) {
+	if h := s.faults; h != nil && h.SnapshotBuild != nil {
+		if err := h.SnapshotBuild(version); err != nil {
+			return nil, err
+		}
+	}
+	// Pass 1: grid width. Lines ingested after this pass (the build runs
+	// lock-free between shards, so concurrent ingests can land mid-build)
+	// are excluded from this snapshot in pass 2 — they belong to a later
+	// version, and the version recorded here predates them, so the next
+	// read rebuilds and picks them up.
+	maxLine := data.LineID(-1)
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		for l, ls := range sh.lines {
+		for l := range sh.lines {
 			if l > maxLine {
 				maxLine = l
-			}
-			if ls.dslam > maxDSLAM {
-				maxDSLAM = ls.dslam
 			}
 		}
 		sh.mu.RUnlock()
 	}
 	if maxLine < 0 {
-		return nil
+		return nil, nil
 	}
 	n := int(maxLine) + 1
 	ds := &data.Dataset{
@@ -336,7 +388,6 @@ func (s *Store) build(version uint64) *Snapshot {
 		// different store versions must never share cached encodes.
 		Generation:   version,
 		NumLines:     n,
-		NumDSLAMs:    int(maxDSLAM) + 1,
 		ProfileOf:    make([]uint8, n),
 		DSLAMOf:      make([]int32, n),
 		UsageOf:      make([]float32, n),
@@ -350,14 +401,25 @@ func (s *Store) build(version uint64) *Snapshot {
 			row[l] = data.Measurement{Line: data.LineID(l), Week: w, Missing: true}
 		}
 	}
-	// Pass 2: copy line states and tickets.
+	// Pass 2: copy line states and tickets. NumDSLAMs is sized from the
+	// values actually copied, so a DSLAM id can never index past it.
+	maxDSLAM := int32(0)
 	var lines []data.LineID
 	var tickets []data.Ticket
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
+		if h := s.faults; h != nil && h.ShardRead != nil {
+			h.ShardRead(i)
+		}
 		for l, ls := range sh.lines {
+			if l > maxLine {
+				continue // arrived after pass 1; next version's snapshot
+			}
 			lines = append(lines, l)
+			if ls.dslam > maxDSLAM {
+				maxDSLAM = ls.dslam
+			}
 			ds.ProfileOf[l], ds.DSLAMOf[l], ds.UsageOf[l] = ls.profile, ls.dslam, ls.usage
 			for w := 0; w < data.Weeks; w++ {
 				if ls.seen[w] {
@@ -376,6 +438,7 @@ func (s *Store) build(version uint64) *Snapshot {
 		}
 		sh.mu.RUnlock()
 	}
+	ds.NumDSLAMs = int(maxDSLAM) + 1
 	sort.Slice(lines, func(a, b int) bool { return lines[a] < lines[b] })
 	sort.SliceStable(tickets, func(a, b int) bool { return tickets[a].Day < tickets[b].Day })
 	ds.Tickets = tickets
@@ -385,5 +448,5 @@ func (s *Store) build(version uint64) *Snapshot {
 		Ix:      data.NewTicketIndex(ds),
 		Present: present,
 		Lines:   lines,
-	}
+	}, nil
 }
