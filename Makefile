@@ -2,16 +2,18 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-json bench-smoke serve-smoke chaos-smoke chaos-soak experiments examples fuzz fuzz-smoke clean
+.PHONY: all check build vet test test-repeat race bench bench-json bench-diff bench-smoke serve-smoke chaos-smoke chaos-soak experiments examples fuzz fuzz-smoke clean
 
 all: build vet test
 
-# The full gate: compile, static checks, tests, the race detector over the
-# parallel hot paths, a one-iteration pass over every benchmark so the
-# bench code itself cannot rot, an end-to-end smoke of the daemon, a short
-# fuzz pass over the API decoders, and the chaos smoke (daemon under
-# injected faults).
-check: build vet test race bench-smoke serve-smoke fuzz-smoke chaos-smoke
+# The full gate: compile, static checks, tests (plus a repeat-count pass
+# over the serving subsystem to catch leaked process-global state), the
+# race detector over the parallel hot paths, a one-iteration pass over
+# every benchmark so the bench code itself cannot rot, the perf-regression
+# diff against the committed baseline, an end-to-end smoke of the daemon,
+# a short fuzz pass over the API decoders, and the chaos smoke (daemon
+# under injected faults).
+check: build vet test test-repeat race bench-smoke bench-diff serve-smoke fuzz-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -22,14 +24,20 @@ vet:
 test:
 	$(GO) test ./...
 
+# Run the serving tests twice in one binary: any state a test leaks into a
+# process-global (the ml score-observer hook, registry bindings, caches)
+# poisons the second pass. -count=2 also defeats test result caching.
+test-repeat:
+	$(GO) test -count=2 ./internal/serve/
+
 # Race-detect the worker-pool paths: the parallel package itself plus the
 # cross-worker determinism, compiled-scoring, and encode-cache tests in the
 # packages that share state across goroutines, and the serving subsystem
 # whose store is hammered by concurrent ingest and score requests.
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/ml/
+	$(GO) test -race ./internal/parallel/ ./internal/ml/ ./internal/obs/
 	$(GO) test -race -run 'AcrossWorkers|Compiled|Cache' ./internal/core/ ./internal/eval/
-	$(GO) test -race ./internal/serve/ ./internal/chaos/
+	$(GO) test -race -timeout 30m ./internal/serve/ ./internal/chaos/
 
 # One benchmark per paper table/figure plus ablations; writes the artifacts
 # the repository documents.
@@ -41,6 +49,11 @@ bench:
 # show up in review.
 bench-json:
 	$(GO) test -run '^$$' -bench 'ScoreAllWorkers|ScoreCompiled|CompileBStump|TrainBStump|Transform|FeatureScores|ServeScore' -benchmem . 2>&1 | tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_ml.json
+
+# Perf gate: rerun the compiled-scoring and serve-score benchmarks and fail
+# on a >25% ns/op regression against the committed BENCH_ml.json.
+bench-diff:
+	./scripts/bench_diff.sh
 
 # One iteration of every benchmark — a compile-and-run smoke gate, not a
 # measurement.

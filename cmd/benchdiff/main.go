@@ -1,0 +1,108 @@
+// Command benchdiff compares two benchjson reports (see cmd/benchjson) and
+// exits nonzero when any matched benchmark's ns/op regressed beyond the
+// threshold — the perf gate `make bench-diff` runs against the committed
+// BENCH_ml.json.
+//
+//	benchdiff -old BENCH_ml.json -new fresh.json -match 'ScoreCompiled|ServeScore' -threshold 25
+//
+// Only benchmarks present in both reports are compared (a renamed or new
+// benchmark is reported but never fails the gate); matching zero benchmarks
+// fails it, because a gate that compares nothing silently stopped gating.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+)
+
+type result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type report struct {
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func load(path string) (map[string]float64, []string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]float64, len(rep.Benchmarks))
+	var order []string
+	for _, b := range rep.Benchmarks {
+		if b.NsPerOp > 0 {
+			byName[b.Name] = b.NsPerOp
+			order = append(order, b.Name)
+		}
+	}
+	return byName, order, nil
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "BENCH_ml.json", "baseline benchjson report")
+		newPath   = flag.String("new", "", "fresh benchjson report to judge")
+		match     = flag.String("match", ".", "regexp selecting which benchmarks gate")
+		threshold = flag.Float64("threshold", 25, "max tolerated ns/op regression, percent")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	oldNs, _, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newNs, newOrder, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	compared, regressed := 0, 0
+	for _, name := range newOrder {
+		if !re.MatchString(name) {
+			continue
+		}
+		base, ok := oldNs[name]
+		if !ok {
+			fmt.Printf("NEW      %-46s %12.0f ns/op (no baseline)\n", name, newNs[name])
+			continue
+		}
+		compared++
+		cur := newNs[name]
+		delta := (cur - base) / base * 100
+		verdict := "ok"
+		if delta > *threshold {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-8s %-46s %12.0f -> %12.0f ns/op  %+6.1f%%\n", verdict, name, base, cur, delta)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark matched %q in both reports — the gate compared nothing\n", *match)
+		os.Exit(1)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d of %d benchmarks regressed more than %.0f%%\n",
+			regressed, compared, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", compared, *threshold)
+}

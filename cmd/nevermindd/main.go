@@ -24,6 +24,7 @@ import (
 	"nevermind/internal/core"
 	"nevermind/internal/data"
 	"nevermind/internal/features"
+	"nevermind/internal/ml"
 	"nevermind/internal/serve"
 	"nevermind/internal/sim"
 )
@@ -48,6 +49,7 @@ func main() {
 		tick      = flag.Duration("tick", 0, "wall-clock interval per simulated week (0 = back to back)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling is opt-in)")
 		reqTimeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline on the API (0 disables)")
 		maxInflight = flag.Int("max-inflight", 512, "load-shed threshold: concurrent API requests before 503 + Retry-After (0 disables)")
 
@@ -134,11 +136,16 @@ func main() {
 		DrainTimeout:   *drain,
 		RequestTimeout: *reqTimeout,
 		MaxInflight:    *maxInflight,
+		EnablePprof:    *pprofOn,
 		Faults:         faults,
 	})
 	if err != nil {
 		fatalStage("server", err)
 	}
+	// Compiled-scorer timings flow into this server's /metrics. The hook is
+	// process-global (see ml.SetScoreObserver), so only the daemon — which
+	// owns exactly one server — installs it.
+	ml.SetScoreObserver(srv.ScoreObserver())
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -7,11 +7,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"nevermind/internal/core"
+	"nevermind/internal/obs"
 	"nevermind/internal/serve"
 	"nevermind/internal/sim"
 )
@@ -32,6 +34,14 @@ type soakResult struct {
 	reports  []serve.WeekReport
 	rankBody string // final /v1/rank JSON, bit-for-bit
 	stats    Stats  // injected faults (zero for clean runs)
+
+	// Observability readout, captured after the run quiesced (pipeline done,
+	// hammers joined): the tracer's flight recorder, the registry-backed
+	// retry counters, and the rendered /metrics text.
+	trace        obs.TraceSnapshot
+	retriesTotal int64
+	retriesByOp  map[string]int64
+	metricsText  string
 }
 
 // runSoak drives the full serving stack — store, snapshot cache, HTTP API,
@@ -221,6 +231,17 @@ func runSoak(t *testing.T, cfg soakConfig) soakResult {
 	if inj != nil {
 		res.stats = inj.Stats()
 	}
+
+	res.trace = srv.Tracer().Snapshot()
+	// The help strings are ignored on lookup: the server registered these
+	// families at boot, get-or-create just hands the live values back.
+	res.retriesTotal = srv.Registry().Counter("nevermind_pipeline_retries_total", "").Value()
+	res.retriesByOp = srv.Registry().CounterVec("nevermind_pipeline_retries_by_op_total", "", "op").Values()
+	var mb strings.Builder
+	if err := srv.Registry().WritePrometheus(&mb); err != nil {
+		t.Fatal(err)
+	}
+	res.metricsText = mb.String()
 	return res
 }
 
@@ -290,5 +311,68 @@ func TestChaosSoak(t *testing.T) {
 	if retries == 0 {
 		t.Fatal("pipeline reported zero retries through a fault storm")
 	}
-	t.Logf("soak: %d injected faults (%+v), %d pipeline retries", st.Total(), st, retries)
+
+	// Observability invariants after convergence. Both runs: no stage span
+	// leaked (every span started was ended), the registry's retry counter
+	// agrees exactly with the per-week reports, the by-op breakdown sums to
+	// the total, and the degraded gauge is back at 0 (the last snapshot
+	// served was fresh).
+	for _, run := range []struct {
+		name string
+		res  soakResult
+	}{{"clean", clean}, {"chaos", chaotic}} {
+		tr := run.res.trace
+		if tr.Started == 0 || tr.Started != tr.Finished || tr.Active != 0 {
+			t.Fatalf("%s run leaked stage spans: started=%d finished=%d active=%d",
+				run.name, tr.Started, tr.Finished, tr.Active)
+		}
+		reported := 0
+		for _, r := range run.res.reports {
+			reported += r.Retries
+		}
+		if run.res.retriesTotal != int64(reported) {
+			t.Fatalf("%s run: retry metric %d != %d retries in week reports",
+				run.name, run.res.retriesTotal, reported)
+		}
+		var byOp int64
+		for _, v := range run.res.retriesByOp {
+			byOp += v
+		}
+		if byOp != run.res.retriesTotal {
+			t.Fatalf("%s run: per-op retries %v sum to %d, total counter says %d",
+				run.name, run.res.retriesByOp, byOp, run.res.retriesTotal)
+		}
+		if !strings.Contains(run.res.metricsText, "\nnevermind_degraded 0\n") {
+			t.Fatalf("%s run: degraded gauge did not return to 0 after convergence", run.name)
+		}
+	}
+
+	// Chaos run only: retries reconcile against the faults actually injected.
+	// Source, batch and ingest faults each force exactly one pipeline retry.
+	// A snapshot fault forces at most one: the hammers also trigger rebuilds,
+	// so some injected build failures burn on reads the pipeline never sees.
+	lower := st.SourceErrors + st.PartialBatches + st.MalformedBatches + st.IngestFaults
+	upper := lower + st.SnapshotFaults
+	if rt := chaotic.retriesTotal; rt < lower || rt > upper {
+		t.Fatalf("retry accounting: %d retries recorded, want within [%d, %d] for faults %+v",
+			rt, lower, upper, st)
+	}
+	// Every stale-snapshot attempt left one degraded span in the recorder,
+	// and each such attempt is one snapshot retry — the ring is big enough
+	// that nothing was evicted, so the counts must agree exactly.
+	if chaotic.trace.Dropped != 0 {
+		t.Fatalf("soak overflowed the trace ring (%d dropped); grow the capacity", chaotic.trace.Dropped)
+	}
+	var degraded int64
+	for _, sp := range chaotic.trace.Spans {
+		if sp.Degraded {
+			degraded++
+		}
+	}
+	if degraded != chaotic.retriesByOp["snapshot"] {
+		t.Fatalf("degraded spans (%d) != snapshot retries (%d)", degraded, chaotic.retriesByOp["snapshot"])
+	}
+
+	t.Logf("soak: %d injected faults (%+v), %d pipeline retries (%v), %d spans (%d degraded)",
+		st.Total(), st, retries, chaotic.retriesByOp, chaotic.trace.Finished, degraded)
 }

@@ -2,6 +2,7 @@ package ml
 
 import (
 	"sort"
+	"time"
 
 	"nevermind/internal/parallel"
 )
@@ -107,6 +108,9 @@ func (c *CompiledScorer) ScoreAll(bm *BinnedMatrix) []float64 {
 // Per example the accumulation order is fixed (Bias, then ascending
 // features), so the output is bit-identical at any worker count.
 func (c *CompiledScorer) ScoreAllWorkers(bm *BinnedMatrix, workers int) []float64 {
+	if scoreObserver.Load() != nil {
+		defer observeScore(bm.N, time.Now())
+	}
 	out := make([]float64, bm.N)
 	parallel.For(bm.N, workers, func(_, start, end int) {
 		if c.Bias != 0 {
@@ -217,6 +221,9 @@ func (c *CompiledBTree) ScoreAll(bm *BinnedMatrix) []float64 {
 // (fixed per-example accumulation order: tables ascending by feature, then
 // residual trees in training order).
 func (c *CompiledBTree) ScoreAllWorkers(bm *BinnedMatrix, workers int) []float64 {
+	if scoreObserver.Load() != nil {
+		defer observeScore(bm.N, time.Now())
+	}
 	out := make([]float64, bm.N)
 	parallel.For(bm.N, workers, func(_, start, end int) {
 		for k, f := range c.Features {

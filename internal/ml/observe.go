@@ -1,0 +1,34 @@
+package ml
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// scoreObserver, when installed, sees every compiled-scorer batch call:
+// rows scored and wall time. The hook is process-global because compiled
+// scorers are reached from deep call chains (core.Predictor → ml) that no
+// per-server handle threads through; a serving binary installs exactly one
+// observer at boot (cmd/nevermindd wires it to the server's metrics), and
+// libraries never install any. The default (nil) costs one atomic load per
+// batch call — nothing per row.
+var scoreObserver atomic.Pointer[func(rows int, d time.Duration)]
+
+// SetScoreObserver installs fn as the process-global compiled-scoring
+// observer; nil uninstalls. Batch calls are reported after they complete,
+// possibly concurrently — fn must be safe for concurrent use.
+func SetScoreObserver(fn func(rows int, d time.Duration)) {
+	if fn == nil {
+		scoreObserver.Store(nil)
+		return
+	}
+	scoreObserver.Store(&fn)
+}
+
+// observeScore reports one finished batch call to the installed observer,
+// if any.
+func observeScore(rows int, t0 time.Time) {
+	if fn := scoreObserver.Load(); fn != nil {
+		(*fn)(rows, time.Since(t0))
+	}
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBounds are the histogram bucket upper bounds (seconds) used
+// for request and stage latencies: 100µs to 10s in a 1-2.5-5 ladder. They
+// bracket everything the daemon does, from a sub-millisecond cached score to
+// a multi-second snapshot rebuild, with p50/p95/p99 resolvable at every
+// scale in between.
+var DefaultLatencyBounds = []float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram. Bucket bounds are set at
+// construction and immutable; observations are integer nanoseconds, so sums
+// are exact and snapshot merges are order-independent. All methods are safe
+// for concurrent use; Observe is three atomic adds and a binary search.
+type Histogram struct {
+	bounds   []float64 // upper bounds, seconds, strictly ascending
+	boundsNs []int64   // the same bounds in nanoseconds, for integer search
+	counts   []atomic.Uint64
+	infCount atomic.Uint64
+	sumNs    atomic.Int64
+	n        atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given bucket upper bounds in
+// seconds (nil = DefaultLatencyBounds). Bounds must be positive and strictly
+// ascending.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	h := &Histogram{
+		bounds:   append([]float64(nil), bounds...),
+		boundsNs: make([]int64, len(bounds)),
+		counts:   make([]atomic.Uint64, len(bounds)),
+	}
+	prev := int64(0)
+	for i, b := range h.bounds {
+		ns := int64(b * float64(time.Second))
+		if b <= 0 || ns <= prev {
+			panic(fmt.Sprintf("obs: histogram bounds must be positive and strictly ascending, got %v", bounds))
+		}
+		h.boundsNs[i] = ns
+		prev = ns
+	}
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	// First bucket whose bound >= ns (buckets are cumulative upper bounds).
+	i := sort.Search(len(h.boundsNs), func(i int) bool { return h.boundsNs[i] >= ns })
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	} else {
+		h.infCount.Add(1)
+	}
+	h.sumNs.Add(ns)
+	h.n.Add(1)
+}
+
+// Bounds returns the bucket upper bounds in seconds (do not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// HistSnapshot is a point-in-time copy of a histogram's state. Counts are
+// per-bucket (not cumulative); SumNs is the exact integer sum of all
+// observed nanoseconds, so two snapshots merge exactly in either order.
+type HistSnapshot struct {
+	Bounds []float64 // upper bounds, seconds; Counts[i] pairs with Bounds[i]
+	Counts []uint64  // len(Bounds)+1: the last cell is the +Inf bucket
+	SumNs  int64
+	Count  uint64
+}
+
+// Snapshot copies the current state. Taken mid-storm it is consistent per
+// cell; Count is read last so it never exceeds the bucket total by more
+// than the writes that landed during the read.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)+1),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Counts[len(h.counts)] = h.infCount.Load()
+	s.SumNs = h.sumNs.Load()
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	s.Count = n
+	return s
+}
+
+// Merge returns the element-wise sum of two snapshots of histograms with
+// identical bounds. Counts and sums are integers, so Merge is exact,
+// commutative, and associative — the property the obs tests pin.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	if len(s.Bounds) != len(o.Bounds) {
+		panic("obs: merging histograms with different bucket layouts")
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			panic("obs: merging histograms with different bucket layouts")
+		}
+	}
+	out := HistSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]uint64, len(s.Counts)),
+		SumNs:  s.SumNs + o.SumNs,
+		Count:  s.Count + o.Count,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in seconds by linear
+// interpolation within the owning bucket — the same estimator Prometheus's
+// histogram_quantile uses. An empty histogram reports 0; mass in the +Inf
+// bucket reports the highest finite bound (the estimate saturates).
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			if i == len(s.Bounds) { // +Inf bucket: saturate at the last bound
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			if c == 0 {
+				return hi
+			}
+			frac := (rank - float64(cum-c)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Sum returns the observed total in seconds.
+func (s HistSnapshot) Sum() float64 { return float64(s.SumNs) / float64(time.Second) }

@@ -1,0 +1,489 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterMonotonic pins the monotonic invariant two ways: a negative
+// Add panics (a counter that can go down is a silent monitoring bug), and
+// under concurrent adds the final value is the exact sum — no torn or lost
+// increments.
+func TestCounterMonotonic(t *testing.T) {
+	var c Counter
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative Add did not panic")
+			}
+		}()
+		c.Add(-1)
+	}()
+
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestCounterNeverDecreases samples a hammered counter concurrently and
+// asserts every observed value is >= the previous one — the reader-side
+// half of the monotonic contract.
+func TestCounterNeverDecreases(t *testing.T) {
+	var c Counter
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50000; i++ {
+			c.Add(1)
+		}
+	}()
+	last := int64(-1)
+	for {
+		v := c.Value()
+		if v < last {
+			t.Fatalf("counter went backwards: %d after %d", v, last)
+		}
+		last = v
+		select {
+		case <-done:
+			if got := c.Value(); got != 50000 {
+				t.Fatalf("final counter = %d, want 50000", got)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+// TestHistogramBuckets pins bucket assignment at the boundaries: an
+// observation equal to a bound lands in that bound's bucket (le is
+// inclusive, the Prometheus convention), one nanosecond more spills over.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01})
+	h.Observe(time.Millisecond)                   // == first bound
+	h.Observe(time.Millisecond + time.Nanosecond) // > first bound
+	h.Observe(100 * time.Millisecond)             // > every bound
+	s := h.Snapshot()
+	want := []uint64{1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.SumNs != int64(2*time.Millisecond+time.Nanosecond+100*time.Millisecond) {
+		t.Fatalf("sum = %d ns", s.SumNs)
+	}
+}
+
+// TestHistogramQuantile checks the interpolated quantile estimator against
+// a distribution with known mass: 90 fast observations and 10 slow ones.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBounds)
+	for i := 0; i < 90; i++ {
+		h.Observe(200 * time.Microsecond) // bucket (0.0001, 0.00025]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(300 * time.Millisecond) // bucket (0.25, 0.5]
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 < 0.0001 || p50 > 0.00025 {
+		t.Fatalf("p50 = %g, want within (0.0001, 0.00025]", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 0.25 || p99 > 0.5 {
+		t.Fatalf("p99 = %g, want within (0.25, 0.5]", p99)
+	}
+	if q := s.Quantile(1); q > 0.5 {
+		t.Fatalf("p100 = %g beyond the owning bucket", q)
+	}
+	var empty HistSnapshot
+	if q := (empty).Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", q)
+	}
+}
+
+// TestHistogramMergeOrderIndependent is the property test for merge
+// semantics: observations partitioned arbitrarily across histograms and
+// merged in any order yield the exact same snapshot — counts AND sums,
+// bit for bit — because all state is integer nanoseconds. Float sums would
+// fail this (addition order changes the rounding); the integer
+// representation is the design decision this test pins.
+func TestHistogramMergeOrderIndependent(t *testing.T) {
+	// Deterministic pseudo-random durations (no global RNG in tests).
+	next := uint64(0x9E3779B97F4A7C15)
+	rand := func() uint64 {
+		next ^= next << 13
+		next ^= next >> 7
+		next ^= next << 17
+		return next
+	}
+	const parts = 7
+	durations := make([]time.Duration, 4096)
+	for i := range durations {
+		durations[i] = time.Duration(rand() % uint64(2*time.Second))
+	}
+
+	build := func(order []int) HistSnapshot {
+		hs := make([]*Histogram, parts)
+		for i := range hs {
+			hs[i] = NewHistogram(nil)
+		}
+		for i, d := range durations {
+			hs[i%parts].Observe(d)
+		}
+		out := hs[order[0]].Snapshot()
+		for _, i := range order[1:] {
+			out = out.Merge(hs[i].Snapshot())
+		}
+		return out
+	}
+
+	ref := build([]int{0, 1, 2, 3, 4, 5, 6})
+	perms := [][]int{
+		{6, 5, 4, 3, 2, 1, 0},
+		{3, 0, 6, 1, 5, 2, 4},
+		{1, 2, 0, 4, 3, 6, 5},
+	}
+	for _, p := range perms {
+		got := build(p)
+		if got.Count != ref.Count || got.SumNs != ref.SumNs {
+			t.Fatalf("merge order %v changed totals: count %d/%d sum %d/%d",
+				p, got.Count, ref.Count, got.SumNs, ref.SumNs)
+		}
+		for i := range ref.Counts {
+			if got.Counts[i] != ref.Counts[i] {
+				t.Fatalf("merge order %v changed bucket %d: %d != %d", p, i, got.Counts[i], ref.Counts[i])
+			}
+		}
+		if q, rq := got.Quantile(0.95), ref.Quantile(0.95); q != rq {
+			t.Fatalf("merge order %v changed p95: %g != %g", p, q, rq)
+		}
+	}
+
+	// A whole-set histogram equals the merged partition — partitioning
+	// loses nothing.
+	whole := NewHistogram(nil)
+	for _, d := range durations {
+		whole.Observe(d)
+	}
+	ws := whole.Snapshot()
+	if ws.Count != ref.Count || ws.SumNs != ref.SumNs {
+		t.Fatalf("partitioned merge diverged from whole: count %d/%d sum %d/%d",
+			ref.Count, ws.Count, ref.SumNs, ws.SumNs)
+	}
+}
+
+// TestHistogramMergeLayoutMismatchPanics: merging incompatible bucket
+// layouts must fail loudly, not produce garbage.
+func TestHistogramMergeLayoutMismatchPanics(t *testing.T) {
+	a := NewHistogram([]float64{0.001, 0.01}).Snapshot()
+	b := NewHistogram([]float64{0.002, 0.02}).Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched merge did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+// TestConcurrentObserveSnapshot hammers one histogram with writers while
+// readers snapshot and render continuously; run under -race this proves the
+// concurrency contract, and the final snapshot must account for every
+// observation exactly.
+func TestConcurrentObserveSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_latency_seconds", "hammered", nil)
+	cv := reg.CounterVec("test_ops_total", "hammered", "op").Preset("a", "b")
+
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers: snapshot and render while the storm runs.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				var cum uint64
+				for _, c := range s.Counts {
+					cum += c
+				}
+				if cum != s.Count {
+					t.Errorf("snapshot count %d != bucket total %d", s.Count, cum)
+					return
+				}
+				var sink discardWriter
+				if err := reg.WritePrometheus(&sink); err != nil {
+					t.Errorf("render: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	var wwg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			op := "a"
+			if w%2 == 1 {
+				op = "b"
+			}
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+				cv.With(op).Add(1)
+			}
+		}(w)
+	}
+	wwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("histogram lost observations: %d, want %d", s.Count, writers*perWriter)
+	}
+	vals := cv.Values()
+	if vals["a"]+vals["b"] != writers*perWriter {
+		t.Fatalf("counter vec lost increments: %v", vals)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestRegistryGetOrCreate: same name and shape returns the same metric;
+// conflicting shape panics.
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "")
+	b := reg.Counter("x_total", "")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	for _, f := range []func(){
+		func() { reg.Gauge("x_total", "") },                                  // kind mismatch
+		func() { reg.CounterVec("x_total", "", "route") },                    // shape mismatch
+		func() { reg.Counter("bad name", "") },                               // invalid name
+		func() { reg.Counter("9starts_with_digit", "") },                     // invalid name
+		func() { reg.GaugeFunc("x_total", "", func() float64 { return 0 }) }, // already taken
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("conflicting registration did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestExpositionFormat pins the exposition down to the byte on a small
+// registry — the unit-level companion to the serve package's full golden.
+func TestExpositionFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zz_total", "last by name").Add(3)
+	reg.CounterVec("aa_requests_total", "first by name", "route").Preset("b", "a").With("a").Add(2)
+	reg.Gauge("mm_depth", "a gauge").Set(-4)
+	reg.GaugeFunc("nn_lines", "fn gauge", func() float64 { return 2.5 })
+	h := reg.Histogram("hh_seconds", "a histogram", []float64{0.001, 0.01})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(time.Minute)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_requests_total first by name
+# TYPE aa_requests_total counter
+aa_requests_total{route="a"} 2
+aa_requests_total{route="b"} 0
+# HELP hh_seconds a histogram
+# TYPE hh_seconds histogram
+hh_seconds_bucket{le="0.001"} 1
+hh_seconds_bucket{le="0.01"} 2
+hh_seconds_bucket{le="+Inf"} 3
+hh_seconds_sum 60.0025
+hh_seconds_count 3
+# HELP mm_depth a gauge
+# TYPE mm_depth gauge
+mm_depth -4
+# HELP nn_lines fn gauge
+# TYPE nn_lines gauge
+nn_lines 2.5
+# HELP zz_total last by name
+# TYPE zz_total counter
+zz_total 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition format drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestTracerRing pins ring semantics: capacity bounds retention, eviction
+// drops oldest first, ordering is oldest→newest, and the lifetime totals
+// keep counting past eviction.
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	for week := 0; week < 7; week++ {
+		tr.Start("pull", week).End()
+	}
+	s := tr.Snapshot()
+	if s.Capacity != 4 || len(s.Spans) != 4 {
+		t.Fatalf("retained %d spans at capacity %d, want 4", len(s.Spans), s.Capacity)
+	}
+	for i, sp := range s.Spans {
+		if sp.Week != 3+i {
+			t.Fatalf("ring order wrong: got weeks %v", weeksOf(s.Spans))
+		}
+	}
+	if s.Started != 7 || s.Finished != 7 || s.Active != 0 || s.Dropped != 3 {
+		t.Fatalf("totals: %+v", s)
+	}
+}
+
+// TestTracerAnnotations: attempt, error and degraded annotations survive
+// into the snapshot; unfinished spans show up as Active, not as spans.
+func TestTracerAnnotations(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Start("ingest", 0).Week(41).Attempt(2).Fail(errBoom{}).End()
+	tr.Start("snapshot", 41).Degraded().End()
+	open := tr.Start("rank", 41)
+
+	s := tr.Snapshot()
+	if s.Active != 1 || s.Started != 3 || s.Finished != 2 {
+		t.Fatalf("active accounting: %+v", s)
+	}
+	if len(s.Spans) != 2 {
+		t.Fatalf("retained %d spans, want 2", len(s.Spans))
+	}
+	if sp := s.Spans[0]; sp.Stage != "ingest" || sp.Week != 41 || sp.Attempt != 2 || sp.Err != "boom" {
+		t.Fatalf("annotated span lost data: %+v", sp)
+	}
+	if sp := s.Spans[1]; !sp.Degraded {
+		t.Fatalf("degraded flag lost: %+v", sp)
+	}
+
+	open.End()
+	open.End() // double End is a no-op, not a double record
+	s = tr.Snapshot()
+	if s.Active != 0 || s.Finished != 3 || len(s.Spans) != 3 {
+		t.Fatalf("after close: %+v", s)
+	}
+}
+
+// TestTracerNil: a nil tracer (tracing disabled) must be fully inert.
+func TestTracerNil(t *testing.T) {
+	var tr *Tracer
+	tr.Start("pull", 1).Week(2).Attempt(1).Fail(errBoom{}).Degraded().End()
+	s := tr.Snapshot()
+	if s.Started != 0 || len(s.Spans) != 0 {
+		t.Fatalf("nil tracer recorded: %+v", s)
+	}
+}
+
+// TestTracerConcurrent hammers Start/End/Snapshot from many goroutines;
+// under -race this is the tracer's concurrency proof, and afterwards
+// started == finished with every span accounted for.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := tr.Snapshot()
+			if s.Finished > s.Started {
+				t.Errorf("finished %d > started %d", s.Finished, s.Started)
+				return
+			}
+		}
+	}()
+	var wwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := tr.Start("score", i)
+				if i%3 == 0 {
+					sp.Attempt(1 + i%5)
+				}
+				sp.End()
+			}
+		}(w)
+	}
+	wwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	s := tr.Snapshot()
+	if s.Started != workers*perWorker || s.Finished != workers*perWorker || s.Active != 0 {
+		t.Fatalf("span leak: %+v", s)
+	}
+	if len(s.Spans) != 64 {
+		t.Fatalf("ring retained %d spans at capacity 64", len(s.Spans))
+	}
+}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }
+
+func weeksOf(spans []Span) []int {
+	out := make([]int, len(spans))
+	for i, s := range spans {
+		out[i] = s.Week
+	}
+	return out
+}
+
+// TestUptime sanity-checks the uptime closure.
+func TestUptime(t *testing.T) {
+	fn := Uptime(time.Now().Add(-time.Second))
+	if v := fn(); v < 0.9 || math.IsNaN(v) {
+		t.Fatalf("uptime = %g", v)
+	}
+}

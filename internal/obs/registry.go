@@ -1,0 +1,362 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry is a set of named metric families rendered together in
+// Prometheus text exposition format. Families are get-or-create: asking for
+// an existing name with the same shape returns the existing metric, asking
+// with a different shape panics (two subsystems fighting over one name is a
+// programmer error, not a runtime condition).
+//
+// Each family is either a scalar or a vector over exactly one label key —
+// all the cardinality the daemon needs (route, stage, op) without the
+// combinatorics of a full label system.
+type Registry struct {
+	mu   sync.Mutex
+	ents map[string]*entry
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type entry struct {
+	name     string
+	help     string
+	kind     metricKind
+	labelKey string // "" = scalar family
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	cvec    *CounterVec
+	hvec    *HistogramVec
+
+	// fn-backed families render a value computed at exposition time — the
+	// bridge for state owned elsewhere (store sizes, cache stats, uptime).
+	fn func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ents: map[string]*entry{}}
+}
+
+func (r *Registry) getOrCreate(name, help string, kind metricKind, labelKey string, make func() *entry) *entry {
+	if name == "" || !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.ents[name]; ok {
+		if e.kind != kind || e.labelKey != labelKey || e.fn != nil {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s{%s}, was %s{%s}",
+				name, kind, labelKey, e.kind, e.labelKey))
+		}
+		return e
+	}
+	e := make()
+	e.name, e.help, e.kind, e.labelKey = name, help, kind, labelKey
+	r.ents[name] = e
+	return e
+}
+
+// Counter returns the named scalar counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	e := r.getOrCreate(name, help, kindCounter, "", func() *entry {
+		return &entry{counter: &Counter{}}
+	})
+	return e.counter
+}
+
+// Gauge returns the named scalar gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	e := r.getOrCreate(name, help, kindGauge, "", func() *entry {
+		return &entry{gauge: &Gauge{}}
+	})
+	return e.gauge
+}
+
+// Histogram returns the named scalar histogram (nil bounds =
+// DefaultLatencyBounds), creating it on first use.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	e := r.getOrCreate(name, help, kindHistogram, "", func() *entry {
+		return &entry{hist: NewHistogram(bounds)}
+	})
+	return e.hist
+}
+
+// CounterFunc registers a counter family whose value is computed at
+// exposition time by fn — for monotonic state owned by another subsystem
+// (cache hit totals, snapshot build failures). Registering the same name
+// twice panics.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.registerFunc(name, help, kindCounter, fn)
+}
+
+// GaugeFunc registers a gauge family computed at exposition time by fn —
+// for instantaneous state owned elsewhere (store size, snapshot lag,
+// uptime).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.registerFunc(name, help, kindGauge, fn)
+}
+
+func (r *Registry) registerFunc(name, help string, kind metricKind, fn func() float64) {
+	if fn == nil {
+		panic("obs: nil func metric")
+	}
+	if name == "" || !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.ents[name]; ok {
+		panic(fmt.Sprintf("obs: func metric %q already registered", name))
+	}
+	r.ents[name] = &entry{name: name, help: help, kind: kind, fn: fn}
+}
+
+// CounterVec is a counter family over one label key.
+type CounterVec struct {
+	key      string
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// CounterVec returns the named counter family over labelKey, creating it on
+// first use.
+func (r *Registry) CounterVec(name, help, labelKey string) *CounterVec {
+	e := r.getOrCreate(name, help, kindCounter, labelKey, func() *entry {
+		return &entry{cvec: &CounterVec{key: labelKey, children: map[string]*Counter{}}}
+	})
+	return e.cvec
+}
+
+// With returns the child counter for the given label value, creating it on
+// first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[value]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.children[value] = c
+	return c
+}
+
+// Preset eagerly creates children for the given label values, so the
+// exposition's series set is deterministic from process start instead of
+// depending on which traffic arrived first. The format golden test relies
+// on this.
+func (v *CounterVec) Preset(values ...string) *CounterVec {
+	for _, val := range values {
+		v.With(val)
+	}
+	return v
+}
+
+// Values returns a label→count view of the family (for JSON facades).
+func (v *CounterVec) Values() map[string]int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]int64, len(v.children))
+	for k, c := range v.children {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// HistogramVec is a histogram family over one label key; children share one
+// bucket layout.
+type HistogramVec struct {
+	key      string
+	bounds   []float64
+	mu       sync.RWMutex
+	children map[string]*Histogram
+}
+
+// HistogramVec returns the named histogram family over labelKey (nil bounds
+// = DefaultLatencyBounds), creating it on first use.
+func (r *Registry) HistogramVec(name, help, labelKey string, bounds []float64) *HistogramVec {
+	e := r.getOrCreate(name, help, kindHistogram, labelKey, func() *entry {
+		if bounds == nil {
+			bounds = DefaultLatencyBounds
+		}
+		return &entry{hvec: &HistogramVec{key: labelKey, bounds: bounds, children: map[string]*Histogram{}}}
+	})
+	return e.hvec
+}
+
+// With returns the child histogram for the given label value, creating it
+// on first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.children[value]; ok {
+		return h
+	}
+	h = NewHistogram(v.bounds)
+	v.children[value] = h
+	return h
+}
+
+// Preset eagerly creates children for the given label values (see
+// CounterVec.Preset).
+func (v *HistogramVec) Preset(values ...string) *HistogramVec {
+	for _, val := range values {
+		v.With(val)
+	}
+	return v
+}
+
+// Snapshots returns a label→snapshot view of the family.
+func (v *HistogramVec) Snapshots() map[string]HistSnapshot {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]HistSnapshot, len(v.children))
+	for k, h := range v.children {
+		out[k] = h.Snapshot()
+	}
+	return out
+}
+
+// --- exposition ---------------------------------------------------------------
+
+// WritePrometheus renders every family in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, children sorted by label value,
+// histograms as cumulative _bucket/_sum/_count series. The output layout is
+// pinned by a golden test — dashboards parse this; changing it is a
+// breaking change and must show up in review as a golden diff.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ents := make([]*entry, 0, len(r.ents))
+	for _, e := range r.ents {
+		ents = append(ents, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(ents, func(a, b int) bool { return ents[a].name < ents[b].name })
+
+	var b strings.Builder
+	for _, e := range ents {
+		if e.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", e.name, escapeHelp(e.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", e.name, e.kind)
+		switch {
+		case e.fn != nil:
+			fmt.Fprintf(&b, "%s %s\n", e.name, fmtVal(e.fn()))
+		case e.counter != nil:
+			fmt.Fprintf(&b, "%s %d\n", e.name, e.counter.Value())
+		case e.gauge != nil:
+			fmt.Fprintf(&b, "%s %d\n", e.name, e.gauge.Value())
+		case e.hist != nil:
+			writeHist(&b, e.name, "", "", e.hist.Snapshot())
+		case e.cvec != nil:
+			vals := e.cvec.Values()
+			for _, lv := range sortedKeys(vals) {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", e.name, e.labelKey, lv, vals[lv])
+			}
+		case e.hvec != nil:
+			snaps := e.hvec.Snapshots()
+			for _, lv := range sortedKeys(snaps) {
+				writeHist(&b, e.name, e.labelKey, lv, snaps[lv])
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHist(b *strings.Builder, name, labelKey, labelVal string, s HistSnapshot) {
+	prefix := func(le string) string {
+		if labelKey == "" {
+			return fmt.Sprintf(`{le=%q}`, le)
+		}
+		return fmt.Sprintf(`{%s=%q,le=%q}`, labelKey, labelVal, le)
+	}
+	suffix := ""
+	if labelKey != "" {
+		suffix = fmt.Sprintf(`{%s=%q}`, labelKey, labelVal)
+	}
+	var cum uint64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, prefix(fmtVal(bound)), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, prefix("+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, fmtVal(s.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, s.Count)
+}
+
+func fmtVal(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func validName(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Uptime returns a GaugeFunc-ready closure reporting seconds since start.
+func Uptime(start time.Time) func() float64 {
+	return func() float64 { return time.Since(start).Seconds() }
+}

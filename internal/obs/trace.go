@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one finished stage execution: which pipeline stage ran, for which
+// week, how long it took, and how it ended. Attempt > 1 marks a retry;
+// Err records why the attempt failed; Degraded marks a stage that completed
+// by serving stale state rather than fresh.
+type Span struct {
+	Seq      uint64    `json:"seq"`
+	Stage    string    `json:"stage"`
+	Week     int       `json:"week"`
+	Start    time.Time `json:"start"`
+	Duration int64     `json:"duration_ns"`
+	Attempt  int       `json:"attempt,omitempty"`
+	Err      string    `json:"error,omitempty"`
+	Degraded bool      `json:"degraded,omitempty"`
+}
+
+// Tracer records stage spans into a fixed-capacity ring buffer: the newest
+// spans win, memory is bounded forever, and a Snapshot is the flight
+// recorder an operator reads after a slow week. A nil *Tracer is valid and
+// records nothing, so instrumented code needs no guards.
+//
+// The started/finished totals count every span ever, not just the retained
+// window — started == finished after quiescence is the "no span leaked"
+// invariant the chaos soak asserts.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	wrap  bool
+	seq   atomic.Uint64 // finished spans ever
+	began atomic.Uint64 // started spans ever
+}
+
+// DefaultTraceCapacity retains roughly a year of weekly pipeline runs: a
+// clean week is six spans, a stormy week tens, so 1024 spans cover every
+// soak the tests run without eviction skewing the invariants.
+const DefaultTraceCapacity = 1024
+
+// NewTracer builds a tracer retaining the last capacity spans
+// (<= 0 = DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Span, 0, capacity)}
+}
+
+// ActiveSpan is a started, not-yet-finished span. End it exactly once;
+// annotations before End record how the stage went.
+type ActiveSpan struct {
+	t     *Tracer
+	span  Span
+	t0    time.Time
+	ended bool
+}
+
+// Start opens a span for one execution of a stage. On a nil tracer it
+// returns a no-op span.
+func (t *Tracer) Start(stage string, week int) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	t.began.Add(1)
+	t0 := time.Now()
+	return &ActiveSpan{
+		t:    t,
+		span: Span{Stage: stage, Week: week, Start: t0},
+		t0:   t0,
+	}
+}
+
+// Week annotates the span with the week it operated on — for stages that
+// learn the week only once the operation returns (a pull discovers its week
+// from the batch it fetched).
+func (a *ActiveSpan) Week(w int) *ActiveSpan {
+	if a != nil {
+		a.span.Week = w
+	}
+	return a
+}
+
+// Attempt annotates the span with its 1-based attempt number.
+func (a *ActiveSpan) Attempt(n int) *ActiveSpan {
+	if a != nil {
+		a.span.Attempt = n
+	}
+	return a
+}
+
+// Fail annotates the span with the error that ended the attempt.
+func (a *ActiveSpan) Fail(err error) *ActiveSpan {
+	if a != nil && err != nil {
+		a.span.Err = err.Error()
+	}
+	return a
+}
+
+// Degraded marks the span as having served stale state.
+func (a *ActiveSpan) Degraded() *ActiveSpan {
+	if a != nil {
+		a.span.Degraded = true
+	}
+	return a
+}
+
+// End finishes the span and commits it to the ring. Safe to call on a nil
+// span; a second End is ignored (the first duration stands).
+func (a *ActiveSpan) End() {
+	if a == nil || a.ended {
+		return
+	}
+	a.ended = true
+	a.span.Duration = int64(time.Since(a.t0))
+	t := a.t
+	a.span.Seq = t.seq.Add(1)
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, a.span)
+	} else {
+		t.buf[t.next] = a.span
+		t.next = (t.next + 1) % cap(t.buf)
+		t.wrap = true
+	}
+	t.mu.Unlock()
+}
+
+// TraceSnapshot is the flight-recorder readout: every retained span oldest
+// to newest, plus the lifetime totals the leak invariant needs.
+type TraceSnapshot struct {
+	Capacity int    `json:"capacity"`
+	Started  uint64 `json:"spans_started"`
+	Finished uint64 `json:"spans_finished"`
+	Active   uint64 `json:"spans_active"`
+	Dropped  uint64 `json:"spans_dropped"` // finished spans evicted by the ring
+	Spans    []Span `json:"spans"`
+}
+
+// Snapshot copies the retained spans, oldest first. Valid on a nil tracer
+// (empty snapshot).
+func (t *Tracer) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	spans := make([]Span, 0, len(t.buf))
+	if t.wrap {
+		spans = append(spans, t.buf[t.next:]...)
+		spans = append(spans, t.buf[:t.next]...)
+	} else {
+		spans = append(spans, t.buf...)
+	}
+	capacity := cap(t.buf)
+	t.mu.Unlock()
+	// Read finished before started: a span that starts mid-snapshot can
+	// only push Active up, never produce finished > started.
+	fin := t.seq.Load()
+	beg := t.began.Load()
+	return TraceSnapshot{
+		Capacity: capacity,
+		Started:  beg,
+		Finished: fin,
+		Active:   beg - fin,
+		Dropped:  fin - uint64(len(spans)),
+		Spans:    spans,
+	}
+}
+
+// Started returns how many spans have ever been started.
+func (t *Tracer) Started() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.began.Load()
+}
+
+// Finished returns how many spans have ever been ended.
+func (t *Tracer) Finished() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Load()
+}

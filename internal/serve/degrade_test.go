@@ -402,7 +402,18 @@ func TestRequestTimeout(t *testing.T) {
 	srv := newTestServer(t, Config{RequestTimeout: 100 * time.Millisecond, Faults: hooks})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	ingestWeeks(t, ts, 40, 40)
+	// Ingest directly into the store: the 100ms deadline under test also
+	// covers /v1/ingest, and a full fixture week over HTTP can legitimately
+	// exceed it on a slow box (race detector, one core) — that's not the
+	// behaviour this test pins.
+	ds, _, _ := fixture(t)
+	tests, tickets := recordsFor(ds, 40, 40)
+	if _, err := srv.Store().IngestTests(tests); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Store().IngestTickets(tickets); err != nil {
+		t.Fatal(err)
+	}
 
 	t0 := time.Now()
 	resp, err := http.Get(ts.URL + "/v1/rank?n=1")

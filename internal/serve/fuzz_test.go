@@ -31,7 +31,8 @@ func FuzzIngestJSON(f *testing.F) {
 	f.Add([]byte(`null`))
 	f.Add([]byte(``))
 	f.Add([]byte(`{"tests":`))
-	f.Add([]byte("{\"tests\":[{\"line\":4194303,\"week\":51,\"missing\":true}]}"))
+	f.Add([]byte("{\"tests\":[{\"line\":4194303,\"week\":51,\"missing\":true}]}")) // above MaxLineID: must reject
+	f.Add([]byte("{\"tests\":[{\"line\":131071,\"week\":51,\"missing\":true}]}"))  // MaxLineID-1: widest legal grid
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		s := NewStore(2)

@@ -11,6 +11,7 @@ import (
 	"nevermind/internal/core"
 	"nevermind/internal/data"
 	"nevermind/internal/features"
+	"nevermind/internal/obs"
 	"nevermind/internal/rng"
 	"nevermind/internal/sim"
 )
@@ -207,11 +208,42 @@ func (p *Pipeline) retry(rep *WeekReport, op string, week int, attempt *int, cau
 	d := p.cfg.Retry.backoffFor(op, week, *attempt)
 	rep.Retries++
 	p.srv.m.pipelineRetries.Add(1)
+	p.srv.m.retriesByOp.With(op).Add(1)
 	if p.cfg.OnRetry != nil {
 		p.cfg.OnRetry(RetryEvent{Week: week, Op: op, Attempt: *attempt, Err: cause, Backoff: d})
 	}
 	p.cfg.Sleep(d)
 	return true
+}
+
+// stageSpan couples one stage execution's trace span with its duration
+// observation: end commits the span to the ring and feeds the per-stage
+// latency histogram in one call, so the two can never disagree about what
+// counts as one execution.
+type stageSpan struct {
+	span *obs.ActiveSpan
+	obsv func(time.Duration)
+	t0   time.Time
+	done bool
+}
+
+// beginStage opens a span for one execution of a pipeline stage.
+func (p *Pipeline) beginStage(stage string, week int) *stageSpan {
+	m := p.srv.m
+	return &stageSpan{
+		span: m.tracer.Start(stage, week),
+		obsv: m.stageDur.With(stage).Observe,
+		t0:   time.Now(),
+	}
+}
+
+func (ss *stageSpan) end() {
+	if ss.done {
+		return
+	}
+	ss.done = true
+	ss.span.End()
+	ss.obsv(time.Since(ss.t0))
 }
 
 // Step runs one tick: ingest the next week, rank, dispatch, advance. It
@@ -232,12 +264,16 @@ func (p *Pipeline) Step() (ok bool, err error) {
 	//   - anything else is terminal for the loop.
 pull:
 	for {
+		psp := p.beginStage("pull", rep.Week)
 		b, more, perr := p.cfg.Source.Next()
 		if !more {
+			psp.end()
 			return false, nil
 		}
 		batch = b
 		rep.Week = batch.Week
+		psp.span.Week(batch.Week).Attempt(attempt + 1).Fail(perr)
+		psp.end()
 		if perr != nil {
 			if !IsTransient(perr) {
 				return false, fmt.Errorf("serve: pipeline week %d pull: %w", batch.Week, perr)
@@ -249,7 +285,10 @@ pull:
 			continue
 		}
 		for {
+			isp := p.beginStage("ingest", batch.Week)
 			ierr := p.ingest(&batch, &rep)
+			isp.span.Attempt(attempt + 1).Fail(ierr)
+			isp.end()
 			if ierr == nil {
 				break pull
 			}
@@ -280,10 +319,16 @@ pull:
 	wantVersion := p.srv.store.Version()
 	var sn *Snapshot
 	for {
+		ssp := p.beginStage("snapshot", batch.Week)
 		sn = p.srv.store.Snapshot()
 		if sn != nil && sn.Version >= wantVersion {
+			ssp.end()
 			break
 		}
+		// Degraded: the rebuild failed and the store is still serving the
+		// pre-ingest snapshot; this attempt ran against stale state.
+		ssp.span.Attempt(attempt + 1).Fail(errStaleSnapshot).Degraded()
+		ssp.end()
 		if !p.retry(&rep, "snapshot", batch.Week, &attempt, errStaleSnapshot) {
 			return false, fmt.Errorf("serve: pipeline week %d: %w after %d attempts",
 				batch.Week, errStaleSnapshot, attempt)
@@ -313,10 +358,14 @@ pull:
 		for i, l := range lines {
 			examples[i] = features.Example{Line: l, Week: batch.Week}
 		}
+		scsp := p.beginStage("score", batch.Week)
 		preds, err := models.Pred.PredictExamples(sn.DS, sn.Ix, examples)
+		scsp.span.Fail(err)
+		scsp.end()
 		if err != nil {
 			return false, fmt.Errorf("serve: pipeline week %d rank: %w", batch.Week, err)
 		}
+		rksp := p.beginStage("rank", batch.Week)
 		order := rankOrder(preds)
 		n := models.Pred.Cfg.BudgetN
 		if n > len(order) {
@@ -326,11 +375,13 @@ pull:
 			p.cfg.Queue.Submit(preds[i].Line, atds.PriorityPredicted, rank)
 		}
 		rep.Submitted = n
+		rksp.end()
 	}
 	// The week's customer tickets contend for the same capacity and always
 	// win it (§3.2). The first batch also backfills the full ticket history
 	// for the time-since-ticket features; only tickets that actually arrived
 	// this week are new work for the queue.
+	dsp := p.beginStage("dispatch", batch.Week)
 	weekStart := data.SaturdayOf(batch.Week) - 6
 	for _, t := range batch.Tickets {
 		if t.Day >= weekStart {
@@ -347,6 +398,7 @@ pull:
 	rep.Stats = atds.Summarize(outcomes)
 	rep.Pending = p.cfg.Queue.Pending()
 	p.total.Add(rep.Stats)
+	dsp.end()
 
 	m := p.srv.m
 	m.pipelineTicks.Add(1)

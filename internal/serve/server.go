@@ -9,9 +9,11 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"nevermind/internal/data"
 	"nevermind/internal/faults"
 	"nevermind/internal/features"
+	"nevermind/internal/obs"
 )
 
 // Models bundles the two trained models one atomic pointer swaps together,
@@ -51,9 +54,14 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxInflight load-sheds: when this many API requests are already in
 	// flight, new ones are refused with 503 + Retry-After instead of
-	// queueing behind a stall. 0 disables. /healthz and /debug/vars are
-	// exempt — the monitoring plane must answer during overload.
+	// queueing behind a stall. 0 disables. The monitoring plane (/healthz,
+	// /metrics, /v1/trace, /debug/vars, /debug/pprof/) is exempt — it must
+	// answer during overload.
 	MaxInflight int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the API mux
+	// (the monitoring plane, so profiles remain reachable during overload).
+	// Off by default: profiling endpoints expose process internals.
+	EnablePprof bool
 	// Faults installs fault-injection hooks on the store, the reload probe
 	// and the request path; nil in production.
 	Faults *FaultHooks
@@ -101,6 +109,8 @@ func New(cfg Config) (*Server, error) {
 		s.drainTimeout = 10 * time.Second
 	}
 	s.store.SetFaults(cfg.Faults)
+	s.store.setMetrics(s.m)
+	s.m.bindServer(s)
 	cfg.Predictor.SetEncodeCache(s.cache)
 	if cfg.Locator != nil {
 		cfg.Locator.SetEncodeCache(s.cache)
@@ -115,6 +125,15 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/reload", s.m.instrument("reload", s.handleReload))
 	mux.HandleFunc("GET /healthz", s.m.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /debug/vars", s.m.instrument("debugvars", s.handleDebugVars))
+	mux.HandleFunc("GET /metrics", s.m.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/trace", s.m.instrument("trace", s.handleTrace))
+	if cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	s.handler = s.buildHandler(cfg.RequestTimeout, cfg.MaxInflight)
 	return s, nil
@@ -143,8 +162,10 @@ func (s *Server) buildHandler(timeout time.Duration, maxInflight int) http.Handl
 		slots = make(chan struct{}, maxInflight)
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		switch r.URL.Path {
-		case "/healthz", "/debug/vars":
+		switch {
+		case r.URL.Path == "/healthz", r.URL.Path == "/debug/vars",
+			r.URL.Path == "/metrics", r.URL.Path == "/v1/trace",
+			strings.HasPrefix(r.URL.Path, "/debug/pprof/"):
 			s.mux.ServeHTTP(w, r)
 			return
 		}
@@ -169,6 +190,24 @@ func (s *Server) Store() *Store { return s.store }
 
 // Models returns the current model generation.
 func (s *Server) Models() *Models { return s.models.Load() }
+
+// Registry exposes the server's metrics registry, for tests asserting
+// metric invariants and for wiring extra process-level collectors.
+func (s *Server) Registry() *obs.Registry { return s.m.reg }
+
+// Tracer exposes the pipeline stage tracer (what /v1/trace serves).
+func (s *Server) Tracer() *obs.Tracer { return s.m.tracer }
+
+// ScoreObserver returns a callback that records compiled-scorer batch
+// timings into this server's registry — the hook cmd/nevermindd installs
+// via ml.SetScoreObserver. It is not installed automatically because the ml
+// hook is process-global and a test binary runs many servers.
+func (s *Server) ScoreObserver() func(rows int, d time.Duration) {
+	return func(rows int, d time.Duration) {
+		s.m.scoreRows.Add(int64(rows))
+		s.m.scoreDur.Observe(d)
+	}
+}
 
 // Handler returns the API handler, wrapped in the admission/timeout
 // middleware when the Config enabled it.
@@ -485,14 +524,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the registry in Prometheus text exposition format.
+// The format is a stability contract pinned by TestMetricsGolden; p50/p95/
+// p99 are derivable from the histogram buckets by any Prometheus-compatible
+// scraper.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.reg.WritePrometheus(w)
+}
+
+// handleTrace serves the stage tracer's flight recorder: the retained spans
+// oldest to newest plus lifetime totals, the readout for "where did the
+// slow week go".
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.tracer.Snapshot())
+}
+
+// latencySums renders per-route summed handling time in nanoseconds — the
+// shape the pre-registry expvar block exported, kept for /debug/vars
+// compatibility.
+func latencySums(v map[string]obs.HistSnapshot) map[string]int64 {
+	out := make(map[string]int64, len(v))
+	for route, s := range v {
+		out[route] = s.SumNs
+	}
+	return out
+}
+
 func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 	models := s.Models()
 	m := s.m
 	vars := map[string]any{
 		"uptime_seconds":   time.Since(m.start).Seconds(),
-		"requests":         json.RawMessage(m.requests.String()),
-		"errors":           json.RawMessage(m.errors.String()),
-		"latency_ns_sum":   json.RawMessage(m.latencyNs.String()),
+		"requests":         m.requests.Values(),
+		"errors":           m.errors.Values(),
+		"latency_ns_sum":   latencySums(m.latency.Snapshots()),
 		"ingested_tests":   m.ingestedTests.Value(),
 		"ingested_tickets": m.ingestedTickets.Value(),
 		"reloads":          m.reloads.Value(),

@@ -13,14 +13,19 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nevermind/internal/data"
 )
 
 // MaxLineID bounds accepted line ids. The snapshot materialises a dense
-// (weeks x lines) grid, so a single wild id must not be able to demand an
-// absurd allocation.
-const MaxLineID = 1 << 22
+// (weeks x lines) grid of 120-byte Measurements, so a single wild id in an
+// otherwise-valid batch dictates the grid width: the bound is the allocation
+// budget. 1<<17 caps the worst-case grid at 52*131072*120B ~ 0.8 GB and
+// leaves 6.5x headroom over the 20k-line default population; the previous
+// 1<<22 admitted a ~26 GB grid from one record, which the ingest fuzzer
+// demonstrated as a minutes-long stall.
+const MaxLineID = 1 << 17
 
 // TestRecord is one ingested weekly line-test result: the measurement plus
 // the static line attributes (service tier, serving DSLAM, usage propensity)
@@ -86,6 +91,9 @@ type Store struct {
 	snap       atomic.Pointer[Snapshot]
 	// faults is the injection seam; nil in production.
 	faults *FaultHooks
+	// m, when set, receives ingest/build timings and shard-contention
+	// counts; nil (a bare NewStore) records nothing.
+	m *metrics
 	// buildFailures counts snapshot rebuilds that failed (injected or
 	// otherwise); while it climbs, readers keep getting the last good
 	// snapshot and SnapshotLag reports how stale it is.
@@ -119,6 +127,36 @@ func (s *Store) shardOf(line data.LineID) *shard {
 // SetFaults installs the fault-injection hooks. Call before the store takes
 // traffic; nil removes them.
 func (s *Store) SetFaults(h *FaultHooks) { s.faults = h }
+
+// setMetrics attaches the owning server's metrics; call before traffic.
+func (s *Store) setMetrics(m *metrics) { s.m = m }
+
+// lockShard takes sh's write lock, counting under op when the lock was
+// already held — the shard-contention signal that says whether the shard
+// count is keeping concurrent ingest batches out of each other's way.
+func (s *Store) lockShard(sh *shard, op string) {
+	if s.m == nil {
+		sh.mu.Lock()
+		return
+	}
+	if !sh.mu.TryLock() {
+		s.m.shardContended.With(op).Add(1)
+		sh.mu.Lock()
+	}
+}
+
+// rlockShard is lockShard for readers: snapshot builds sweeping the shards
+// count how often an ingest writer made them wait.
+func (s *Store) rlockShard(sh *shard, op string) {
+	if s.m == nil {
+		sh.mu.RLock()
+		return
+	}
+	if !sh.mu.TryRLock() {
+		s.m.shardContended.With(op).Add(1)
+		sh.mu.RLock()
+	}
+}
 
 // BuildFailures returns how many snapshot rebuilds have failed so far.
 func (s *Store) BuildFailures() uint64 { return s.buildFailures.Load() }
@@ -201,6 +239,11 @@ func (s *Store) IngestTests(recs []TestRecord) (int, error) {
 			return 0, err
 		}
 	}
+	if m := s.m; m != nil {
+		defer func(t0 time.Time) {
+			m.storeIngestDur.With("ingest_tests").Observe(time.Since(t0))
+		}(time.Now())
+	}
 	// Group by shard so each shard's lock is taken once per batch.
 	byShard := make(map[uint32][]int)
 	maxWeek := -1
@@ -213,7 +256,7 @@ func (s *Store) IngestTests(recs []TestRecord) (int, error) {
 	}
 	for si, idxs := range byShard {
 		sh := &s.shards[si]
-		sh.mu.Lock()
+		s.lockShard(sh, "ingest_tests")
 		for _, i := range idxs {
 			r := &recs[i]
 			ls := sh.lines[r.Line]
@@ -268,11 +311,16 @@ func (s *Store) IngestTickets(recs []TicketRecord) (int, error) {
 			return 0, err
 		}
 	}
+	if m := s.m; m != nil {
+		defer func(t0 time.Time) {
+			m.storeIngestDur.With("ingest_tickets").Observe(time.Since(t0))
+		}(time.Now())
+	}
 	added := 0
 	for _, r := range recs {
 		t := data.Ticket{ID: r.ID, Line: r.Line, Day: r.Day, Category: data.TicketCategory(r.Category)}
 		sh := s.shardOf(r.Line)
-		sh.mu.Lock()
+		s.lockShard(sh, "ingest_tickets")
 		if _, dup := sh.dedup[t]; !dup {
 			sh.dedup[t] = struct{}{}
 			sh.tickets = append(sh.tickets, t)
@@ -358,6 +406,11 @@ func (s *Store) Snapshot() *Snapshot {
 }
 
 func (s *Store) build(version uint64) (*Snapshot, error) {
+	if m := s.m; m != nil {
+		defer func(t0 time.Time) {
+			m.storeBuildDur.Observe(time.Since(t0))
+		}(time.Now())
+	}
 	if h := s.faults; h != nil && h.SnapshotBuild != nil {
 		if err := h.SnapshotBuild(version); err != nil {
 			return nil, err
@@ -371,7 +424,7 @@ func (s *Store) build(version uint64) (*Snapshot, error) {
 	maxLine := data.LineID(-1)
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.RLock()
+		s.rlockShard(sh, "snapshot")
 		for l := range sh.lines {
 			if l > maxLine {
 				maxLine = l
@@ -408,7 +461,7 @@ func (s *Store) build(version uint64) (*Snapshot, error) {
 	var tickets []data.Ticket
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.RLock()
+		s.rlockShard(sh, "snapshot")
 		if h := s.faults; h != nil && h.ShardRead != nil {
 			h.ShardRead(i)
 		}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Perf regression gate: rerun the compiled-scoring and serve-score
+# benchmarks, convert them with benchjson, and compare ns/op against the
+# committed BENCH_ml.json via benchdiff. Fails on a >25% regression (the
+# margin absorbs machine-to-machine and run-to-run noise; a real regression
+# in these hot paths is multiples, not percents). Used by `make bench-diff`
+# (part of `make check`). Override the margin with BENCH_DIFF_THRESHOLD.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+MATCH='ScoreCompiled|ServeScore'
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "bench-diff: running benchmarks matching '$MATCH'..."
+"$GO" test -run '^$' -bench "$MATCH" -benchmem . 2>&1 \
+	| tee "$WORK/bench.txt" \
+	| "$GO" run ./cmd/benchjson > "$WORK/new.json"
+
+"$GO" run ./cmd/benchdiff \
+	-old BENCH_ml.json \
+	-new "$WORK/new.json" \
+	-match "$MATCH" \
+	-threshold "${BENCH_DIFF_THRESHOLD:-25}"
