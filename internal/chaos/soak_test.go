@@ -7,12 +7,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"nevermind/internal/core"
+	"nevermind/internal/data"
 	"nevermind/internal/obs"
 	"nevermind/internal/serve"
 	"nevermind/internal/sim"
@@ -166,9 +168,8 @@ func runSoak(t *testing.T, cfg soakConfig) soakResult {
 						t.Errorf("hammer %d: torn snapshot: generation %d != version %d", h, sn.DS.Generation, sn.Version)
 						return
 					}
-					if len(sn.DS.Measurements) != len(sn.Present)*sn.DS.NumLines {
-						t.Errorf("hammer %d: torn snapshot: grid %d != %d weeks x %d lines",
-							h, len(sn.DS.Measurements), len(sn.Present), sn.DS.NumLines)
+					if err := sn.DS.Grid.Validate(sn.DS.NumLines); err != nil {
+						t.Errorf("hammer %d: torn snapshot: %v", h, err)
 						return
 					}
 				}
@@ -216,6 +217,25 @@ func runSoak(t *testing.T, cfg soakConfig) soakResult {
 	}
 	close(stop)
 	wg.Wait()
+
+	// The delta/full equivalence property, checked on the chaotic end state:
+	// whatever mix of delta applies and full rebuilds (including failed ones)
+	// got the store here, a from-scratch rebuild must reproduce the exact
+	// same snapshot. Builds can still fail under injected faults, so loop
+	// until a fresh one lands (the injector's fault budget is bounded).
+	freshSnapshot := func(tag string) *serve.Snapshot {
+		for i := 0; i < 1000; i++ {
+			if sn := srv.Store().Snapshot(); sn != nil && sn.Version == srv.Store().Version() {
+				return sn
+			}
+		}
+		t.Fatalf("%s: store never produced a fresh snapshot", tag)
+		return nil
+	}
+	incSn := freshSnapshot("pre-reset")
+	srv.Store().ResetSnapshotCache()
+	fullSn := freshSnapshot("post-reset")
+	assertSnapshotsEquivalent(t, incSn, fullSn)
 
 	// Final ranking over the last week, bit-for-bit.
 	resp, err := http.Get(ts.URL + fmt.Sprintf("/v1/rank?week=%d&n=25", cfg.hiWeek))
@@ -375,4 +395,44 @@ func TestChaosSoak(t *testing.T) {
 
 	t.Logf("soak: %d injected faults (%+v), %d pipeline retries (%v), %d spans (%d degraded)",
 		st.Total(), st, retries, chaotic.retriesByOp, chaotic.trace.Finished, degraded)
+}
+
+// assertSnapshotsEquivalent deep-compares two snapshots through the public
+// surface the serving path consumes: grid cells, presence, per-week line
+// lists, tickets and line attributes must match exactly — the delta-applied
+// and from-scratch representations of one store state are interchangeable.
+func assertSnapshotsEquivalent(t *testing.T, a, b *serve.Snapshot) {
+	t.Helper()
+	if a.Version != b.Version || a.DS.Generation != b.DS.Generation {
+		t.Fatalf("snapshot identity diverged: version %d/%d generation %d/%d",
+			a.Version, b.Version, a.DS.Generation, b.DS.Generation)
+	}
+	if a.DS.NumLines != b.DS.NumLines || a.DS.NumDSLAMs != b.DS.NumDSLAMs {
+		t.Fatalf("snapshot shape diverged: lines %d/%d dslams %d/%d",
+			a.DS.NumLines, b.DS.NumLines, a.DS.NumDSLAMs, b.DS.NumDSLAMs)
+	}
+	if !reflect.DeepEqual(a.Lines, b.Lines) {
+		t.Fatal("line sets diverged between delta-applied and full snapshots")
+	}
+	if !reflect.DeepEqual(a.DS.Tickets, b.DS.Tickets) {
+		t.Fatalf("tickets diverged: %d vs %d", len(a.DS.Tickets), len(b.DS.Tickets))
+	}
+	if !reflect.DeepEqual(a.DS.ProfileOf, b.DS.ProfileOf) ||
+		!reflect.DeepEqual(a.DS.DSLAMOf, b.DS.DSLAMOf) ||
+		!reflect.DeepEqual(a.DS.UsageOf, b.DS.UsageOf) {
+		t.Fatal("line attributes diverged between delta-applied and full snapshots")
+	}
+	for w := 0; w < data.Weeks; w++ {
+		if !reflect.DeepEqual(a.LinesAt(w), b.LinesAt(w)) {
+			t.Fatalf("week %d: present-line lists diverged", w)
+		}
+		for l := 0; l < a.DS.NumLines; l++ {
+			if a.Present[w][l] != b.Present[w][l] {
+				t.Fatalf("presence diverged at week %d line %d", w, l)
+			}
+			if *a.DS.At(data.LineID(l), w) != *b.DS.At(data.LineID(l), w) {
+				t.Fatalf("grid cell diverged at week %d line %d", w, l)
+			}
+		}
+	}
 }

@@ -22,9 +22,15 @@ type Dataset struct {
 	NumDSLAMs int
 
 	Measurements []Measurement // week-major grid: index = week*NumLines + line
-	Tickets      []Ticket      // sorted by arrival day
-	Notes        []DispositionNote
-	Outages      []Outage
+	// Grid, when set, replaces Measurements as the measurement storage: the
+	// same dense grid in copy-on-write chunks (see MeasurementGrid). Exactly
+	// one of the two representations should be populated; At serves from
+	// whichever is. The serving store's snapshots use Grid so successive
+	// generations share untouched chunks; offline datasets stay flat.
+	Grid    *MeasurementGrid
+	Tickets []Ticket // sorted by arrival day
+	Notes   []DispositionNote
+	Outages []Outage
 
 	// Customer behaviour context for the §5.2 analyses.
 	UsageOf []float32  // per-line propensity to be actively using the service
@@ -51,6 +57,9 @@ type AwaySpan struct {
 // At returns the measurement for (line, week). It panics on out-of-range
 // arguments; use it only on complete grids (Validate checks this).
 func (d *Dataset) At(line LineID, week int) *Measurement {
+	if d.Grid != nil {
+		return d.Grid.At(line, week)
+	}
 	return &d.Measurements[week*d.NumLines+int(line)]
 }
 
@@ -66,14 +75,20 @@ func (d *Dataset) Validate() error {
 	if len(d.ProfileOf) != d.NumLines || len(d.DSLAMOf) != d.NumLines || len(d.UsageOf) != d.NumLines {
 		return fmt.Errorf("data: per-line slices must have length %d", d.NumLines)
 	}
-	if len(d.Measurements) != Weeks*d.NumLines {
-		return fmt.Errorf("data: measurement grid has %d records, want %d", len(d.Measurements), Weeks*d.NumLines)
-	}
-	for w := 0; w < Weeks; w++ {
-		for l := 0; l < d.NumLines; l++ {
-			m := &d.Measurements[w*d.NumLines+l]
-			if m.Week != w || m.Line != LineID(l) {
-				return fmt.Errorf("data: grid record at (%d,%d) holds (%d,%d)", w, l, m.Week, m.Line)
+	if d.Grid != nil {
+		if err := d.Grid.Validate(d.NumLines); err != nil {
+			return err
+		}
+	} else {
+		if len(d.Measurements) != Weeks*d.NumLines {
+			return fmt.Errorf("data: measurement grid has %d records, want %d", len(d.Measurements), Weeks*d.NumLines)
+		}
+		for w := 0; w < Weeks; w++ {
+			for l := 0; l < d.NumLines; l++ {
+				m := &d.Measurements[w*d.NumLines+l]
+				if m.Week != w || m.Line != LineID(l) {
+					return fmt.Errorf("data: grid record at (%d,%d) holds (%d,%d)", w, l, m.Week, m.Line)
+				}
 			}
 		}
 	}

@@ -1,0 +1,126 @@
+package data
+
+import "fmt"
+
+func errGrid(format string, args ...any) error {
+	return fmt.Errorf("data: "+format, args...)
+}
+
+// MeasurementGrid is the chunked alternative to Dataset.Measurements: the
+// same dense week-major (week, line) grid, but stored as fixed-size chunks of
+// lines so a consumer that changes a handful of cells can share every
+// untouched chunk with its predecessor and copy only the chunks it writes.
+// The serving store's delta-applied snapshots are the motivating consumer: a
+// weekly ingest touches a few hundred lines, and recopying a multi-hundred-MB
+// flat grid per snapshot made every ingest O(population).
+//
+// All fields are exported so a Dataset carrying a grid stays gob-encodable;
+// treat them as read-only outside this file and the copy-on-write helpers.
+type MeasurementGrid struct {
+	NumLines int
+	// ChunksPerWeek = ceil(NumLines / GridChunkLines); week w's chunk c sits
+	// at Chunks[w*ChunksPerWeek+c], and only the last chunk of a week may be
+	// short.
+	ChunksPerWeek int
+	Chunks        [][]Measurement
+}
+
+// GridChunkLines is the copy-on-write granularity in lines per chunk. 1024
+// lines x 120 B = ~120 KB per chunk: small enough that a delta touching one
+// line copies little, large enough that a full grid is a few hundred chunk
+// headers, not millions.
+const GridChunkLines = 1024
+
+// NewMeasurementGrid allocates a dense grid for numLines lines with every
+// cell initialised to the Missing default (the same "no record at all" cell a
+// flat snapshot grid starts from), with Line and Week stamped so Validate's
+// identity check holds.
+func NewMeasurementGrid(numLines int) *MeasurementGrid {
+	cpw := (numLines + GridChunkLines - 1) / GridChunkLines
+	g := &MeasurementGrid{
+		NumLines:      numLines,
+		ChunksPerWeek: cpw,
+		Chunks:        make([][]Measurement, Weeks*cpw),
+	}
+	for w := 0; w < Weeks; w++ {
+		for c := 0; c < cpw; c++ {
+			lo := c * GridChunkLines
+			hi := lo + GridChunkLines
+			if hi > numLines {
+				hi = numLines
+			}
+			chunk := make([]Measurement, hi-lo)
+			for i := range chunk {
+				chunk[i] = Measurement{Line: LineID(lo + i), Week: w, Missing: true}
+			}
+			g.Chunks[w*cpw+c] = chunk
+		}
+	}
+	return g
+}
+
+// At returns the measurement cell for (line, week). Callers other than the
+// grid's builder must treat the cell as read-only: chunks are shared between
+// snapshot generations.
+func (g *MeasurementGrid) At(line LineID, week int) *Measurement {
+	c := int(line) / GridChunkLines
+	return &g.Chunks[week*g.ChunksPerWeek+c][int(line)%GridChunkLines]
+}
+
+// ShareCopy returns a grid sharing every chunk with g: only the top-level
+// chunk-pointer table is copied. Pair it with SetCOW, which copies a shared
+// chunk the first time it is written.
+func (g *MeasurementGrid) ShareCopy() *MeasurementGrid {
+	return &MeasurementGrid{
+		NumLines:      g.NumLines,
+		ChunksPerWeek: g.ChunksPerWeek,
+		Chunks:        append([][]Measurement(nil), g.Chunks...),
+	}
+}
+
+// SetCOW writes m into cell (line, week), copying the containing chunk first
+// unless owned already marks it private to this grid. owned must be a
+// caller-held bitmap of len(g.Chunks), all false for a fresh ShareCopy.
+func (g *MeasurementGrid) SetCOW(owned []bool, line LineID, week int, m Measurement) {
+	ci := week*g.ChunksPerWeek + int(line)/GridChunkLines
+	if !owned[ci] {
+		g.Chunks[ci] = append([]Measurement(nil), g.Chunks[ci]...)
+		owned[ci] = true
+	}
+	g.Chunks[ci][int(line)%GridChunkLines] = m
+}
+
+// Validate checks the grid's structural invariants against numLines; called
+// from Dataset.Validate and from tests asserting snapshots are never torn.
+func (g *MeasurementGrid) Validate(numLines int) error {
+	if g.NumLines != numLines {
+		return errGrid("grid sized for %d lines, dataset has %d", g.NumLines, numLines)
+	}
+	cpw := (numLines + GridChunkLines - 1) / GridChunkLines
+	if g.ChunksPerWeek != cpw {
+		return errGrid("grid has %d chunks per week, want %d", g.ChunksPerWeek, cpw)
+	}
+	if len(g.Chunks) != Weeks*cpw {
+		return errGrid("grid has %d chunks, want %d", len(g.Chunks), Weeks*cpw)
+	}
+	for w := 0; w < Weeks; w++ {
+		for c := 0; c < cpw; c++ {
+			lo := c * GridChunkLines
+			want := GridChunkLines
+			if lo+want > numLines {
+				want = numLines - lo
+			}
+			chunk := g.Chunks[w*cpw+c]
+			if len(chunk) != want {
+				return errGrid("grid chunk (%d,%d) holds %d cells, want %d", w, c, len(chunk), want)
+			}
+			for i := range chunk {
+				if chunk[i].Week != w || chunk[i].Line != LineID(lo+i) {
+					return errGrid("grid record at (%d,%d) holds (%d,%d)",
+						w, lo+i, chunk[i].Week, chunk[i].Line)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// steadyStateAllocBudget is the per-request allocation ceiling for the
+// scoring hot paths once caches are warm. The handlers themselves allocate
+// nothing (pooled scratch, prerendered fragments); the budget covers what
+// net/http's mux and instrumentation inherently cost per request.
+const steadyStateAllocBudget = 10
+
+// benchSink is a reusable ResponseWriter for alloc measurements:
+// httptest.NewRecorder allocates per request, which would drown the signal.
+type benchSink struct {
+	h    http.Header
+	code int
+	n    int
+}
+
+func newBenchSink() *benchSink           { return &benchSink{h: make(http.Header, 4)} }
+func (w *benchSink) Header() http.Header { return w.h }
+func (w *benchSink) WriteHeader(c int)   { w.code = c }
+func (w *benchSink) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+func (w *benchSink) reset() { w.code = 0; w.n = 0 }
+
+// allocServer builds a served store with the fixture's recent weeks loaded,
+// for steady-state measurements.
+func allocServer(t *testing.T) *Server {
+	t.Helper()
+	srv := newTestServer(t, Config{Shards: 4})
+	ds, _, _ := fixture(t)
+	tests, tickets := recordsFor(ds, 30, 43)
+	if _, err := srv.Store().IngestTests(tests); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Store().IngestTickets(tickets); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestScoreSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting run")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates alloc counts")
+	}
+	srv := allocServer(t)
+	ds, _, _ := fixture(t)
+
+	type ex struct {
+		Line int `json:"line"`
+		Week int `json:"week"`
+	}
+	examples := make([]ex, ds.NumLines)
+	for l := range examples {
+		examples[l] = ex{Line: l, Week: 40}
+	}
+	body, err := json.Marshal(map[string]any{"examples": examples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := bytes.NewReader(body)
+	req := httptest.NewRequest(http.MethodPost, "/v1/score", rd)
+	sink := newBenchSink()
+	handler := srv.Handler()
+	post := func() {
+		rd.Seek(0, io.SeekStart)
+		sink.reset()
+		handler.ServeHTTP(sink, req)
+		if sink.code != http.StatusOK {
+			t.Fatalf("score: status %d", sink.code)
+		}
+	}
+	post() // builds the snapshot, the week table and the pooled scratch
+	post()
+	if allocs := testing.AllocsPerRun(50, post); allocs > steadyStateAllocBudget {
+		t.Errorf("steady-state /v1/score allocates %.1f/op, budget %d", allocs, steadyStateAllocBudget)
+	}
+}
+
+func TestRankSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting run")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates alloc counts")
+	}
+	srv := allocServer(t)
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/rank", nil)
+	sink := newBenchSink()
+	handler := srv.Handler()
+	get := func() {
+		sink.reset()
+		handler.ServeHTTP(sink, req)
+		if sink.code != http.StatusOK {
+			t.Fatalf("rank: status %d", sink.code)
+		}
+	}
+	get()
+	get()
+	if allocs := testing.AllocsPerRun(50, get); allocs > steadyStateAllocBudget {
+		t.Errorf("steady-state /v1/rank allocates %.1f/op, budget %d", allocs, steadyStateAllocBudget)
+	}
+}

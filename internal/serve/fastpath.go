@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"nevermind/internal/data"
+)
+
+// The scoring fast path avoids the two per-request costs that dominated the
+// legacy handlers: encoding/json (reflection plus per-field allocation on
+// both decode and encode) and feature encoding (moved into weekTable). The
+// scratch buffers here are pooled so a steady-state /v1/score or /v1/rank
+// request allocates nothing beyond what net/http itself requires.
+//
+// Ownership contract for pooled scratch: a handler Gets one scratch for the
+// whole request, may grow its buffers (growth is retained for the next
+// user), and must not let any of them escape the request — the response
+// buffer is fully written to the ResponseWriter before the deferred Put
+// returns the scratch. Snapshot/table data is never stored in scratch, only
+// copied through it.
+
+// scratch bundles one request's reusable buffers: the raw body, the parsed
+// examples, and the rendered response.
+type scratch struct {
+	body     []byte
+	examples []exampleJSON
+	out      []byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// readBody slurps the request body into sc's pooled buffer under the same
+// maxBodyBytes cap the legacy decoder enforced (and the same "http: request
+// body too large" error past it).
+func readBody(w http.ResponseWriter, r *http.Request, sc *scratch) ([]byte, error) {
+	rd := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	buf := sc.body
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 64<<10)
+	}
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := rd.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			sc.body = buf
+			return buf, nil
+		}
+		if err != nil {
+			sc.body = buf
+			return nil, err
+		}
+	}
+}
+
+// parseScoreBody is a hand parser for exactly the happy-path /v1/score body:
+//
+//	{"examples":[{"line":N,"week":M}, ...]}
+//
+// with arbitrary JSON whitespace, fields in either order, repeated fields
+// last-wins and absent fields zero — the cases encoding/json accepts for the
+// same struct. Anything else (unknown keys, floats, escaped key names,
+// out-of-int32 line ids, trailing data) returns ok == false and the caller
+// falls back to the strict reflective decoder, which reproduces the exact
+// error text the API has always returned. The fallback also re-parses valid
+// bodies this grammar is too narrow for (e.g. "line" as a key), so the
+// fast path can only ever accept what encoding/json would.
+func parseScoreBody(body []byte, exs []exampleJSON) ([]exampleJSON, bool) {
+	p := fastParser{b: body}
+	p.ws()
+	if !p.eat('{') || !p.ws() || !p.lit(`"examples"`) || !p.ws() || !p.eat(':') || !p.ws() || !p.eat('[') {
+		return nil, false
+	}
+	p.ws()
+	if p.peek() == ']' {
+		p.i++
+	} else {
+		for {
+			e, ok := p.example()
+			if !ok {
+				return nil, false
+			}
+			exs = append(exs, e)
+			p.ws()
+			c := p.next()
+			if c == ',' {
+				p.ws()
+				continue
+			}
+			if c == ']' {
+				break
+			}
+			return nil, false
+		}
+	}
+	p.ws()
+	if !p.eat('}') {
+		return nil, false
+	}
+	p.ws()
+	if p.i != len(p.b) {
+		return nil, false
+	}
+	return exs, true
+}
+
+type fastParser struct {
+	b []byte
+	i int
+}
+
+// ws skips JSON whitespace; always true so it chains in && conditions.
+func (p *fastParser) ws() bool {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return true
+		}
+	}
+	return true
+}
+
+func (p *fastParser) peek() byte {
+	if p.i < len(p.b) {
+		return p.b[p.i]
+	}
+	return 0
+}
+
+func (p *fastParser) next() byte {
+	c := p.peek()
+	p.i++
+	return c
+}
+
+func (p *fastParser) eat(c byte) bool {
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *fastParser) lit(s string) bool {
+	if len(p.b)-p.i < len(s) || string(p.b[p.i:p.i+len(s)]) != s {
+		return false
+	}
+	p.i += len(s)
+	return true
+}
+
+func (p *fastParser) example() (exampleJSON, bool) {
+	var e exampleJSON
+	if !p.eat('{') {
+		return e, false
+	}
+	p.ws()
+	if p.peek() == '}' {
+		p.i++
+		return e, true
+	}
+	for {
+		isLine := false
+		switch {
+		case p.lit(`"line"`):
+			isLine = true
+		case p.lit(`"week"`):
+		default:
+			return e, false
+		}
+		p.ws()
+		if !p.eat(':') {
+			return e, false
+		}
+		p.ws()
+		v, ok := p.integer()
+		if !ok {
+			return e, false
+		}
+		if isLine {
+			if v < math.MinInt32 || v > math.MaxInt32 {
+				return e, false // legacy decoder errors; let it phrase that
+			}
+			e.Line = data.LineID(v)
+		} else {
+			e.Week = int(v)
+		}
+		p.ws()
+		c := p.next()
+		if c == ',' {
+			p.ws()
+			continue
+		}
+		if c == '}' {
+			return e, true
+		}
+		return e, false
+	}
+}
+
+// integer parses a plain JSON integer: optional '-', no leading zeros, at
+// most 18 digits (always fits int64), and the next byte must end the number
+// — a '.', 'e' or any other continuation bails to the strict decoder.
+func (p *fastParser) integer() (int64, bool) {
+	neg := p.eat('-')
+	start := p.i
+	for p.i < len(p.b) && p.b[p.i] >= '0' && p.b[p.i] <= '9' {
+		p.i++
+	}
+	nd := p.i - start
+	if nd == 0 || nd > 18 || (nd > 1 && p.b[start] == '0') {
+		return 0, false
+	}
+	if p.i >= len(p.b) {
+		return 0, false // truncated body
+	}
+	switch p.b[p.i] {
+	case ' ', '\t', '\n', '\r', ',', '}', ']':
+	default:
+		return 0, false
+	}
+	var v int64
+	for _, c := range p.b[start:p.i] {
+		v = v*10 + int64(c-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64:
+// shortest round-trip form, 'f' format unless the magnitude forces
+// exponent notation, with the two-digit negative exponent's leading zero
+// trimmed. Byte-for-byte parity lets prerendered fragments splice into
+// responses the legacy encoder's clients already parse.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	fmtc := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		fmtc = 'e'
+	}
+	b = strconv.AppendFloat(b, f, fmtc, -1, 64)
+	if fmtc == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// writeRawJSON sends a prerendered JSON body with the same headers
+// writeJSON sets.
+func writeRawJSON(w http.ResponseWriter, buf []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf)
+}

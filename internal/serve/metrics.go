@@ -51,9 +51,11 @@ type metrics struct {
 	retriesByOp       *obs.CounterVec   // pull / ingest / snapshot
 	stageDur          *obs.HistogramVec // per pipeline stage: duration
 
-	storeIngestDur *obs.HistogramVec // ingest_tests / ingest_tickets
-	storeBuildDur  *obs.Histogram    // snapshot grid rebuild
-	shardContended *obs.CounterVec   // shard-lock acquisitions that had to wait
+	storeIngestDur   *obs.HistogramVec // ingest_tests / ingest_tickets
+	storeBuildDur    *obs.Histogram    // snapshot full grid rebuild
+	snapshotApplyDur *obs.Histogram    // snapshot delta apply
+	snapshotBuilds   *obs.CounterVec   // successful builds: full / delta
+	shardContended   *obs.CounterVec   // shard-lock acquisitions that had to wait
 
 	scoreDur  *obs.Histogram // compiled-scorer batch calls (ml hook)
 	scoreRows *obs.Counter   // examples scored through the compiled scorer
@@ -107,7 +109,11 @@ func newMetrics() *metrics {
 	m.storeIngestDur = reg.HistogramVec("nevermind_store_ingest_duration_seconds",
 		"Store batch ingest time, by record kind.", "op", nil).Preset("ingest_tests", "ingest_tickets")
 	m.storeBuildDur = reg.Histogram("nevermind_store_snapshot_build_duration_seconds",
-		"Snapshot grid rebuild time (successful and failed builds).", nil)
+		"Snapshot full grid rebuild time (successful and failed builds).", nil)
+	m.snapshotApplyDur = reg.Histogram("nevermind_store_snapshot_delta_apply_duration_seconds",
+		"Snapshot delta apply time (successful and failed applies).", nil)
+	m.snapshotBuilds = reg.CounterVec("nevermind_store_snapshot_builds_total",
+		"Successful snapshot builds, by kind.", "kind").Preset("delta", "full")
 	m.shardContended = reg.CounterVec("nevermind_store_shard_contention_total",
 		"Shard-lock acquisitions that found the lock held, by operation.", "op").Preset(storeOps...)
 

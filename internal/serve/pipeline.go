@@ -10,7 +10,6 @@ import (
 	"nevermind/internal/atds"
 	"nevermind/internal/core"
 	"nevermind/internal/data"
-	"nevermind/internal/features"
 	"nevermind/internal/obs"
 	"nevermind/internal/rng"
 	"nevermind/internal/sim"
@@ -350,29 +349,27 @@ pull:
 		return true, nil
 	}
 
-	// Saturday ranking run: budgeted TopN into the dispatch queue.
+	// Saturday ranking run: budgeted TopN into the dispatch queue. The
+	// week's score table is shared with the HTTP handlers — when the API
+	// already ranked this (snapshot, week), the pipeline's run is a lookup.
 	models := p.srv.Models()
 	lines := sn.LinesAt(batch.Week)
 	if len(lines) > 0 {
-		examples := make([]features.Example, len(lines))
-		for i, l := range lines {
-			examples[i] = features.Example{Line: l, Week: batch.Week}
-		}
 		scsp := p.beginStage("score", batch.Week)
-		preds, err := models.Pred.PredictExamples(sn.DS, sn.Ix, examples)
+		tab, err := sn.scoreTable(models, batch.Week)
 		scsp.span.Fail(err)
 		scsp.end()
 		if err != nil {
 			return false, fmt.Errorf("serve: pipeline week %d rank: %w", batch.Week, err)
 		}
 		rksp := p.beginStage("rank", batch.Week)
-		order := rankOrder(preds)
+		ranked := tab.rankedLines(sn)
 		n := models.Pred.Cfg.BudgetN
-		if n > len(order) {
-			n = len(order)
+		if n > len(ranked) {
+			n = len(ranked)
 		}
-		for rank, i := range order[:n] {
-			p.cfg.Queue.Submit(preds[i].Line, atds.PriorityPredicted, rank)
+		for rank, l := range ranked[:n] {
+			p.cfg.Queue.Submit(l, atds.PriorityPredicted, rank)
 		}
 		rep.Submitted = n
 		rksp.end()

@@ -60,8 +60,8 @@ func TestStoreSnapshotInvariants(t *testing.T) {
 		if sn.DS.Generation != sn.Version {
 			t.Errorf("torn snapshot: Generation %d != Version %d", sn.DS.Generation, sn.Version)
 		}
-		if len(sn.DS.Measurements) != data.Weeks*sn.DS.NumLines {
-			t.Errorf("torn snapshot: %d measurements for %d lines", len(sn.DS.Measurements), sn.DS.NumLines)
+		if err := sn.DS.Grid.Validate(sn.DS.NumLines); err != nil {
+			t.Errorf("torn snapshot: %v", err)
 		}
 		if len(sn.Present) != data.Weeks {
 			t.Errorf("torn snapshot: %d present rows", len(sn.Present))

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"nevermind/internal/data"
+	"nevermind/internal/features"
+)
+
+// weekTable is the resident scoring column for one (model generation, week):
+// every line's compiled-model score and calibrated probability, plus the
+// prerendered JSON fragment the fast response writers splice. It is built
+// once per (snapshot, models, week) by whichever request arrives first and
+// then serves /v1/score, /v1/rank and the pipeline's weekly ranking as pure
+// table lookups — zero feature encoding, zero float formatting per request.
+//
+// Scores are computed by the exact batch call the legacy per-request path
+// used (ScoreExamplesIx over single-week examples), so a table lookup is
+// bit-identical to an uncached PredictExamples for the same example.
+type weekTable struct {
+	week int
+
+	once sync.Once
+	err  error
+	// scores[l] / probs[l] index by line id; the table covers every line in
+	// [0, NumLines), present or not, so any valid score request hits it.
+	scores []float64
+	probs  []float64
+	// frags holds every line's rendered prediction object back to back;
+	// line l's fragment is frags[fragOff[l]:fragOff[l+1]].
+	frags   []byte
+	fragOff []int32
+
+	// ranked is built lazily on the first /v1/rank or pipeline ranking:
+	// the week's present lines, score-descending (ties line-ascending).
+	rankOnce sync.Once
+	ranked   []data.LineID
+}
+
+// tabKey identifies a table in a snapshot's cache. Models is compared by
+// pointer: a hot reload installs a new *Models, so stale generations can
+// never serve a fresh request.
+type tabKey struct {
+	models *Models
+	week   int
+}
+
+// maxWeekTables bounds a snapshot's table cache. 16 covers every week a
+// steady-state server scores (the current week plus history probes) times a
+// reload or two; past the cap, tables are built per request and not retained.
+const maxWeekTables = 16
+
+// scoreTable returns the (cached) score table for week under the given model
+// generation, building it on first use. A build error is cached in the table
+// — the model's schema mismatch is deterministic per (models, snapshot) — and
+// returned to every caller.
+func (sn *Snapshot) scoreTable(models *Models, week int) (*weekTable, error) {
+	k := tabKey{models: models, week: week}
+	sn.tabMu.Lock()
+	if sn.tabs == nil {
+		sn.tabs = make(map[tabKey]*weekTable)
+	}
+	t := sn.tabs[k]
+	if t == nil {
+		t = &weekTable{week: week}
+		if len(sn.tabs) < maxWeekTables {
+			sn.tabs[k] = t
+		}
+	}
+	sn.tabMu.Unlock()
+	t.once.Do(func() { t.build(sn, models) })
+	return t, t.err
+}
+
+func (t *weekTable) build(sn *Snapshot, models *Models) {
+	n := sn.DS.NumLines
+	examples := make([]features.Example, n)
+	for l := 0; l < n; l++ {
+		examples[l] = features.Example{Line: data.LineID(l), Week: t.week}
+	}
+	scores, err := models.Pred.ScoreExamplesIx(sn.DS, sn.Ix, examples)
+	if err != nil {
+		t.err = err
+		return
+	}
+	t.scores = scores
+	t.probs = make([]float64, n)
+	for l, s := range scores {
+		t.probs[l] = models.Pred.Model.Probability(s)
+	}
+	t.fragOff = make([]int32, n+1)
+	buf := make([]byte, 0, n*64)
+	for l := 0; l < n; l++ {
+		buf = append(buf, `{"line":`...)
+		buf = strconv.AppendInt(buf, int64(l), 10)
+		buf = append(buf, `,"week":`...)
+		buf = strconv.AppendInt(buf, int64(t.week), 10)
+		buf = append(buf, `,"score":`...)
+		buf = appendJSONFloat(buf, scores[l])
+		buf = append(buf, `,"probability":`...)
+		buf = appendJSONFloat(buf, t.probs[l])
+		buf = append(buf, '}')
+		t.fragOff[l+1] = int32(len(buf))
+	}
+	t.frags = buf
+}
+
+// frag returns line l's prerendered prediction object.
+func (t *weekTable) frag(l data.LineID) []byte {
+	return t.frags[t.fragOff[l]:t.fragOff[l+1]]
+}
+
+// rankedLines returns the week's present population best-first: score
+// descending, ties by ascending line id — the order /v1/rank has always
+// served. Built once per table; callers must not modify the slice.
+func (t *weekTable) rankedLines(sn *Snapshot) []data.LineID {
+	t.rankOnce.Do(func() {
+		lines := sn.LinesAt(t.week)
+		r := append([]data.LineID(nil), lines...)
+		// (score desc, line asc) is a strict total order — line ids are
+		// unique — so the unstable sort is deterministic.
+		sort.Slice(r, func(a, b int) bool {
+			if t.scores[r[a]] != t.scores[r[b]] {
+				return t.scores[r[a]] > t.scores[r[b]]
+			}
+			return r[a] < r[b]
+		})
+		t.ranked = r
+	})
+	return t.ranked
+}

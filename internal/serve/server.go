@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -343,14 +344,31 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if s.scoreBarrier != nil {
 		s.scoreBarrier()
 	}
-	var req struct {
-		Examples []exampleJSON `json:"examples"`
-	}
-	if err := decodeBody(w, r, &req); err != nil {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	body, err := readBody(w, r, sc)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if len(req.Examples) == 0 {
+	exs, ok := parseScoreBody(body, sc.examples[:0])
+	if ok {
+		sc.examples = exs // keep the grown backing array for the pool
+	} else {
+		// The fast grammar balked: rerun the strict reflective decoder so a
+		// malformed body gets the exact error text it always has, and a
+		// merely unusual body (escaped keys, duplicate "examples") still
+		// parses as encoding/json defines it.
+		var req struct {
+			Examples []exampleJSON `json:"examples"`
+		}
+		if err := decodeStrict(bytes.NewReader(body), &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		exs = req.Examples
+	}
+	if len(exs) == 0 {
 		writeError(w, http.StatusBadRequest, errors.New("no examples"))
 		return
 	}
@@ -358,8 +376,8 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if sn == nil {
 		return
 	}
-	examples := make([]features.Example, len(req.Examples))
-	for i, e := range req.Examples {
+	singleWeek := true
+	for i, e := range exs {
 		if e.Week < 0 || e.Week >= data.Weeks {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("example %d: week %d outside [0,%d)", i, e.Week, data.Weeks))
 			return
@@ -368,6 +386,35 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("example %d: line %d unknown to the store", i, e.Line))
 			return
 		}
+		if e.Week != exs[0].Week {
+			singleWeek = false
+		}
+	}
+	if singleWeek {
+		// Steady-state path: every answer is a lookup in the week's resident
+		// score table and a splice of its prerendered fragments.
+		tab, err := sn.scoreTable(s.Models(), exs[0].Week)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		buf := append(sc.out[:0], `{"predictions":[`...)
+		for i, e := range exs {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, tab.frag(e.Line)...)
+		}
+		buf = append(buf, `],"version":`...)
+		buf = strconv.AppendUint(buf, sn.Version, 10)
+		buf = append(buf, '}', '\n')
+		sc.out = buf
+		writeRawJSON(w, buf)
+		return
+	}
+	// Mixed-week request: the general per-example path.
+	examples := make([]features.Example, len(exs))
+	for i, e := range exs {
 		examples[i] = features.Example{Line: e.Line, Week: e.Week}
 	}
 	preds, err := s.Models().Pred.PredictExamples(sn.DS, sn.Ix, examples)
@@ -387,40 +434,48 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	models := s.Models()
-	week, n, err := parseRankParams(r.URL.Query(), s.store.LatestWeek(), models.Pred.Cfg.BudgetN)
+	var q url.Values
+	if r.URL.RawQuery != "" {
+		q = r.URL.Query()
+	}
+	week, n, err := parseRankParams(q, s.store.LatestWeek(), models.Pred.Cfg.BudgetN)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	lines := sn.LinesAt(week)
-	examples := make([]features.Example, len(lines))
-	for i, l := range lines {
-		examples[i] = features.Example{Line: l, Week: week}
-	}
-	var preds []core.Prediction
-	if len(examples) > 0 {
-		var err error
-		preds, err = models.Pred.PredictExamples(sn.DS, sn.Ix, examples)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	buf := sc.out[:0]
+	if len(lines) > 0 {
+		tab, err := sn.scoreTable(models, week)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
-		sort.SliceStable(preds, func(a, b int) bool {
-			if preds[a].Score != preds[b].Score {
-				return preds[a].Score > preds[b].Score
-			}
-			return preds[a].Line < preds[b].Line
-		})
-		if n < len(preds) {
-			preds = preds[:n]
+		ranked := tab.rankedLines(sn)
+		if n > len(ranked) {
+			n = len(ranked)
 		}
+		buf = append(buf, `{"n":`...)
+		buf = strconv.AppendInt(buf, int64(n), 10)
+		buf = append(buf, `,"population":`...)
+		buf = strconv.AppendInt(buf, int64(len(lines)), 10)
+		buf = append(buf, `,"predictions":[`...)
+		for i, l := range ranked[:n] {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, tab.frag(l)...)
+		}
+	} else {
+		buf = append(buf, `{"n":0,"population":0,"predictions":[`...)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"week":        week,
-		"population":  len(lines),
-		"n":           len(preds),
-		"predictions": toWire(preds),
-	})
+	buf = append(buf, `],"week":`...)
+	buf = strconv.AppendInt(buf, int64(week), 10)
+	buf = append(buf, '}', '\n')
+	sc.out = buf
+	writeRawJSON(w, buf)
 }
 
 // parseRankParams parses /v1/rank's query parameters: week defaults to the

@@ -76,6 +76,34 @@ type shard struct {
 	dedup map[data.Ticket]struct{}
 }
 
+// cellKey names one (line, week) test cell an ingest touched. Deltas carry
+// cell keys, not payloads: applying a delta re-reads the cell's current shard
+// state, so replaying a key is idempotent and two ingests racing on a cell
+// converge to last-writer-wins exactly as a full rebuild would.
+type cellKey struct {
+	line data.LineID
+	week int16
+}
+
+// deltaRecord is one ingest's footprint in the delta log: the version it
+// produced, the test cells it touched, and the tickets it newly added
+// (ticket values are safe to log — the shard-lock dedup guarantees each
+// value is added exactly once, and the canonical ticket order makes the
+// merge order-independent).
+type deltaRecord struct {
+	version uint64
+	cells   []cellKey
+	tickets []data.Ticket
+}
+
+// Delta log bounds: a log past either cap drops its oldest records (the next
+// snapshot build past the gap falls back to a full rebuild, which needs no
+// log). The caps bound the log to a few weeks of realistic ingest churn.
+const (
+	maxDeltaRecords = 1024
+	maxDeltaCells   = 1 << 20
+)
+
 // Store is the sharded in-memory line-state store. Writers (ingest) take one
 // shard's write lock per batch slice; readers (snapshot) take read locks
 // shard by shard. Scoring never reads shards directly — it reads an
@@ -98,6 +126,21 @@ type Store struct {
 	// otherwise); while it climbs, readers keep getting the last good
 	// snapshot and SnapshotLag reports how stale it is.
 	buildFailures atomic.Uint64
+
+	// buildMu singleflights snapshot builds: concurrent readers that miss
+	// the cache at the same version used to each run a full build with only
+	// one result winning the publish CAS (a thundering herd after every
+	// ingest). Now one builder works while the rest wait and reuse its
+	// result via the double-checked cache load.
+	buildMu sync.Mutex
+
+	// deltaMu makes the version bump and the delta-log append one atomic
+	// step, so the log holds exactly one record per version with no gaps.
+	// Lock order: shard locks are never held when taking deltaMu; buildMu
+	// holders take deltaMu only for brief log reads/prunes.
+	deltaMu  sync.Mutex
+	deltas   []deltaRecord
+	logCells int
 }
 
 // NewStore creates a store with the given shard count rounded up to a power
@@ -222,6 +265,62 @@ func validateTest(r *TestRecord) error {
 	return nil
 }
 
+// bumpVersion advances the ingest counter and logs the ingest's delta as one
+// atomic step, keeping the log gapless: record i always holds the footprint
+// of version deltas[0].version+i.
+func (s *Store) bumpVersion(cells []cellKey, tickets []data.Ticket) {
+	s.deltaMu.Lock()
+	v := s.version.Add(1)
+	s.deltas = append(s.deltas, deltaRecord{version: v, cells: cells, tickets: tickets})
+	s.logCells += len(cells) + len(tickets)
+	for len(s.deltas) > 0 && (len(s.deltas) > maxDeltaRecords || s.logCells > maxDeltaCells) {
+		drop := &s.deltas[0]
+		s.logCells -= len(drop.cells) + len(drop.tickets)
+		*drop = deltaRecord{}
+		s.deltas = s.deltas[1:]
+	}
+	s.deltaMu.Unlock()
+}
+
+// deltasBetween returns the delta records covering versions (base, target],
+// or ok == false when the log no longer holds them all (pruned or dropped on
+// overflow) and the caller must fall back to a full rebuild. The returned
+// records' slices are append-only after logging, so reading them outside
+// deltaMu is safe.
+func (s *Store) deltasBetween(base, target uint64) ([]deltaRecord, bool) {
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+	if target <= base {
+		return nil, true
+	}
+	if len(s.deltas) == 0 {
+		return nil, false
+	}
+	first := s.deltas[0].version
+	last := s.deltas[len(s.deltas)-1].version
+	if first > base+1 || last < target {
+		return nil, false
+	}
+	lo := int(base + 1 - first)
+	hi := int(target - first + 1)
+	return append([]deltaRecord(nil), s.deltas[lo:hi]...), true
+}
+
+// pruneDeltas drops log records at or below version: once a snapshot at that
+// version is published, no future build can need them (delta applies always
+// start from the cached snapshot).
+func (s *Store) pruneDeltas(version uint64) {
+	s.deltaMu.Lock()
+	n := 0
+	for n < len(s.deltas) && s.deltas[n].version <= version {
+		s.logCells -= len(s.deltas[n].cells) + len(s.deltas[n].tickets)
+		s.deltas[n] = deltaRecord{}
+		n++
+	}
+	s.deltas = s.deltas[n:]
+	s.deltaMu.Unlock()
+}
+
 // IngestTests applies a batch of line-test records. The batch is validated
 // up front and applied shard by shard; on a validation error nothing is
 // applied. Returns the number of records stored.
@@ -254,6 +353,7 @@ func (s *Store) IngestTests(recs []TestRecord) (int, error) {
 			maxWeek = recs[i].Week
 		}
 	}
+	cells := make([]cellKey, 0, len(recs))
 	for si, idxs := range byShard {
 		sh := &s.shards[si]
 		s.lockShard(sh, "ingest_tests")
@@ -277,6 +377,7 @@ func (s *Store) IngestTests(recs []TestRecord) (int, error) {
 			copy(m.F[:], r.F)
 			ls.tests[r.Week] = m
 			ls.seen[r.Week] = true
+			cells = append(cells, cellKey{line: r.Line, week: int16(r.Week)})
 		}
 		sh.mu.Unlock()
 	}
@@ -286,7 +387,7 @@ func (s *Store) IngestTests(recs []TestRecord) (int, error) {
 			break
 		}
 	}
-	s.version.Add(1)
+	s.bumpVersion(cells, nil)
 	return len(recs), nil
 }
 
@@ -316,22 +417,32 @@ func (s *Store) IngestTickets(recs []TicketRecord) (int, error) {
 			m.storeIngestDur.With("ingest_tickets").Observe(time.Since(t0))
 		}(time.Now())
 	}
-	added := 0
-	for _, r := range recs {
-		t := data.Ticket{ID: r.ID, Line: r.Line, Day: r.Day, Category: data.TicketCategory(r.Category)}
-		sh := s.shardOf(r.Line)
+	// Group by shard and take each shard's lock once per batch, exactly as
+	// IngestTests does. The per-record lock/unlock this replaced made a
+	// large ticket batch pay thousands of lock round-trips on one shard.
+	byShard := make(map[uint32][]int)
+	for i := range recs {
+		byShard[uint32(recs[i].Line)&s.mask] = append(byShard[uint32(recs[i].Line)&s.mask], i)
+	}
+	var added []data.Ticket
+	for si, idxs := range byShard {
+		sh := &s.shards[si]
 		s.lockShard(sh, "ingest_tickets")
-		if _, dup := sh.dedup[t]; !dup {
-			sh.dedup[t] = struct{}{}
-			sh.tickets = append(sh.tickets, t)
-			added++
+		for _, i := range idxs {
+			r := &recs[i]
+			t := data.Ticket{ID: r.ID, Line: r.Line, Day: r.Day, Category: data.TicketCategory(r.Category)}
+			if _, dup := sh.dedup[t]; !dup {
+				sh.dedup[t] = struct{}{}
+				sh.tickets = append(sh.tickets, t)
+				added = append(added, t)
+			}
 		}
 		sh.mu.Unlock()
 	}
-	if added > 0 {
-		s.version.Add(1)
+	if len(added) > 0 {
+		s.bumpVersion(nil, added)
 	}
-	return added, nil
+	return len(added), nil
 }
 
 // Snapshot is an immutable point-in-use view of the store in the shape the
@@ -339,6 +450,10 @@ func (s *Store) IngestTickets(recs []TicketRecord) (int, error) {
 // (line, week) cells are Missing), a prebuilt ticket index, and the presence
 // matrix that distinguishes "line tested this week with the modem off" from
 // "no record at all". Consumers must treat every field as read-only.
+//
+// Successive snapshots are built incrementally: applying an ingest's delta
+// copies only the grid chunks, presence rows and per-week line lists the
+// ingest touched, and shares everything else with the previous generation.
 type Snapshot struct {
 	Version uint64
 	DS      *data.Dataset
@@ -348,30 +463,38 @@ type Snapshot struct {
 	Present [][]bool
 	// Lines holds every ingested line id, ascending.
 	Lines []data.LineID
+
+	// linesAt[w] caches the ascending line ids present at week w, computed
+	// at build/delta-apply time so LinesAt is a slice return, not a
+	// population scan per /v1/rank request.
+	linesAt [data.Weeks][]data.LineID
+
+	// tabMu guards tabs, the per-(models, week) score-table cache built
+	// lazily by the scoring fast path (see scoretable.go).
+	tabMu sync.Mutex
+	tabs  map[tabKey]*weekTable
 }
 
 // LinesAt returns the lines with a test record at the given week, ascending
-// — the population a weekly ranking covers.
+// — the population a weekly ranking covers. The returned slice is the
+// snapshot's cached copy: callers must not modify it.
 func (sn *Snapshot) LinesAt(week int) []data.LineID {
 	if week < 0 || week >= data.Weeks {
 		return nil
 	}
-	var out []data.LineID
-	for _, l := range sn.Lines {
-		if sn.Present[week][l] {
-			out = append(out, l)
-		}
-	}
-	return out
+	return sn.linesAt[week]
 }
 
 // Snapshot materialises (or returns the cached) dataset view of the store.
 // The cache is keyed by the store version: any ingest invalidates it, and
-// the first read after an ingest pays the rebuild. Shards are read-locked
-// one at a time, so a snapshot overlapping concurrent ingests may split
-// them across shards — each line's state is still internally consistent,
-// and the version recorded is the one read before the build, so the next
-// read rebuilds. An empty store yields a nil snapshot.
+// the first read after an ingest pays the rebuild — a delta apply when the
+// log covers the gap, a full grid rebuild otherwise. Builds are
+// singleflighted: concurrent readers missing the cache wait for one builder
+// instead of each rebuilding. Shards are read-locked one at a time, so a
+// snapshot overlapping concurrent ingests may split them across shards —
+// each line's state is still internally consistent, and the version
+// recorded is the one read before the build, so the next read rebuilds. An
+// empty store yields a nil snapshot.
 //
 // Degradation contract: when a rebuild fails (an injected or real
 // infrastructure fault), Snapshot falls back to the last successfully built
@@ -379,11 +502,18 @@ func (sn *Snapshot) LinesAt(week int) []data.LineID {
 // the next read retries the rebuild. Readers therefore never observe a torn
 // or partially built view; they observe an older complete one.
 func (s *Store) Snapshot() *Snapshot {
+	if sn := s.snap.Load(); sn != nil && sn.Version == s.version.Load() {
+		return sn
+	}
+	s.buildMu.Lock()
+	defer s.buildMu.Unlock()
+	// Double-check under the build lock: the builder we waited behind may
+	// have published the version we need.
 	v := s.version.Load()
 	if sn := s.snap.Load(); sn != nil && sn.Version == v {
 		return sn
 	}
-	sn, err := s.build(v)
+	sn, err := s.buildFrom(s.snap.Load(), v)
 	if err != nil {
 		s.buildFailures.Add(1)
 		return s.snap.Load()
@@ -391,18 +521,258 @@ func (s *Store) Snapshot() *Snapshot {
 	if sn == nil {
 		return nil
 	}
-	// Publish unless a concurrent builder already cached a snapshot at
-	// least as new — a slow build racing a faster one at a later version
-	// must not clobber it and force the next reader into a full rebuild.
-	for {
-		old := s.snap.Load()
-		if old != nil && old.Version >= sn.Version {
-			return sn
-		}
-		if s.snap.CompareAndSwap(old, sn) {
-			return sn
+	s.snap.Store(sn)
+	s.pruneDeltas(sn.Version)
+	return sn
+}
+
+// ResetSnapshotCache drops the cached snapshot, forcing the next Snapshot
+// call to rebuild from the shards. It exists for benchmarks and equivalence
+// tests (delta-applied vs from-scratch snapshots must be bit-identical);
+// production code never needs it.
+func (s *Store) ResetSnapshotCache() {
+	s.buildMu.Lock()
+	s.snap.Store(nil)
+	s.buildMu.Unlock()
+}
+
+// buildFrom builds the snapshot for version: incrementally from base when
+// the delta log covers (base.Version, version] and no delta widens the
+// grid, else from scratch.
+func (s *Store) buildFrom(base *Snapshot, version uint64) (*Snapshot, error) {
+	if base != nil {
+		if recs, ok := s.deltasBetween(base.Version, version); ok && deltasFit(recs, base.DS.NumLines) {
+			sn, err := s.applyDelta(base, recs, version)
+			if err != nil {
+				return nil, err
+			}
+			if m := s.m; m != nil {
+				m.snapshotBuilds.With("delta").Add(1)
+			}
+			return sn, nil
 		}
 	}
+	sn, err := s.build(version)
+	if err == nil && sn != nil {
+		if m := s.m; m != nil {
+			m.snapshotBuilds.With("full").Add(1)
+		}
+	}
+	return sn, err
+}
+
+// deltasFit reports whether every touched cell fits the base grid's width.
+// A cell beyond it means a new line widened the grid; the full rebuild that
+// handles it also re-sweeps shard tickets, recovering any ticket that was
+// filtered out of earlier snapshots because its line had no row yet.
+func deltasFit(recs []deltaRecord, numLines int) bool {
+	for i := range recs {
+		for _, c := range recs[i].cells {
+			if int(c.line) >= numLines {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// applyDelta derives the snapshot at version from base plus the logged
+// deltas: touched cells are re-read from their shards (so the result is the
+// same last-writer-wins state a full rebuild would copy) into copy-on-write
+// chunks, flipped presence rows and per-week line lists are copied once per
+// week, attribute slices are copied only if a value actually changed, and
+// the ticket slice and index are shared unless a delta added tickets.
+func (s *Store) applyDelta(base *Snapshot, recs []deltaRecord, version uint64) (*Snapshot, error) {
+	if m := s.m; m != nil {
+		defer func(t0 time.Time) {
+			m.snapshotApplyDur.Observe(time.Since(t0))
+		}(time.Now())
+	}
+	// The rebuild fault seam covers incremental builds too: a chaos process
+	// that fails snapshot builds must degrade delta applies the same way.
+	if h := s.faults; h != nil && h.SnapshotBuild != nil {
+		if err := h.SnapshotBuild(version); err != nil {
+			return nil, err
+		}
+	}
+	n := base.DS.NumLines
+	ds := *base.DS // shallow copy; COW fields below replace what changes
+	ds.Generation = version
+	ds.Grid = base.DS.Grid.ShareCopy()
+	ownedChunks := make([]bool, len(ds.Grid.Chunks))
+
+	sn := &Snapshot{
+		Version: version,
+		DS:      &ds,
+		Ix:      base.Ix,
+		Present: base.Present,
+		Lines:   base.Lines,
+		linesAt: base.linesAt,
+	}
+
+	var (
+		presentShared = true           // sn.Present still aliases base.Present
+		ownedRows     [data.Weeks]bool // presence rows copied so far
+		dirtyWeeks    [data.Weeks]bool // weeks whose linesAt needs a rebuild
+		attrsShared   = true           // ProfileOf/DSLAMOf/UsageOf still alias base
+		dslamChanged  = false
+		newLines      []data.LineID
+	)
+
+	// Group touched cells by shard so each shard is read-locked once.
+	byShard := make(map[int][]cellKey)
+	for i := range recs {
+		for _, c := range recs[i].cells {
+			si := int(uint32(c.line) & s.mask)
+			byShard[si] = append(byShard[si], c)
+		}
+	}
+	for si, cells := range byShard {
+		sh := &s.shards[si]
+		s.rlockShard(sh, "snapshot")
+		if h := s.faults; h != nil && h.ShardRead != nil {
+			h.ShardRead(si)
+		}
+		for _, c := range cells {
+			ls := sh.lines[c.line]
+			w := int(c.week)
+			if ls == nil || !ls.seen[w] {
+				continue // lines are never removed; defensive only
+			}
+			ds.Grid.SetCOW(ownedChunks, c.line, w, ls.tests[w])
+			if !sn.Present[w][c.line] {
+				if presentShared {
+					sn.Present = append([][]bool(nil), base.Present...)
+					presentShared = false
+				}
+				if !ownedRows[w] {
+					sn.Present[w] = append([]bool(nil), sn.Present[w]...)
+					ownedRows[w] = true
+				}
+				sn.Present[w][c.line] = true
+				dirtyWeeks[w] = true
+			}
+			if ds.ProfileOf[c.line] != ls.profile || ds.DSLAMOf[c.line] != ls.dslam || ds.UsageOf[c.line] != ls.usage {
+				if attrsShared {
+					ds.ProfileOf = append([]uint8(nil), ds.ProfileOf...)
+					ds.DSLAMOf = append([]int32(nil), ds.DSLAMOf...)
+					ds.UsageOf = append([]float32(nil), ds.UsageOf...)
+					attrsShared = false
+				}
+				if ds.DSLAMOf[c.line] != ls.dslam {
+					dslamChanged = true
+				}
+				ds.ProfileOf[c.line], ds.DSLAMOf[c.line], ds.UsageOf[c.line] = ls.profile, ls.dslam, ls.usage
+			}
+			if !containsLine(sn.Lines, c.line) && !containsLineLinear(newLines, c.line) {
+				newLines = append(newLines, c.line)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+
+	if len(newLines) > 0 {
+		merged := make([]data.LineID, 0, len(base.Lines)+len(newLines))
+		merged = append(merged, base.Lines...)
+		merged = append(merged, newLines...)
+		sort.Slice(merged, func(a, b int) bool { return merged[a] < merged[b] })
+		sn.Lines = merged
+	}
+	for w := 0; w < data.Weeks; w++ {
+		if !dirtyWeeks[w] {
+			continue
+		}
+		row := sn.Present[w]
+		rebuilt := make([]data.LineID, 0, len(base.linesAt[w])+len(newLines))
+		for _, l := range sn.Lines {
+			if row[l] {
+				rebuilt = append(rebuilt, l)
+			}
+		}
+		sn.linesAt[w] = rebuilt
+	}
+
+	// NumDSLAMs is sized from attribute values; recompute only when they
+	// could have moved. Never-ingested rows hold 0, which cannot exceed any
+	// real id, so the array max matches the full build's max over shard
+	// states.
+	if dslamChanged || len(newLines) > 0 {
+		maxDSLAM := int32(0)
+		for _, d := range ds.DSLAMOf {
+			if d > maxDSLAM {
+				maxDSLAM = d
+			}
+		}
+		ds.NumDSLAMs = int(maxDSLAM) + 1
+	}
+
+	// Merge newly added tickets. Lines the grid has no row for stay out,
+	// exactly as the full build filters them; they are recovered by the full
+	// rebuild that accompanies the grid widening. The base may already hold
+	// a logged ticket when its build raced the ingest, so the merge dedups
+	// against the base's canonically sorted slice.
+	var added []data.Ticket
+	for i := range recs {
+		for _, t := range recs[i].tickets {
+			if int(t.Line) < n && !containsTicket(base.DS.Tickets, t) {
+				added = append(added, t)
+			}
+		}
+	}
+	if len(added) > 0 {
+		merged := make([]data.Ticket, 0, len(base.DS.Tickets)+len(added))
+		merged = append(merged, base.DS.Tickets...)
+		merged = append(merged, added...)
+		sortTickets(merged)
+		ds.Tickets = merged
+		sn.Ix = data.NewTicketIndex(&ds)
+	}
+	return sn, nil
+}
+
+// containsLine reports whether the ascending slice holds l.
+func containsLine(sorted []data.LineID, l data.LineID) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= l })
+	return i < len(sorted) && sorted[i] == l
+}
+
+// containsLineLinear is the unsorted-slice variant for applyDelta's short
+// accumulating new-line list, which is in cell order, not ascending.
+func containsLineLinear(lines []data.LineID, l data.LineID) bool {
+	for _, x := range lines {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// ticketLess is the canonical total order snapshots keep tickets in:
+// (Day, Line, ID, Category). Day-major preserves the sorted-by-day contract
+// every consumer relies on; the full tie-break makes the order a function of
+// the ticket multiset alone, so a delta merge and a from-scratch rebuild
+// sort identically regardless of shard sweep order.
+func ticketLess(a, b data.Ticket) bool {
+	if a.Day != b.Day {
+		return a.Day < b.Day
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	return a.Category < b.Category
+}
+
+func sortTickets(ts []data.Ticket) {
+	sort.Slice(ts, func(a, b int) bool { return ticketLess(ts[a], ts[b]) })
+}
+
+// containsTicket reports whether the canonically sorted slice holds t.
+func containsTicket(sorted []data.Ticket, t data.Ticket) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return !ticketLess(sorted[i], t) })
+	return i < len(sorted) && sorted[i] == t
 }
 
 func (s *Store) build(version uint64) (*Snapshot, error) {
@@ -439,20 +809,16 @@ func (s *Store) build(version uint64) (*Snapshot, error) {
 	ds := &data.Dataset{
 		// Generation keys the feature caches downstream: snapshots of
 		// different store versions must never share cached encodes.
-		Generation:   version,
-		NumLines:     n,
-		ProfileOf:    make([]uint8, n),
-		DSLAMOf:      make([]int32, n),
-		UsageOf:      make([]float32, n),
-		Measurements: make([]data.Measurement, data.Weeks*n),
+		Generation: version,
+		NumLines:   n,
+		ProfileOf:  make([]uint8, n),
+		DSLAMOf:    make([]int32, n),
+		UsageOf:    make([]float32, n),
+		Grid:       data.NewMeasurementGrid(n),
 	}
 	present := make([][]bool, data.Weeks)
 	for w := 0; w < data.Weeks; w++ {
 		present[w] = make([]bool, n)
-		row := ds.Measurements[w*n : (w+1)*n]
-		for l := range row {
-			row[l] = data.Measurement{Line: data.LineID(l), Week: w, Missing: true}
-		}
 	}
 	// Pass 2: copy line states and tickets. NumDSLAMs is sized from the
 	// values actually copied, so a DSLAM id can never index past it.
@@ -476,7 +842,7 @@ func (s *Store) build(version uint64) (*Snapshot, error) {
 			ds.ProfileOf[l], ds.DSLAMOf[l], ds.UsageOf[l] = ls.profile, ls.dslam, ls.usage
 			for w := 0; w < data.Weeks; w++ {
 				if ls.seen[w] {
-					ds.Measurements[w*n+int(l)] = ls.tests[w]
+					*ds.Grid.At(l, w) = ls.tests[w]
 					present[w][l] = true
 				}
 			}
@@ -493,13 +859,24 @@ func (s *Store) build(version uint64) (*Snapshot, error) {
 	}
 	ds.NumDSLAMs = int(maxDSLAM) + 1
 	sort.Slice(lines, func(a, b int) bool { return lines[a] < lines[b] })
-	sort.SliceStable(tickets, func(a, b int) bool { return tickets[a].Day < tickets[b].Day })
+	sortTickets(tickets)
 	ds.Tickets = tickets
-	return &Snapshot{
+	sn := &Snapshot{
 		Version: version,
 		DS:      ds,
 		Ix:      data.NewTicketIndex(ds),
 		Present: present,
 		Lines:   lines,
-	}, nil
+	}
+	for w := 0; w < data.Weeks; w++ {
+		row := present[w]
+		var at []data.LineID
+		for _, l := range lines {
+			if row[l] {
+				at = append(at, l)
+			}
+		}
+		sn.linesAt[w] = at
+	}
+	return sn, nil
 }

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Perf regression gate: rerun the compiled-scoring and serve-score
-# benchmarks, convert them with benchjson, and compare ns/op against the
-# committed BENCH_ml.json via benchdiff. Fails on a >25% regression (the
-# margin absorbs machine-to-machine and run-to-run noise; a real regression
-# in these hot paths is multiples, not percents). Used by `make bench-diff`
-# (part of `make check`). Override the margin with BENCH_DIFF_THRESHOLD.
+# benchmarks, convert them with benchjson, and compare ns/op and allocs/op
+# against the committed BENCH_ml.json via benchdiff. Fails on a >25%
+# regression (the margin absorbs machine-to-machine and run-to-run noise; a
+# real regression in these hot paths is multiples, not percents); the alloc
+# axis additionally tolerates two allocs/op of absolute slack so the gate
+# tracks the serving path's zero-alloc contract without flaking on noise.
+# Used by `make bench-diff` (part of `make check`). Override the margin with
+# BENCH_DIFF_THRESHOLD.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
