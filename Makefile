@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-repeat race bench bench-json bench-diff bench-smoke serve-smoke chaos-smoke chaos-soak experiments examples fuzz fuzz-smoke clean
+.PHONY: all check build vet test test-repeat race bench bench-json bench-diff bench-smoke serve-smoke fleet-smoke chaos-smoke chaos-soak experiments examples fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -10,10 +10,10 @@ all: build vet test
 # over the serving subsystem to catch leaked process-global state), the
 # race detector over the parallel hot paths, a one-iteration pass over
 # every benchmark so the bench code itself cannot rot, the perf-regression
-# diff against the committed baseline, an end-to-end smoke of the daemon,
-# a short fuzz pass over the API decoders, and the chaos smoke (daemon
-# under injected faults).
-check: build vet test test-repeat race bench-smoke bench-diff serve-smoke fuzz-smoke chaos-smoke
+# diff against the committed baseline, end-to-end smokes of the daemon and
+# of the sharded fleet, a short fuzz pass over the API decoders, and the
+# chaos smoke (daemon under injected faults).
+check: build vet test test-repeat race bench-smoke bench-diff serve-smoke fleet-smoke fuzz-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -45,11 +45,12 @@ bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Machine-readable numbers for the ML and serving hot paths (reference vs
-# compiled scoring, training, transform, the serve endpoint, and the
-# full-vs-delta snapshot rebuild); BENCH_ml.json is committed so perf diffs
-# show up in review.
+# compiled scoring, training, transform, the serve endpoint, the
+# full-vs-delta snapshot rebuild, and the fleet gateway's scatter-gather
+# score/rank paths); BENCH_ml.json is committed so perf diffs show up in
+# review.
 bench-json:
-	$(GO) test -run '^$$' -bench 'ScoreAllWorkers|ScoreCompiled|CompileBStump|TrainBStump|Transform|FeatureScores|ServeScore|Snapshot' -benchmem . 2>&1 | tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_ml.json
+	$(GO) test -run '^$$' -bench 'ScoreAllWorkers|ScoreCompiled|CompileBStump|TrainBStump|Transform|FeatureScores|ServeScore|Snapshot|FleetScore|FleetRank' -benchmem . 2>&1 | tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_ml.json
 
 # Perf gate: rerun the compiled-scoring and serve-score benchmarks and fail
 # on a >25% ns/op regression — or an allocs/op regression past the same
@@ -67,6 +68,13 @@ bench-smoke:
 # it down cleanly.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# End-to-end smoke of the sharded fleet: a gateway over two nevermindd
+# shards, fed the same batch as a bare single daemon, must answer /v1/rank
+# and /v1/score identically (modulo the summed version clock) and drain
+# cleanly on SIGTERM.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
 
 # Chaos smoke: the daemon boots with every fault mode armed and must ride
 # the storm out — weeks complete exactly once, /healthz never fails, and

@@ -15,6 +15,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"nevermind/internal/core"
 	"nevermind/internal/data"
@@ -22,6 +23,7 @@ import (
 	"nevermind/internal/eval"
 	"nevermind/internal/faults"
 	"nevermind/internal/features"
+	"nevermind/internal/fleet"
 	"nevermind/internal/ml"
 	"nevermind/internal/rng"
 	"nevermind/internal/serve"
@@ -445,6 +447,136 @@ func BenchmarkServeScore(b *testing.B) {
 	b.StopTimer()
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(b.N*ds.NumLines)/s, "lines/sec")
+	}
+}
+
+// benchFleet builds an in-process fleet: n shard daemons behind a gateway,
+// spliced together by fleet.HostTransport so the measurement covers the
+// gateway's partition/scatter/splice work and the shards' handler paths but
+// not the TCP stack. Each shard is fed the full history and keeps only its
+// ring arc, exactly as `nevermindd -fleet.id` does.
+func benchFleet(b *testing.B, n int) *fleet.Gateway {
+	b.Helper()
+	ctx := benchContext(b)
+	pred, err := ctx.StandardPredictor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, n)
+	specs := make([]fleet.ShardSpec, n)
+	ht := fleet.HostTransport{}
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("shard-%d", i)
+		specs[i] = fleet.ShardSpec{Name: names[i], URL: "http://" + names[i]}
+	}
+	ring, err := fleet.NewRing(names, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		srv, err := serve.New(serve.Config{Predictor: pred})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n > 1 {
+			owns, err := ring.Owns(names[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv.Store().SetOwner(owns)
+		}
+		populateServeStore(b, srv, ctx.DS)
+		ht[names[i]] = srv.Handler()
+	}
+	gw, err := fleet.NewGateway(fleet.Config{
+		Shards:    specs,
+		Retry:     serve.RetryConfig{MaxAttempts: 2},
+		Transport: ht,
+		Sleep:     func(time.Duration) {},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gw
+}
+
+// BenchmarkFleetScore measures whole-population batch scoring through the
+// scatter-gather gateway at 1 and 2 in-process shards. At shards=1 the
+// delta against BenchmarkServeScore is the gateway tax (parse, ring lookup
+// per example, re-marshal, splice). At shards=2 each shard answers half the
+// examples; on a multi-core host the shard legs run in parallel and the
+// aggregate throughput climbs toward 2x, while on a single-core host (the
+// committed BENCH_ml.json baseline) the legs serialize and the honest
+// expectation is parity with shards=1, not a speedup — the bench then pins
+// that the fan-out costs no more than the single-shard path.
+func BenchmarkFleetScore(b *testing.B) {
+	ctx := benchContext(b)
+	type ex struct {
+		Line int `json:"line"`
+		Week int `json:"week"`
+	}
+	examples := make([]ex, ctx.DS.NumLines)
+	for l := range examples {
+		examples[l] = ex{Line: l, Week: 43}
+	}
+	body, err := json.Marshal(map[string]any{"examples": examples})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1, 2} {
+		b.Run(benchName("shards", n), func(b *testing.B) {
+			gw := benchFleet(b, n)
+			rd := bytes.NewReader(body)
+			req := httptest.NewRequest(http.MethodPost, "/v1/score", rd)
+			sink := &sinkResponseWriter{h: make(http.Header, 4)}
+			handler := gw.Handler()
+			post := func() {
+				rd.Seek(0, io.SeekStart)
+				sink.code, sink.n = 0, 0
+				handler.ServeHTTP(sink, req)
+				if sink.code != http.StatusOK {
+					b.Fatalf("score: status %d", sink.code)
+				}
+			}
+			post() // warm the shard snapshots and week score tables
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				post()
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(b.N*ctx.DS.NumLines)/s, "lines/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkFleetRank measures the fleet-wide top-N: health scatter, per-
+// shard rank exports, streaming k-way merge, envelope splice. The merge
+// touches only the shards' top-N heaps — never a full population — so the
+// cost scales with n·shards, not lines.
+func BenchmarkFleetRank(b *testing.B) {
+	for _, n := range []int{1, 2} {
+		b.Run(benchName("shards", n), func(b *testing.B) {
+			gw := benchFleet(b, n)
+			req := httptest.NewRequest(http.MethodGet, "/v1/rank?week=43&n=100", nil)
+			sink := &sinkResponseWriter{h: make(http.Header, 4)}
+			handler := gw.Handler()
+			get := func() {
+				sink.code, sink.n = 0, 0
+				handler.ServeHTTP(sink, req)
+				if sink.code != http.StatusOK {
+					b.Fatalf("rank: status %d", sink.code)
+				}
+			}
+			get() // warm the shard snapshots and rank tables
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				get()
+			}
+		})
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"nevermind/internal/core"
 	"nevermind/internal/data"
 	"nevermind/internal/features"
+	"nevermind/internal/fleet"
 	"nevermind/internal/ml"
 	"nevermind/internal/serve"
 	"nevermind/internal/sim"
@@ -48,6 +50,14 @@ func main() {
 		endWeek   = flag.Int("end-week", 51, "last week the pipeline ingests and ranks")
 		tick      = flag.Duration("tick", 0, "wall-clock interval per simulated week (0 = back to back)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+
+		// Fleet membership: a shard daemon filters ingest to the lines the
+		// consistent-hash ring assigns it, so a gateway can fan a feed out
+		// over many daemons. Shards normally run with -pipeline=false — the
+		// gateway's fleet pipeline orchestrates the weekly loop.
+		fleetID       = flag.String("fleet.id", "", "this daemon's shard name in a fleet (enables ring-ownership ingest filtering)")
+		fleetPeers    = flag.String("fleet.peers", "", "comma-separated shard names of the whole fleet, including -fleet.id; must match the gateway's list")
+		fleetReplicas = flag.Int("fleet.replicas", 0, "consistent-hash virtual nodes per shard (0 = default; must match the gateway)")
 
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling is opt-in)")
 		reqTimeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline on the API (0 disables)")
@@ -146,6 +156,26 @@ func main() {
 	// process-global (see ml.SetScoreObserver), so only the daemon — which
 	// owns exactly one server — installs it.
 	ml.SetScoreObserver(srv.ScoreObserver())
+
+	if *fleetID != "" || *fleetPeers != "" {
+		var names []string
+		for _, n := range strings.Split(*fleetPeers, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		ring, err := fleet.NewRing(names, *fleetReplicas)
+		if err != nil {
+			fatalStage("fleet", err)
+		}
+		owns, err := ring.Owns(*fleetID)
+		if err != nil {
+			fatalStage("fleet", err)
+		}
+		srv.Store().SetOwner(owns)
+		fmt.Fprintf(os.Stderr, "nevermindd: fleet shard %q of %d; ingest filtered to ring-owned lines\n",
+			*fleetID, ring.NumShards())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -19,10 +19,12 @@ package chaos
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
 	"nevermind/internal/data"
+	"nevermind/internal/fleet"
 	"nevermind/internal/rng"
 	"nevermind/internal/serve"
 )
@@ -63,6 +65,12 @@ type Config struct {
 	SlowRequest  float64
 	RequestDelay time.Duration
 
+	// ShardKill is P(a fleet gateway's request to a shard daemon finds it
+	// unreachable — the scaled-out analogue of a machine dying). Bounded by
+	// MaxConsecutive like every site, so a killed shard always comes back
+	// within the gateway's retry budget or a few probe ticks.
+	ShardKill float64
+
 	// MaxConsecutive caps how many times in a row any one site may fail
 	// before it is forced to succeed (default 3). Keep it below the
 	// pipeline's RetryConfig.MaxAttempts or retries will exhaust.
@@ -82,13 +90,14 @@ type Stats struct {
 	ReloadFaults     int64
 	SlowShards       int64
 	SlowRequests     int64
+	ShardKills       int64
 }
 
 // Total sums every injected fault.
 func (s Stats) Total() int64 {
 	return s.SourceErrors + s.PartialBatches + s.MalformedBatches +
 		s.IngestFaults + s.SnapshotFaults + s.ReloadFaults +
-		s.SlowShards + s.SlowRequests
+		s.SlowShards + s.SlowRequests + s.ShardKills
 }
 
 // site labels partition the seed into independent decision streams.
@@ -100,6 +109,9 @@ const (
 	siteReload
 	siteShard
 	siteRequest
+	// siteShardKill is appended after the original sites so arming the
+	// fleet family never perturbs the seeded streams of existing soaks.
+	siteShardKill
 )
 
 // Injector owns the fault processes. Safe for concurrent use: each site
@@ -120,6 +132,9 @@ type Injector struct {
 	reloadSite        faultSite
 	shardSite         faultSite
 	requestSite       faultSite
+	shardKillSite     faultSite
+
+	shardKills atomic.Int64
 }
 
 // faultSite is one independent fault process: a decision sequence plus the
@@ -149,6 +164,7 @@ func New(cfg Config) *Injector {
 	in.reloadSite.label = siteReload
 	in.shardSite.label = siteShard
 	in.requestSite.label = siteRequest
+	in.shardKillSite.label = siteShardKill
 	return in
 }
 
@@ -163,6 +179,7 @@ func (in *Injector) Stats() Stats {
 		ReloadFaults:     in.reloadFaults.Load(),
 		SlowShards:       in.slowShards.Load(),
 		SlowRequests:     in.slowRequests.Load(),
+		ShardKills:       in.shardKills.Load(),
 	}
 }
 
@@ -245,6 +262,27 @@ func (in *Injector) Hooks() *serve.FaultHooks {
 				in.slowRequests.Add(1)
 				in.cfg.Sleep(d)
 			}
+		},
+	}
+}
+
+// errShardKill is what an unreachable shard looks like to the gateway's
+// client: a failed round trip, retried like any network error.
+var errShardKill = errors.New("chaos: injected shard kill")
+
+// FleetHooks returns the fault wiring for a fleet gateway's shard-request
+// seam. Pass it in fleet.Config.Hooks. Each kill fails one shard round trip
+// before it leaves the client; a burst of them (bounded by MaxConsecutive)
+// is a dead machine the gateway must ride through — degraded ranks, retried
+// ingests — until the site clears.
+func (in *Injector) FleetHooks() *fleet.FaultHooks {
+	return &fleet.FaultHooks{
+		ShardRequest: func(shard, route string) error {
+			if in.roll(&in.shardKillSite, in.cfg.ShardKill) {
+				in.shardKills.Add(1)
+				return fmt.Errorf("%w: shard %s %s", errShardKill, shard, route)
+			}
+			return nil
 		},
 	}
 }

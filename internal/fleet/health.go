@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ShardHealth is what a shard's /healthz reports, as the gateway consumes
+// it. Decoding is deliberately loose (plain json.Unmarshal, extra fields
+// ignored): the monitoring surface may grow fields without a lockstep
+// gateway upgrade.
+type ShardHealth struct {
+	Status            string `json:"status"`
+	Lines             int    `json:"lines"`
+	LatestWeek        int    `json:"latest_week"`
+	BudgetN           int    `json:"budget_n"`
+	GridLines         int    `json:"grid_lines"`
+	Version           uint64 `json:"version"`
+	SnapshotLag       uint64 `json:"snapshot_lag"`
+	SchemaFingerprint string `json:"schema_fingerprint"`
+}
+
+// Health probes one shard's /healthz through the normal retrying client.
+func (c *ShardClient) Health(ctx context.Context) (*ShardHealth, error) {
+	resp, err := c.Do(ctx, "health", http.MethodGet, "/healthz", "", nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != http.StatusOK {
+		return nil, fmt.Errorf("shard %s healthz: status %d", c.name, resp.Status)
+	}
+	var h ShardHealth
+	if err := json.Unmarshal(resp.Body, &h); err != nil {
+		return nil, fmt.Errorf("shard %s healthz: %w", c.name, err)
+	}
+	return &h, nil
+}
+
+// prober polls every shard's /healthz on an interval, feeding the per-shard
+// gauges and the degraded count. Data-plane failures also mark a shard down
+// immediately (markShardDown), so the gauges never wait a full tick to admit
+// a kill; the next successful probe marks it back up.
+type prober struct {
+	gw       *Gateway
+	interval time.Duration
+
+	mu   sync.Mutex
+	down map[string]bool // shard name -> currently considered down
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newProber(gw *Gateway, interval time.Duration) *prober {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &prober{
+		gw:       gw,
+		interval: interval,
+		down:     make(map[string]bool),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// run is the probe loop; Start launches it, Stop joins it.
+func (p *prober) run() {
+	defer close(p.done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	p.probeAll()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.probeAll()
+		}
+	}
+}
+
+func (p *prober) probeAll() {
+	ctx, cancel := context.WithTimeout(context.Background(), p.interval*4)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, c := range p.gw.clients {
+		wg.Add(1)
+		go func(c *ShardClient) {
+			defer wg.Done()
+			h, err := c.Health(ctx)
+			if err != nil {
+				p.setDown(c.name, true)
+				return
+			}
+			m := p.gw.m
+			m.shardLines.With(c.name).Set(int64(h.Lines))
+			m.shardWeek.With(c.name).Set(int64(h.LatestWeek))
+			m.shardLag.With(c.name).Set(int64(h.SnapshotLag))
+			p.setDown(c.name, false)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// setDown records a shard's up/down transition and keeps the degraded count
+// equal to the number of down shards.
+func (p *prober) setDown(name string, down bool) {
+	p.mu.Lock()
+	was := p.down[name]
+	p.down[name] = down
+	p.mu.Unlock()
+	m := p.gw.m
+	if down {
+		m.shardUp.With(name).Set(0)
+		if !was {
+			m.degraded.Add(1)
+		}
+	} else {
+		m.shardUp.With(name).Set(1)
+		if was {
+			m.degraded.Add(-1)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"net/http"
+	"time"
+
+	"nevermind/internal/obs"
+)
+
+// Gateway routes preset at construction, like the daemon's, so the /metrics
+// series set is deterministic from boot.
+var gwRoutes = []string{"healthz", "ingest", "locate", "metrics", "rank", "reload", "score"}
+
+// gwMetrics owns the gateway's observability state: per-route traffic, and
+// the per-shard health gauges the degradation contract is read from. The
+// registry is per-gateway, never process-global, for the same reason the
+// daemon's is — tests run many of them.
+type gwMetrics struct {
+	start time.Time
+	reg   *obs.Registry
+
+	requests *obs.CounterVec
+	errors   *obs.CounterVec
+	latency  *obs.HistogramVec
+
+	// Per-shard health, refreshed by the prober and by data-plane outcomes:
+	// up flips 0 the moment a shard exhausts a retry budget, not only on the
+	// next probe tick, so /metrics reflects a kill promptly.
+	shardUp      *obs.GaugeVec
+	shardLines   *obs.GaugeVec
+	shardWeek    *obs.GaugeVec
+	shardLag     *obs.GaugeVec
+	shardRetries *obs.CounterVec
+	shardErrors  *obs.CounterVec
+
+	// degraded counts shards currently considered down; partialRanks counts
+	// /v1/rank responses served from a subset of the fleet.
+	degraded     *obs.Gauge
+	partialRanks *obs.Counter
+}
+
+func newGwMetrics(shardNames []string) *gwMetrics {
+	reg := obs.NewRegistry()
+	m := &gwMetrics{start: time.Now(), reg: reg}
+	m.requests = reg.CounterVec("fleet_http_requests_total",
+		"Gateway requests served, by route.", "route").Preset(gwRoutes...)
+	m.errors = reg.CounterVec("fleet_http_request_errors_total",
+		"Gateway responses with status >= 400, by route.", "route").Preset(gwRoutes...)
+	m.latency = reg.HistogramVec("fleet_http_request_duration_seconds",
+		"Gateway request handling time, by route.", "route", nil).Preset(gwRoutes...)
+
+	m.shardUp = reg.GaugeVec("fleet_shard_up",
+		"1 while the shard answers its health probe, else 0.", "shard").Preset(shardNames...)
+	m.shardLines = reg.GaugeVec("fleet_shard_lines",
+		"Distinct lines the shard's store holds, per last probe.", "shard").Preset(shardNames...)
+	m.shardWeek = reg.GaugeVec("fleet_shard_latest_week",
+		"Newest ingested week the shard reports (-1 before the first).", "shard").Preset(shardNames...)
+	m.shardLag = reg.GaugeVec("fleet_shard_snapshot_lag",
+		"Ingest versions the shard's snapshot trails its store (0 = fresh).", "shard").Preset(shardNames...)
+	m.shardRetries = reg.CounterVec("fleet_shard_retries_total",
+		"Shard requests retried after a transient failure, by shard.", "shard").Preset(shardNames...)
+	m.shardErrors = reg.CounterVec("fleet_shard_errors_total",
+		"Shard requests that exhausted the retry budget, by shard.", "shard").Preset(shardNames...)
+
+	m.degraded = reg.Gauge("fleet_degraded_shards",
+		"Shards currently down; > 0 means rank answers may be partial.")
+	m.partialRanks = reg.Counter("fleet_partial_ranks_total",
+		"/v1/rank responses merged from a subset of the fleet.")
+
+	reg.GaugeFunc("fleet_uptime_seconds",
+		"Seconds since the gateway was built.", obs.Uptime(m.start))
+	return m
+}
+
+// statusWriter mirrors the daemon's: capture the status for error counting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (m *gwMetrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	requests := m.requests.With(name)
+	errors := m.errors.With(name)
+	latency := m.latency.With(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		h(sw, r)
+		requests.Add(1)
+		latency.Observe(time.Since(t0))
+		if sw.status >= 400 {
+			errors.Add(1)
+		}
+	}
+}

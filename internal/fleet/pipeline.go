@@ -1,0 +1,382 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"nevermind/internal/atds"
+	"nevermind/internal/data"
+	"nevermind/internal/serve"
+	"nevermind/internal/sim"
+)
+
+// PipelineConfig drives the fleet-orchestration mode: the weekly serving
+// loop of serve.Pipeline run against a sharded fleet through its gateway.
+// The semantics mirror the single-node pipeline operation for operation —
+// same retry taxonomy, same exactly-once dispatch, same freshness rule —
+// with the store operations replaced by gateway HTTP calls, so the ring
+// partitions every week's feed across the fleet and the shards ingest their
+// slices in parallel.
+type PipelineConfig struct {
+	// Source feeds one weekly batch per tick (wrap a *sim.Source with
+	// serve.SimFeed).
+	Source serve.Source
+	// Queue is the ATDS dispatch queue; nil builds a default-sized queue
+	// from the fleet's grid width on the first completed week.
+	Queue *atds.Queue
+	// Tick spaces the weeks in wall-clock time; <= 0 runs back to back.
+	Tick time.Duration
+	// Retry bounds the per-week attempt budget, exactly as in serve.
+	Retry serve.RetryConfig
+	// Sleep replaces time.Sleep for backoff waits (tests inject a fake).
+	Sleep func(time.Duration)
+	// OnWeek and OnRetry observe completed weeks and backed-off attempts.
+	OnWeek  func(serve.WeekReport)
+	OnRetry func(serve.RetryEvent)
+}
+
+// Pipeline is the fleet counterpart of serve.Pipeline. Each Step pulls the
+// next week from the source, pushes it through the gateway (which ring-
+// partitions it and ingests the shards in parallel), ranks fleet-wide, and
+// dispatches the budgeted TopN plus the week's tickets into the local ATDS
+// queue. Failure handling follows the single-node taxonomy: a bad batch is
+// re-pulled, a transient failure (shard down, load shed, network fault) is
+// retried with the same deterministic backoff schedule, and a ranking never
+// runs over partial data — the snapshot-freshness loop demands every shard
+// up and every data-holding shard's snapshot caught up to the ingest before
+// a week's ranking is accepted.
+type Pipeline struct {
+	gw  *Gateway
+	hc  *http.Client
+	cfg PipelineConfig
+
+	total     atds.Stats
+	lastWeek  int
+	haveWeeks bool
+}
+
+// NewPipeline binds a fleet pipeline to the gateway it runs inside. All
+// traffic goes through the gateway's own handler in-process, so the loop
+// exercises exactly the routing and merging external clients see.
+func NewPipeline(gw *Gateway, cfg PipelineConfig) (*Pipeline, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("fleet: pipeline needs a source")
+	}
+	// Backoff defaults the delays itself; the attempt budget is the one
+	// knob the loop reads directly.
+	if cfg.Retry.MaxAttempts <= 0 {
+		cfg.Retry.MaxAttempts = 6
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return &Pipeline{
+		gw:  gw,
+		hc:  &http.Client{Transport: HandlerTransport{gw.Handler()}},
+		cfg: cfg,
+	}, nil
+}
+
+// Totals returns the outcome stats accumulated across completed weeks.
+func (p *Pipeline) Totals() atds.Stats { return p.total }
+
+// Run executes the loop until the source is exhausted or ctx is cancelled.
+func (p *Pipeline) Run(ctx context.Context) error {
+	var tick <-chan time.Time
+	if p.cfg.Tick > 0 {
+		t := time.NewTicker(p.cfg.Tick)
+		defer t.Stop()
+		tick = t.C
+	}
+	for p.cfg.Source.Remaining() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := p.Step(ctx); err != nil {
+			return err
+		}
+		if tick != nil && p.cfg.Source.Remaining() > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-tick:
+			}
+		}
+	}
+	return nil
+}
+
+// call performs one gateway request and classifies the reply into the
+// pipeline's error taxonomy: a "bad batch" 400 reconstructs serve.ErrBadBatch
+// (the sentinel survives the HTTP hop by its stable message prefix), any
+// other 4xx is terminal, and 5xx — a down shard, a shed, a mid-rebuild
+// failure — is transient.
+func (p *Pipeline) call(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, "http://gateway"+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return nil, serve.Transient(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, serve.Transient(err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		return b, nil
+	}
+	msg := string(b)
+	var ej struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &ej) == nil && ej.Error != "" {
+		msg = ej.Error
+	}
+	if resp.StatusCode >= 500 {
+		return nil, serve.Transient(errors.New(msg))
+	}
+	if rest, ok := strings.CutPrefix(msg, serve.ErrBadBatch.Error()); ok {
+		return nil, fmt.Errorf("%w%s", serve.ErrBadBatch, rest)
+	}
+	return nil, errors.New(msg)
+}
+
+// fleetHealth is the gateway's own /healthz body, as the pipeline's
+// freshness check consumes it.
+type fleetHealth struct {
+	Status     string `json:"status"`
+	ShardsUp   int    `json:"shards_up"`
+	ShardsAll  int    `json:"shards_total"`
+	Version    uint64 `json:"version"`
+	GridLines  int    `json:"grid_lines"`
+	LatestWeek int    `json:"latest_week"`
+	Shards     []struct {
+		Name        string `json:"name"`
+		Up          bool   `json:"up"`
+		GridLines   int    `json:"grid_lines"`
+		SnapshotLag uint64 `json:"snapshot_lag"`
+	} `json:"shards"`
+}
+
+// errStaleFleet is the retryable "some shard's ranking state trails the
+// ingest" condition — the fleet's analogue of serve's stale-snapshot error.
+var errStaleFleet = errors.New("fleet snapshot stale after ingest")
+
+// fresh reports whether the fleet has fully absorbed the week: every shard
+// up, the summed store version at least the post-ingest value, and every
+// shard that holds grid data serving a snapshot with zero lag.
+func (h *fleetHealth) fresh(wantVersion uint64) bool {
+	if h.ShardsUp < h.ShardsAll || h.Version < wantVersion {
+		return false
+	}
+	for _, s := range h.Shards {
+		if !s.Up || (s.GridLines > 0 && s.SnapshotLag != 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// retry mirrors serve.Pipeline.retry: record, back off, report budget room.
+func (p *Pipeline) retry(rep *serve.WeekReport, op string, week int, attempt *int, cause error) bool {
+	*attempt++
+	if *attempt >= p.cfg.Retry.MaxAttempts {
+		return false
+	}
+	d := p.cfg.Retry.Backoff(op, week, *attempt)
+	rep.Retries++
+	if p.cfg.OnRetry != nil {
+		p.cfg.OnRetry(serve.RetryEvent{Week: week, Op: op, Attempt: *attempt, Err: cause, Backoff: d})
+	}
+	p.cfg.Sleep(d)
+	return true
+}
+
+// ingestBody renders one simulated batch as the /v1/ingest request the
+// gateway partitions, mirroring serve.Pipeline.ingest's record mapping.
+func ingestBody(batch *sim.Batch) ([]byte, error) {
+	req := serve.IngestRequest{
+		Tests:   make([]serve.TestRecord, len(batch.Tests)),
+		Tickets: make([]serve.TicketRecord, len(batch.Tickets)),
+	}
+	for i, t := range batch.Tests {
+		req.Tests[i] = serve.TestRecord{
+			Line: t.M.Line, Week: t.M.Week, Missing: t.M.Missing, F: t.M.F[:],
+			Profile: t.Profile, DSLAM: t.DSLAM, Usage: t.Usage,
+		}
+	}
+	for i, t := range batch.Tickets {
+		req.Tickets[i] = serve.TicketRecord{ID: t.ID, Line: t.Line, Day: t.Day, Category: uint8(t.Category)}
+	}
+	return json.Marshal(&req)
+}
+
+// Step runs one tick: pull the next week, ingest it through the gateway,
+// wait for fleet-wide freshness, rank, dispatch, advance. ok == false once
+// the source is exhausted.
+func (p *Pipeline) Step(ctx context.Context) (ok bool, err error) {
+	var rep serve.WeekReport
+	var batch sim.Batch
+	var wantVersion uint64
+	attempt := 0
+
+	// Pull + ingest under one shared attempt budget, exactly the single-node
+	// taxonomy: transient pull → re-pull; bad batch → re-pull (the feed
+	// re-serves the week); transient ingest (a down shard, a shed) → re-send
+	// the same batch (ingest is idempotent shard-by-shard); anything else is
+	// terminal.
+pull:
+	for {
+		b, more, perr := p.cfg.Source.Next()
+		if !more {
+			return false, nil
+		}
+		batch = b
+		rep.Week = batch.Week
+		if perr != nil {
+			if !serve.IsTransient(perr) {
+				return false, fmt.Errorf("fleet: pipeline week %d pull: %w", batch.Week, perr)
+			}
+			if !p.retry(&rep, "pull", batch.Week, &attempt, perr) {
+				return false, fmt.Errorf("fleet: pipeline week %d pull failed after %d attempts: %w",
+					batch.Week, attempt, perr)
+			}
+			continue
+		}
+		body, berr := ingestBody(&batch)
+		if berr != nil {
+			return false, berr
+		}
+		for {
+			reply, ierr := p.call(ctx, http.MethodPost, "/v1/ingest", body)
+			if ierr == nil {
+				var rj struct {
+					Tests   int    `json:"ingested_tests"`
+					Tickets int    `json:"ingested_tickets"`
+					Version uint64 `json:"version"`
+				}
+				if err := json.Unmarshal(reply, &rj); err != nil {
+					return false, fmt.Errorf("fleet: pipeline week %d ingest reply: %w", batch.Week, err)
+				}
+				rep.IngestedTests, rep.IngestedTickets = rj.Tests, rj.Tickets
+				wantVersion = rj.Version
+				break pull
+			}
+			switch {
+			case serve.IsBadBatch(ierr):
+				if !p.retry(&rep, "ingest", batch.Week, &attempt, ierr) {
+					return false, fmt.Errorf("fleet: pipeline week %d: bad batches exhausted %d attempts: %w",
+						batch.Week, attempt, ierr)
+				}
+				continue pull
+			case serve.IsTransient(ierr):
+				if !p.retry(&rep, "ingest", batch.Week, &attempt, ierr) {
+					return false, fmt.Errorf("fleet: pipeline week %d ingest failed after %d attempts: %w",
+						batch.Week, attempt, ierr)
+				}
+				continue
+			default:
+				return false, fmt.Errorf("fleet: pipeline week %d ingest: %w", batch.Week, ierr)
+			}
+		}
+	}
+
+	// Freshness: the ranking must see this week's data on every shard. A
+	// /v1/rank pass makes each data-holding shard rebuild its snapshot (or
+	// keep serving the stale one if the rebuild fails); the gateway healthz
+	// then reports whether any shard still lags the post-ingest version.
+	// Only a rank taken immediately before an all-fresh healthz is accepted.
+	rankPath := "/v1/rank?week=" + strconv.Itoa(batch.Week)
+	var rankBody []byte
+	var health fleetHealth
+	for {
+		rb, rerr := p.call(ctx, http.MethodGet, rankPath, nil)
+		if rerr == nil {
+			hb, herr := p.call(ctx, http.MethodGet, "/healthz", nil)
+			if herr == nil && json.Unmarshal(hb, &health) == nil && health.fresh(wantVersion) {
+				rankBody = rb
+				break
+			}
+			rerr = errStaleFleet
+		}
+		if !serve.IsTransient(rerr) && !errors.Is(rerr, errStaleFleet) {
+			return false, fmt.Errorf("fleet: pipeline week %d rank: %w", batch.Week, rerr)
+		}
+		if !p.retry(&rep, "snapshot", batch.Week, &attempt, rerr) {
+			return false, fmt.Errorf("fleet: pipeline week %d: %w after %d attempts",
+				batch.Week, errStaleFleet, attempt)
+		}
+	}
+
+	if p.cfg.Queue == nil {
+		// The fleet's grid width — max over shards of (highest owned test
+		// line + 1) — equals the single store's width, so the queue capacity
+		// derived from it is identical.
+		q, err := atds.NewQueue(atds.DefaultConfig(health.GridLines), data.SaturdayOf(batch.Week))
+		if err != nil {
+			return false, err
+		}
+		p.cfg.Queue = q
+	}
+
+	// Exactly-once dispatch, as in serve: a week enters ATDS the first time
+	// it completes ingest+rank, never again.
+	if p.haveWeeks && batch.Week <= p.lastWeek {
+		return true, nil
+	}
+
+	// The accepted rank body is the merged fleet-wide TopN in rank order.
+	frags, err := splitArray(rankBody, "predictions")
+	if err != nil {
+		return false, fmt.Errorf("fleet: pipeline week %d rank: %w", batch.Week, err)
+	}
+	for rank, frag := range frags {
+		line, err := fieldInt(frag, "line")
+		if err != nil {
+			return false, fmt.Errorf("fleet: pipeline week %d rank: %w", batch.Week, err)
+		}
+		p.cfg.Queue.Submit(data.LineID(line), atds.PriorityPredicted, rank)
+	}
+	rep.Submitted = len(frags)
+
+	// The week's customer tickets contend for the same capacity and win it;
+	// the backfilled history in the first batch is features-only, not work.
+	weekStart := data.SaturdayOf(batch.Week) - 6
+	for _, t := range batch.Tickets {
+		if t.Day >= weekStart {
+			p.cfg.Queue.Submit(t.Line, atds.PriorityCustomer, 0)
+		}
+	}
+	p.lastWeek, p.haveWeeks = batch.Week, true
+
+	var outcomes []atds.Outcome
+	for d := 0; d < 7; d++ {
+		outcomes = append(outcomes, p.cfg.Queue.Advance()...)
+	}
+	rep.Stats = atds.Summarize(outcomes)
+	rep.Pending = p.cfg.Queue.Pending()
+	p.total.Add(rep.Stats)
+
+	if p.cfg.OnWeek != nil {
+		p.cfg.OnWeek(rep)
+	}
+	return true, nil
+}

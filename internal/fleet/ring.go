@@ -1,0 +1,143 @@
+// Package fleet scales the serving subsystem horizontally: a consistent-hash
+// ring partitions the line population across N nevermindd shard daemons, and
+// a gateway (cmd/nevermindgw) routes per-line traffic to the owning shard
+// while answering population-wide queries (/v1/rank) by scatter-gathering
+// per-shard top-N heaps through a streaming k-way merge. The contract the
+// whole package is built around: a 1-shard fleet answers every data-plane
+// request byte-for-byte as a bare nevermindd would, and an N-shard fleet's
+// ranking is exactly the single-node ranking (same ids, same order) for any
+// line whose features are shard-local (see DESIGN.md "Fleet" for the one
+// documented exception: population-mean imputation of never-measured lines).
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"nevermind/internal/data"
+)
+
+// DefaultReplicas is the default number of virtual nodes per shard. 128
+// points per shard keeps the expected ownership imbalance between shards in
+// the low single-digit percents while the ring stays small enough that
+// building it is microseconds.
+const DefaultReplicas = 128
+
+// point is one virtual node on the ring: the position hash and the index of
+// the shard owning the arc that ends at it.
+type point struct {
+	hash  uint64
+	shard int32
+}
+
+// Ring maps line ids to shards by consistent hashing. Ownership depends only
+// on the set of shard *names* (not their order, not their addresses): every
+// member of the fleet — gateway and shards alike — builds the same ring from
+// the same name set and agrees on who owns every line. Adding or removing a
+// shard moves only the arcs adjacent to its virtual nodes, ~1/N of the key
+// space.
+type Ring struct {
+	names  []string
+	points []point
+}
+
+// hash64 is the 64-bit avalanche finalizer from MurmurHash3 — a full-period
+// mix whose output bits all depend on all input bits, which is what spreads
+// consecutive line ids uniformly around the ring.
+func hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// hashString folds a shard name into a 64-bit seed (FNV-1a, then
+// avalanched); virtual node i of the shard sits at hash64(seed + i).
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return hash64(h)
+}
+
+// NewRing builds a ring over the named shards with the given number of
+// virtual nodes per shard (<= 0 means DefaultReplicas). Names must be
+// non-empty and unique — two shards with one name would silently split one
+// arc set between them.
+func NewRing(names []string, replicas int) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fleet: ring needs at least one shard")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("fleet: empty shard name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("fleet: duplicate shard name %q", n)
+		}
+		seen[n] = true
+	}
+	r := &Ring{
+		names:  append([]string(nil), names...),
+		points: make([]point, 0, len(names)*replicas),
+	}
+	for si, name := range r.names {
+		seed := hashString(name)
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: hash64(seed + uint64(v)), shard: int32(si)})
+		}
+	}
+	// Ties between points of different shards (astronomically unlikely but
+	// possible) break by name so the winner does not depend on list order.
+	sort.Slice(r.points, func(a, b int) bool {
+		pa, pb := r.points[a], r.points[b]
+		if pa.hash != pb.hash {
+			return pa.hash < pb.hash
+		}
+		return r.names[pa.shard] < r.names[pb.shard]
+	})
+	return r, nil
+}
+
+// NumShards returns the number of shards on the ring.
+func (r *Ring) NumShards() int { return len(r.names) }
+
+// Names returns the shard names in construction order. Callers must not
+// modify the slice.
+func (r *Ring) Names() []string { return r.names }
+
+// Owner returns the index (into Names) of the shard owning the line: the
+// shard whose first virtual node at or clockwise past hash(line) is reached,
+// wrapping at the top of the key space.
+func (r *Ring) Owner(line data.LineID) int {
+	h := hash64(uint64(int64(line)))
+	pts := r.points
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].hash >= h })
+	if i == len(pts) {
+		i = 0
+	}
+	return int(pts[i].shard)
+}
+
+// OwnerName returns the name of the shard owning the line.
+func (r *Ring) OwnerName(line data.LineID) string { return r.names[r.Owner(line)] }
+
+// Owns returns an ownership predicate for the named shard — the filter a
+// nevermindd running as a fleet member installs on its store so misrouted
+// records cannot take up residence. Errors if the name is not on the ring.
+func (r *Ring) Owns(name string) (func(data.LineID) bool, error) {
+	for si, n := range r.names {
+		if n == name {
+			return func(l data.LineID) bool { return r.Owner(l) == si }, nil
+		}
+	}
+	return nil, fmt.Errorf("fleet: shard %q is not on the ring %v", name, r.names)
+}

@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"nevermind/internal/data"
+	"nevermind/internal/serve"
+)
+
+// TestRingTotalOwnership checks the first ring property: every line id the
+// store can hold maps to exactly one shard, and the per-shard arcs partition
+// the id space (counts sum back to the population).
+func TestRingTotalOwnership(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		names := shardNames(n)
+		r, err := NewRing(names, 0)
+		if err != nil {
+			t.Fatalf("NewRing(%d): %v", n, err)
+		}
+		counts := make([]int, n)
+		for l := 0; l < serve.MaxLineID; l++ {
+			o := r.Owner(data.LineID(l))
+			if o < 0 || o >= n {
+				t.Fatalf("n=%d line %d: owner %d out of range", n, l, o)
+			}
+			counts[o]++
+		}
+		total := 0
+		for si, c := range counts {
+			total += c
+			if n > 1 && c == 0 {
+				t.Errorf("n=%d shard %s owns zero lines", n, names[si])
+			}
+		}
+		if total != serve.MaxLineID {
+			t.Fatalf("n=%d: counts sum to %d, want %d", n, total, serve.MaxLineID)
+		}
+		// Consistent hashing is not perfectly uniform, but with 128 vnodes a
+		// shard drifting past 2x its fair share would mean the hash mix is
+		// broken, not just unlucky.
+		for si, c := range counts {
+			if fair := serve.MaxLineID / n; c > 2*fair {
+				t.Errorf("n=%d shard %s owns %d lines, > 2x fair share %d", n, names[si], c, fair)
+			}
+		}
+	}
+}
+
+// TestRingOrderIndependence checks the second property: ownership is a
+// function of the shard name *set*. Reordering the list relabels indices but
+// every line still lands on the same named shard.
+func TestRingOrderIndependence(t *testing.T) {
+	names := shardNames(5)
+	perm := []string{names[3], names[0], names[4], names[2], names[1]}
+	a, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(perm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < serve.MaxLineID; l++ {
+		id := data.LineID(l)
+		if an, bn := a.OwnerName(id), b.OwnerName(id); an != bn {
+			t.Fatalf("line %d: owner %q under %v but %q under %v", l, an, names, bn, perm)
+		}
+	}
+}
+
+// TestRingMinimalMovement checks the third property: growing the fleet from
+// N to N+1 shards reassigns roughly 1/(N+1) of the keys — and every moved
+// key moves *to* the new shard, never between survivors.
+func TestRingMinimalMovement(t *testing.T) {
+	for _, n := range []int{2, 4, 7} {
+		names := shardNames(n)
+		before, err := NewRing(names, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := NewRing(append(shardNames(n), "shard-new"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for l := 0; l < serve.MaxLineID; l++ {
+			id := data.LineID(l)
+			bn, an := before.OwnerName(id), after.OwnerName(id)
+			if bn == an {
+				continue
+			}
+			if an != "shard-new" {
+				t.Fatalf("n=%d line %d moved %q -> %q between surviving shards", n, l, bn, an)
+			}
+			moved++
+		}
+		frac := float64(moved) / float64(serve.MaxLineID)
+		ideal := 1.0 / float64(n+1)
+		if frac < ideal/2 || frac > ideal*2 {
+			t.Errorf("n=%d -> %d: moved %.4f of keys, want ~%.4f (within 2x)", n, n+1, frac, ideal)
+		}
+	}
+}
+
+// TestRingOwnsPredicate checks that the per-shard ownership filter agrees
+// with Owner and that the predicates partition the population.
+func TestRingOwnsPredicate(t *testing.T) {
+	names := shardNames(3)
+	r, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := make([]func(data.LineID) bool, len(names))
+	for i, n := range names {
+		p, err := r.Owns(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i] = p
+	}
+	if _, err := r.Owns("nope"); err == nil {
+		t.Fatal("Owns of unknown shard: want error")
+	}
+	for l := 0; l < serve.MaxLineID; l += 17 {
+		id := data.LineID(l)
+		owners := 0
+		for i, p := range preds {
+			if p(id) {
+				owners++
+				if i != r.Owner(id) {
+					t.Fatalf("line %d: predicate %d claims it but Owner says %d", l, i, r.Owner(id))
+				}
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("line %d: %d predicates claim it", l, owners)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty ring: want error")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty name: want error")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Error("duplicate name: want error")
+	}
+}
+
+func shardNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard-%d", i)
+	}
+	return names
+}

@@ -215,6 +215,21 @@ func FeatureScoresDetail(cols []Column, y []bool, crit Criterion, opt SelectOpti
 	// stay distinguishable from a real zero-signal feature. The inner
 	// training runs sequentially (Workers: 1); the column axis carries the
 	// parallelism.
+	//
+	// trSrc/teSrc compose the subsample and split permutations once, so each
+	// worker gathers its train/test values straight from the original column
+	// in one pass — the old per-column sub() materialized the whole sampled
+	// column only to be gathered from again immediately, a second full pass
+	// and allocation per column that the memory-bound worker loop paid on
+	// every call. Index composition is exact, so scores are bit-identical.
+	trSrc := make([]int, len(trainIdx))
+	for i, idx := range trainIdx {
+		trSrc[i] = sample[idx]
+	}
+	teSrc := make([]int, len(testIdx))
+	for i, idx := range testIdx {
+		teSrc[i] = sample[idx]
+	}
 	scores := make([]float64, len(cols))
 	skips := make([]*SkippedColumn, len(cols))
 	nEff := scaleN(len(testIdx))
@@ -223,13 +238,13 @@ func FeatureScoresDetail(cols []Column, y []bool, crit Criterion, opt SelectOpti
 			scores[ci] = 0
 			skips[ci] = &SkippedColumn{Index: ci, Name: cols[ci].Name, Stage: stage, Err: err}
 		}
-		c := sub(cols[ci])
-		tr := Column{Name: c.Name, Categorical: c.Categorical, Values: make([]float32, len(trainIdx))}
-		te := Column{Name: c.Name, Categorical: c.Categorical, Values: make([]float32, len(testIdx))}
-		for i, idx := range trainIdx {
+		c := cols[ci]
+		tr := Column{Name: c.Name, Categorical: c.Categorical, Values: make([]float32, len(trSrc))}
+		te := Column{Name: c.Name, Categorical: c.Categorical, Values: make([]float32, len(teSrc))}
+		for i, idx := range trSrc {
 			tr.Values[i] = c.Values[idx]
 		}
-		for i, idx := range testIdx {
+		for i, idx := range teSrc {
 			te.Values[i] = c.Values[idx]
 		}
 		q, err := FitQuantizer([]Column{tr}, opt.Bins)

@@ -53,6 +53,7 @@ type entry struct {
 	gauge   *Gauge
 	hist    *Histogram
 	cvec    *CounterVec
+	gvec    *GaugeVec
 	hvec    *HistogramVec
 
 	// fn-backed families render a value computed at exposition time — the
@@ -196,6 +197,63 @@ func (v *CounterVec) Values() map[string]int64 {
 	return out
 }
 
+// GaugeVec is a gauge family over one label key — per-shard health and lag
+// series are its reason to exist: the label value names the shard, the child
+// gauge holds its latest probed state.
+type GaugeVec struct {
+	key      string
+	mu       sync.RWMutex
+	children map[string]*Gauge
+}
+
+// GaugeVec returns the named gauge family over labelKey, creating it on
+// first use.
+func (r *Registry) GaugeVec(name, help, labelKey string) *GaugeVec {
+	e := r.getOrCreate(name, help, kindGauge, labelKey, func() *entry {
+		return &entry{gvec: &GaugeVec{key: labelKey, children: map[string]*Gauge{}}}
+	})
+	return e.gvec
+}
+
+// With returns the child gauge for the given label value, creating it on
+// first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.RLock()
+	g, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.children[value]; ok {
+		return g
+	}
+	g = &Gauge{}
+	v.children[value] = g
+	return g
+}
+
+// Preset eagerly creates children for the given label values (see
+// CounterVec.Preset).
+func (v *GaugeVec) Preset(values ...string) *GaugeVec {
+	for _, val := range values {
+		v.With(val)
+	}
+	return v
+}
+
+// Values returns a label→value view of the family (for JSON facades).
+func (v *GaugeVec) Values() map[string]int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]int64, len(v.children))
+	for k, g := range v.children {
+		out[k] = g.Value()
+	}
+	return out
+}
+
 // HistogramVec is a histogram family over one label key; children share one
 // bucket layout.
 type HistogramVec struct {
@@ -289,6 +347,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			writeHist(&b, e.name, "", "", e.hist.Snapshot())
 		case e.cvec != nil:
 			vals := e.cvec.Values()
+			for _, lv := range sortedKeys(vals) {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", e.name, e.labelKey, lv, vals[lv])
+			}
+		case e.gvec != nil:
+			vals := e.gvec.Values()
 			for _, lv := range sortedKeys(vals) {
 				fmt.Fprintf(&b, "%s{%s=%q} %d\n", e.name, e.labelKey, lv, vals[lv])
 			}

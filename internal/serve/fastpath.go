@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"io"
 	"math"
 	"net/http"
@@ -27,17 +28,17 @@ import (
 // examples, and the rendered response.
 type scratch struct {
 	body     []byte
-	examples []exampleJSON
+	examples []ScoreExample
 	out      []byte
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
 // readBody slurps the request body into sc's pooled buffer under the same
-// maxBodyBytes cap the legacy decoder enforced (and the same "http: request
+// MaxBodyBytes cap the legacy decoder enforced (and the same "http: request
 // body too large" error past it).
 func readBody(w http.ResponseWriter, r *http.Request, sc *scratch) ([]byte, error) {
-	rd := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	rd := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
 	buf := sc.body
 	if cap(buf) == 0 {
 		buf = make([]byte, 0, 64<<10)
@@ -72,7 +73,7 @@ func readBody(w http.ResponseWriter, r *http.Request, sc *scratch) ([]byte, erro
 // error text the API has always returned. The fallback also re-parses valid
 // bodies this grammar is too narrow for (e.g. "line" as a key), so the
 // fast path can only ever accept what encoding/json would.
-func parseScoreBody(body []byte, exs []exampleJSON) ([]exampleJSON, bool) {
+func parseScoreBody(body []byte, exs []ScoreExample) ([]ScoreExample, bool) {
 	p := fastParser{b: body}
 	p.ws()
 	if !p.eat('{') || !p.ws() || !p.lit(`"examples"`) || !p.ws() || !p.eat(':') || !p.ws() || !p.eat('[') {
@@ -109,6 +110,24 @@ func parseScoreBody(body []byte, exs []exampleJSON) ([]exampleJSON, bool) {
 		return nil, false
 	}
 	return exs, true
+}
+
+// ParseScoreExamples parses a /v1/score body exactly as the shard handler
+// does: the fast hand parser first, then the strict reflective decoder on
+// any deviation so a malformed body yields the identical error. The fleet
+// gateway uses it to partition a request by ring ownership without changing
+// a single accepted-or-rejected decision relative to a bare daemon.
+func ParseScoreExamples(body []byte) ([]ScoreExample, error) {
+	if exs, ok := parseScoreBody(body, nil); ok {
+		return exs, nil
+	}
+	var req struct {
+		Examples []ScoreExample `json:"examples"`
+	}
+	if err := DecodeStrict(bytes.NewReader(body), &req); err != nil {
+		return nil, err
+	}
+	return req.Examples, nil
 }
 
 type fastParser struct {
@@ -158,8 +177,8 @@ func (p *fastParser) lit(s string) bool {
 	return true
 }
 
-func (p *fastParser) example() (exampleJSON, bool) {
-	var e exampleJSON
+func (p *fastParser) example() (ScoreExample, bool) {
+	var e ScoreExample
 	if !p.eat('{') {
 		return e, false
 	}

@@ -36,8 +36,8 @@ func FuzzIngestJSON(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		s := NewStore(2)
-		var req ingestRequest
-		if err := decodeStrict(bytes.NewReader(body), &req); err != nil {
+		var req IngestRequest
+		if err := DecodeStrict(bytes.NewReader(body), &req); err != nil {
 			// Rejected at decode: nothing may have been applied.
 			if s.Version() != 0 {
 				t.Fatalf("decode error but store version %d", s.Version())
@@ -117,7 +117,7 @@ func FuzzRankParams(f *testing.F) {
 		if err != nil {
 			return
 		}
-		week, n, err := parseRankParams(q, 40, 10)
+		week, n, err := ParseRankParams(q, 40, 10)
 		if err != nil {
 			return
 		}

@@ -86,6 +86,14 @@ func (r RetryConfig) backoffFor(op string, week, attempt int) time.Duration {
 	return d/2 + time.Duration(float64(d/2)*j)
 }
 
+// Backoff exposes the jittered schedule to other retry loops (the fleet
+// gateway's shard client) so the whole system backs off with one policy
+// and replays deterministically from one seed. The defaulting mirrors what
+// the pipeline itself applies.
+func (r RetryConfig) Backoff(op string, key, attempt int) time.Duration {
+	return r.withDefaults().backoffFor(op, key, attempt)
+}
+
 // RetryEvent describes one failed attempt the pipeline is about to back off
 // from; OnRetry observers get it before the sleep.
 type RetryEvent struct {

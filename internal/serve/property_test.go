@@ -57,8 +57,8 @@ func TestStoreSnapshotInvariants(t *testing.T) {
 		if sn == nil {
 			return
 		}
-		if sn.DS.Generation != sn.Version {
-			t.Errorf("torn snapshot: Generation %d != Version %d", sn.DS.Generation, sn.Version)
+		if sn.DS.Generation != s.genSalt|sn.Version {
+			t.Errorf("torn snapshot: Generation %d != salted Version %d", sn.DS.Generation, s.genSalt|sn.Version)
 		}
 		if err := sn.DS.Grid.Validate(sn.DS.NumLines); err != nil {
 			t.Errorf("torn snapshot: %v", err)
@@ -213,26 +213,31 @@ func TestStoreSnapshotInvariants(t *testing.T) {
 	}
 }
 
-// TestStoreSnapshotGenerationUnique pins the cache-keying contract across
-// reloads of data: two snapshots at different store versions never share a
-// Generation, so downstream encode/bin caches can never serve stale rows.
+// TestStoreSnapshotGenerationUnique pins the cache-keying contract: two
+// snapshots never share a Generation — not across versions of one store,
+// and not across DIFFERENT stores in the same process (the genSalt high
+// bits). The encode/bin caches downstream are attached to the model, which
+// an in-process fleet shares between every shard's store; without cross-
+// store uniqueness two stores both at version 2 would alias each other's
+// cached full-population score encodes.
 func TestStoreSnapshotGenerationUnique(t *testing.T) {
-	s := NewStore(1)
 	seen := map[uint64]bool{}
-	for i := 0; i < 10; i++ {
-		if _, err := s.IngestTests([]TestRecord{{Line: data.LineID(i), Week: i}}); err != nil {
-			t.Fatal(err)
+	for _, s := range []*Store{NewStore(1), NewStore(1)} {
+		for i := 0; i < 10; i++ {
+			if _, err := s.IngestTests([]TestRecord{{Line: data.LineID(i), Week: i}}); err != nil {
+				t.Fatal(err)
+			}
+			sn := s.Snapshot()
+			if sn == nil {
+				t.Fatal("nil snapshot after ingest")
+			}
+			if sn.DS.Generation != s.genSalt|sn.Version {
+				t.Fatalf("snapshot %d: generation %d != salt %d | version %d", i, sn.DS.Generation, s.genSalt, sn.Version)
+			}
+			if seen[sn.DS.Generation] {
+				t.Fatalf("generation %d reused", sn.DS.Generation)
+			}
+			seen[sn.DS.Generation] = true
 		}
-		sn := s.Snapshot()
-		if sn == nil {
-			t.Fatal("nil snapshot after ingest")
-		}
-		if sn.DS.Generation != sn.Version {
-			t.Fatalf("snapshot %d: generation %d != version %d", i, sn.DS.Generation, sn.Version)
-		}
-		if seen[sn.DS.Generation] {
-			t.Fatalf("generation %d reused", sn.DS.Generation)
-		}
-		seen[sn.DS.Generation] = true
 	}
 }

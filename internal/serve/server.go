@@ -240,7 +240,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 // --- wire types ---------------------------------------------------------------
 
-type exampleJSON struct {
+// ScoreExample is one (line, week) entry of /v1/score's examples array;
+// exported so the fleet gateway can partition a request by ring ownership
+// using the exact wire type the shard handler parses.
+type ScoreExample struct {
 	Line data.LineID `json:"line"`
 	Week int         `json:"week"`
 }
@@ -270,19 +273,19 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-// maxBodyBytes bounds request bodies; a full weekly ingest for a large
+// MaxBodyBytes bounds request bodies; a full weekly ingest for a large
 // population is tens of MB of JSON.
-const maxBodyBytes = 128 << 20
+const MaxBodyBytes = 128 << 20
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	return decodeStrict(http.MaxBytesReader(w, r.Body, maxBodyBytes), v)
+	return DecodeStrict(http.MaxBytesReader(w, r.Body, MaxBodyBytes), v)
 }
 
-// decodeStrict decodes exactly one JSON value: unknown fields and trailing
+// DecodeStrict decodes exactly one JSON value: unknown fields and trailing
 // data are both rejected. The trailing-data check closes a silent-accept
 // hole the ingest fuzzer found — `{"tests":[...]}garbage` used to ingest the
 // first value and discard the rest without complaint.
-func decodeStrict(r io.Reader, v any) error {
+func DecodeStrict(r io.Reader, v any) error {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -307,15 +310,15 @@ func (s *Server) snapshotOr503(w http.ResponseWriter) *Snapshot {
 
 // --- handlers -----------------------------------------------------------------
 
-// ingestRequest is /v1/ingest's body; package-scoped so the fuzz targets
-// drive the exact decoder the handler uses.
-type ingestRequest struct {
+// IngestRequest is /v1/ingest's body; exported so the fuzz targets and the
+// fleet gateway drive the exact decoder the handler uses.
+type IngestRequest struct {
 	Tests   []TestRecord   `json:"tests"`
 	Tickets []TicketRecord `json:"tickets"`
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	var req ingestRequest
+	var req IngestRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -360,9 +363,9 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		// merely unusual body (escaped keys, duplicate "examples") still
 		// parses as encoding/json defines it.
 		var req struct {
-			Examples []exampleJSON `json:"examples"`
+			Examples []ScoreExample `json:"examples"`
 		}
-		if err := decodeStrict(bytes.NewReader(body), &req); err != nil {
+		if err := DecodeStrict(bytes.NewReader(body), &req); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -438,7 +441,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if r.URL.RawQuery != "" {
 		q = r.URL.Query()
 	}
-	week, n, err := parseRankParams(q, s.store.LatestWeek(), models.Pred.Cfg.BudgetN)
+	week, n, err := ParseRankParams(q, s.store.LatestWeek(), models.Pred.Cfg.BudgetN)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -478,11 +481,11 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	writeRawJSON(w, buf)
 }
 
-// parseRankParams parses /v1/rank's query parameters: week defaults to the
+// ParseRankParams parses /v1/rank's query parameters: week defaults to the
 // store's latest, n to the model's budget; non-integer or out-of-range
 // values are rejected rather than clamped or prefix-parsed, and the fuzz
 // target FuzzRankParams holds it to that.
-func parseRankParams(q url.Values, defWeek, defN int) (week, n int, err error) {
+func ParseRankParams(q url.Values, defWeek, defN int) (week, n int, err error) {
 	week, n = defWeek, defN
 	if v := q.Get("week"); v != "" {
 		if week, err = strconv.Atoi(v); err != nil {
@@ -576,6 +579,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"locator":            models.Loc != nil,
 		"schema_fingerprint": fmt.Sprintf("%016x", models.Pred.SchemaFingerprint()),
 		"uptime_seconds":     time.Since(s.m.start).Seconds(),
+		// Fleet probe surface: the gateway resolves /v1/rank defaults and
+		// snapshot freshness from these without a data-plane round trip.
+		"budget_n":     models.Pred.Cfg.BudgetN,
+		"version":      s.store.Version(),
+		"snapshot_lag": s.store.SnapshotLag(),
+		"grid_lines":   s.store.GridLines(),
 	})
 }
 
@@ -618,10 +627,11 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 		"ingested_tickets": m.ingestedTickets.Value(),
 		"reloads":          m.reloads.Value(),
 		"store": map[string]any{
-			"lines":       s.store.NumLines(),
-			"version":     s.store.Version(),
-			"latest_week": s.store.LatestWeek(),
-			"shard_lines": s.store.ShardSizes(),
+			"lines":            s.store.NumLines(),
+			"version":          s.store.Version(),
+			"latest_week":      s.store.LatestWeek(),
+			"shard_lines":      s.store.ShardSizes(),
+			"filtered_records": s.store.FilteredRecords(),
 		},
 		// The degradation surface: snapshot_lag > 0 means rebuilds are
 		// failing and scoring is serving the last good (stale) snapshot;

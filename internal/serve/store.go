@@ -127,6 +127,20 @@ type Store struct {
 	// snapshot and SnapshotLag reports how stale it is.
 	buildFailures atomic.Uint64
 
+	// owner, when set, is the fleet ownership predicate: records for lines
+	// this shard does not own are validated normally but silently dropped
+	// (counted in filtered), so a misrouted or replayed-to-everyone feed
+	// cannot seat lines outside this shard's ring arc. Install before the
+	// store takes traffic; nil (the default) accepts every line.
+	owner    func(data.LineID) bool
+	filtered atomic.Uint64
+
+	// maxLine tracks the highest line id any applied test record carried
+	// (-1 before the first), i.e. the width the next snapshot grid will
+	// have. Exposed on /healthz so a fleet orchestrator can size its ATDS
+	// queue exactly as a single-node pipeline sizes it from DS.NumLines.
+	maxLine atomic.Int64
+
 	// buildMu singleflights snapshot builds: concurrent readers that miss
 	// the cache at the same version used to each run a full build with only
 	// one result winning the publish CAS (a thundering herd after every
@@ -141,6 +155,32 @@ type Store struct {
 	deltaMu  sync.Mutex
 	deltas   []deltaRecord
 	logCells int
+
+	// genSalt disambiguates snapshot generations between stores in one
+	// process. Downstream encode/bin caches key on DS.Generation, and the
+	// cache is attached to the (shared) model — in a process holding several
+	// stores at once (an in-process fleet: gateway tests, benches, the
+	// embedded pipeline harness) two stores independently reach version 2
+	// with different contents, and unsalted generations would alias their
+	// cached full-population score encodes across stores.
+	genSalt uint64
+}
+
+// genSaltShift positions the store sequence number above any version a store
+// can reach (2^40 ingests), so Generation = salt | version stays collision-
+// free across stores without disturbing low-bits version ordering.
+const genSaltShift = 40
+
+// storeSeq numbers stores process-wide for genSalt. The first store gets
+// salt 0, keeping single-store generations identical to the version counter.
+var storeSeq atomic.Uint64
+
+// GenerationOf returns the dataset generation a snapshot of this store at
+// the given version carries: the store's process-unique salt OR'd with the
+// version. External tests assert the snapshot-consistency invariant
+// (sn.DS.Generation == store.GenerationOf(sn.Version)) through it.
+func (s *Store) GenerationOf(version uint64) uint64 {
+	return s.genSalt | version
 }
 
 // NewStore creates a store with the given shard count rounded up to a power
@@ -154,12 +194,17 @@ func NewStore(shards int) *Store {
 	for n < shards {
 		n <<= 1
 	}
-	s := &Store{shards: make([]shard, n), mask: uint32(n - 1)}
+	s := &Store{
+		shards:  make([]shard, n),
+		mask:    uint32(n - 1),
+		genSalt: (storeSeq.Add(1) - 1) << genSaltShift,
+	}
 	for i := range s.shards {
 		s.shards[i].lines = make(map[data.LineID]*lineState)
 		s.shards[i].dedup = make(map[data.Ticket]struct{})
 	}
 	s.latestWeek.Store(-1)
+	s.maxLine.Store(-1)
 	return s
 }
 
@@ -170,6 +215,14 @@ func (s *Store) shardOf(line data.LineID) *shard {
 // SetFaults installs the fault-injection hooks. Call before the store takes
 // traffic; nil removes them.
 func (s *Store) SetFaults(h *FaultHooks) { s.faults = h }
+
+// SetOwner installs the fleet ownership filter (see Store.owner). Call
+// before the store takes traffic; nil removes it.
+func (s *Store) SetOwner(owns func(data.LineID) bool) { s.owner = owns }
+
+// FilteredRecords returns how many validated records the ownership filter
+// has dropped — nonzero means some feed is routing lines to the wrong shard.
+func (s *Store) FilteredRecords() uint64 { return s.filtered.Load() }
 
 // setMetrics attaches the owning server's metrics; call before traffic.
 func (s *Store) setMetrics(m *metrics) { s.m = m }
@@ -240,6 +293,18 @@ func (s *Store) ShardSizes() []int {
 	return out
 }
 
+// GridLines returns the width the next snapshot grid will have — the
+// highest applied test-record line id plus one, 0 before the first ingest.
+// A fleet's global grid width is the max of its shards' GridLines, which is
+// exactly the DS.NumLines a single node holding every record would report.
+func (s *Store) GridLines() int {
+	ml := s.maxLine.Load()
+	if ml < 0 {
+		return 0
+	}
+	return int(ml) + 1
+}
+
 // NumLines returns the number of distinct lines ingested.
 func (s *Store) NumLines() int {
 	n := 0
@@ -261,6 +326,38 @@ func validateTest(r *TestRecord) error {
 		return fmt.Errorf("serve: unknown profile %d", r.Profile)
 	case r.DSLAM < 0:
 		return fmt.Errorf("serve: negative DSLAM %d", r.DSLAM)
+	}
+	return nil
+}
+
+func validateTicket(i int, r *TicketRecord) error {
+	switch {
+	case r.Line < 0 || r.Line >= MaxLineID:
+		return fmt.Errorf("%w: ticket %d: line %d outside [0,%d)", ErrBadBatch, i, r.Line, MaxLineID)
+	case r.Day < 0 || r.Day >= data.DaysInYear:
+		return fmt.Errorf("%w: ticket %d: day %d outside the year", ErrBadBatch, i, r.Day)
+	case r.Category > uint8(data.CatOther):
+		return fmt.Errorf("%w: ticket %d: unknown category %d", ErrBadBatch, i, r.Category)
+	}
+	return nil
+}
+
+// ValidateIngest checks a full ingest body with exactly the validation the
+// store applies — tests first, then tickets, identical error text — without
+// touching any state. The fleet gateway runs it before scattering sub-batches
+// so a bad batch is rejected atomically fleet-wide; a single daemon would
+// apply valid tests before rejecting bad tickets, but the wire response is
+// byte-identical either way.
+func ValidateIngest(req *IngestRequest) error {
+	for i := range req.Tests {
+		if err := validateTest(&req.Tests[i]); err != nil {
+			return fmt.Errorf("%w: record %d: %w", ErrBadBatch, i, err)
+		}
+	}
+	for i := range req.Tickets {
+		if err := validateTicket(i, &req.Tickets[i]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -330,6 +427,19 @@ func (s *Store) IngestTests(recs []TestRecord) (int, error) {
 			return 0, fmt.Errorf("%w: record %d: %w", ErrBadBatch, i, err)
 		}
 	}
+	// Ownership filtering happens after validation so a fleet shard rejects
+	// exactly the batches a bare daemon would, with identical error text.
+	if owns := s.owner; owns != nil {
+		var kept []TestRecord
+		for i := range recs {
+			if owns(recs[i].Line) {
+				kept = append(kept, recs[i])
+			} else {
+				s.filtered.Add(1)
+			}
+		}
+		recs = kept
+	}
 	if len(recs) == 0 {
 		return 0, nil
 	}
@@ -346,11 +456,15 @@ func (s *Store) IngestTests(recs []TestRecord) (int, error) {
 	// Group by shard so each shard's lock is taken once per batch.
 	byShard := make(map[uint32][]int)
 	maxWeek := -1
+	maxL := int64(-1)
 	for i := range recs {
 		si := uint32(recs[i].Line) & s.mask
 		byShard[si] = append(byShard[si], i)
 		if recs[i].Week > maxWeek {
 			maxWeek = recs[i].Week
+		}
+		if int64(recs[i].Line) > maxL {
+			maxL = int64(recs[i].Line)
 		}
 	}
 	cells := make([]cellKey, 0, len(recs))
@@ -387,6 +501,12 @@ func (s *Store) IngestTests(recs []TestRecord) (int, error) {
 			break
 		}
 	}
+	for {
+		cur := s.maxLine.Load()
+		if maxL <= cur || s.maxLine.CompareAndSwap(cur, maxL) {
+			break
+		}
+	}
 	s.bumpVersion(cells, nil)
 	return len(recs), nil
 }
@@ -394,15 +514,21 @@ func (s *Store) IngestTests(recs []TestRecord) (int, error) {
 // IngestTickets applies a batch of customer tickets (exact duplicates are
 // dropped). Returns the number of new tickets stored.
 func (s *Store) IngestTickets(recs []TicketRecord) (int, error) {
-	for i, r := range recs {
-		switch {
-		case r.Line < 0 || r.Line >= MaxLineID:
-			return 0, fmt.Errorf("%w: ticket %d: line %d outside [0,%d)", ErrBadBatch, i, r.Line, MaxLineID)
-		case r.Day < 0 || r.Day >= data.DaysInYear:
-			return 0, fmt.Errorf("%w: ticket %d: day %d outside the year", ErrBadBatch, i, r.Day)
-		case r.Category > uint8(data.CatOther):
-			return 0, fmt.Errorf("%w: ticket %d: unknown category %d", ErrBadBatch, i, r.Category)
+	for i := range recs {
+		if err := validateTicket(i, &recs[i]); err != nil {
+			return 0, err
 		}
+	}
+	if owns := s.owner; owns != nil {
+		var kept []TicketRecord
+		for _, r := range recs {
+			if owns(r.Line) {
+				kept = append(kept, r)
+			} else {
+				s.filtered.Add(1)
+			}
+		}
+		recs = kept
 	}
 	if len(recs) == 0 {
 		return 0, nil
@@ -597,7 +723,7 @@ func (s *Store) applyDelta(base *Snapshot, recs []deltaRecord, version uint64) (
 	}
 	n := base.DS.NumLines
 	ds := *base.DS // shallow copy; COW fields below replace what changes
-	ds.Generation = version
+	ds.Generation = s.genSalt | version
 	ds.Grid = base.DS.Grid.ShareCopy()
 	ownedChunks := make([]bool, len(ds.Grid.Chunks))
 
@@ -808,8 +934,9 @@ func (s *Store) build(version uint64) (*Snapshot, error) {
 	n := int(maxLine) + 1
 	ds := &data.Dataset{
 		// Generation keys the feature caches downstream: snapshots of
-		// different store versions must never share cached encodes.
-		Generation: version,
+		// different store versions — or of different stores in the same
+		// process (genSalt) — must never share cached encodes.
+		Generation: s.genSalt | version,
 		NumLines:   n,
 		ProfileOf:  make([]uint8, n),
 		DSLAMOf:    make([]int32, n),
