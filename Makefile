@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-repeat race bench bench-json bench-diff bench-smoke serve-smoke fleet-smoke chaos-smoke chaos-soak experiments examples fuzz fuzz-smoke clean
+.PHONY: all check build vet test test-repeat race bench bench-json bench-diff bench-smoke serve-smoke fleet-smoke restart-smoke chaos-smoke chaos-soak experiments examples fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -10,10 +10,11 @@ all: build vet test
 # over the serving subsystem to catch leaked process-global state), the
 # race detector over the parallel hot paths, a one-iteration pass over
 # every benchmark so the bench code itself cannot rot, the perf-regression
-# diff against the committed baseline, end-to-end smokes of the daemon and
-# of the sharded fleet, a short fuzz pass over the API decoders, and the
-# chaos smoke (daemon under injected faults).
-check: build vet test test-repeat race bench-smoke bench-diff serve-smoke fleet-smoke fuzz-smoke chaos-smoke
+# diff against the committed baseline, end-to-end smokes of the daemon, of
+# the sharded fleet, and of a kill -9/restart over the write-ahead log, a
+# short fuzz pass over the API decoders, and the chaos smoke (daemon under
+# injected faults).
+check: build vet test test-repeat race bench-smoke bench-diff serve-smoke fleet-smoke restart-smoke fuzz-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -46,11 +47,12 @@ bench:
 
 # Machine-readable numbers for the ML and serving hot paths (reference vs
 # compiled scoring, training, transform, the serve endpoint, the
-# full-vs-delta snapshot rebuild, and the fleet gateway's scatter-gather
-# score/rank paths); BENCH_ml.json is committed so perf diffs show up in
-# review.
+# full-vs-delta snapshot rebuild, the fleet gateway's scatter-gather
+# score/rank paths, and the durability axis: ingest with the WAL off vs on
+# plus cold-restart recovery); BENCH_ml.json is committed so perf diffs
+# show up in review.
 bench-json:
-	$(GO) test -run '^$$' -bench 'ScoreAllWorkers|ScoreCompiled|CompileBStump|TrainBStump|Transform|FeatureScores|ServeScore|Snapshot|FleetScore|FleetRank' -benchmem . 2>&1 | tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_ml.json
+	$(GO) test -run '^$$' -bench 'ScoreAllWorkers|ScoreCompiled|CompileBStump|TrainBStump|Transform|FeatureScores|ServeScore|Snapshot|FleetScore|FleetRank|IngestWAL|Recovery' -benchmem . 2>&1 | tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_ml.json
 
 # Perf gate: rerun the compiled-scoring and serve-score benchmarks and fail
 # on a >25% ns/op regression — or an allocs/op regression past the same
@@ -75,6 +77,14 @@ serve-smoke:
 # cleanly on SIGTERM.
 fleet-smoke:
 	./scripts/fleet_smoke.sh
+
+# Durability smoke: a daemon with the WAL on is SIGKILLed mid-week and
+# restarted over the same directory; it must recover every acked batch
+# (-wal.fsync=always) and answer /v1/rank and /v1/score byte-identically to
+# a never-killed reference, and `nevermindwal verify` must prove the
+# directory recovers offline.
+restart-smoke:
+	./scripts/restart_smoke.sh
 
 # Chaos smoke: the daemon boots with every fault mode armed and must ride
 # the storm out — weeks complete exactly once, /healthz never fails, and
@@ -106,12 +116,14 @@ fuzz:
 	$(GO) test ./internal/data/ -fuzz FuzzReadMeasurementsCSV -fuzztime 20s
 	$(GO) test ./internal/data/ -fuzz FuzzReadTicketsCSV -fuzztime 20s
 
-# Fuzz the serving API's decoders: the ingest body decoder and the rank
-# query parser, 30s each. Seed corpora for both also run (instantly) in
-# plain `make test`.
+# Fuzz the serving API's decoders — the ingest body decoder and the rank
+# query parser — plus the WAL segment decoder (arbitrary bytes must
+# inspect, replay, and repair consistently, never panic), 30s/30s/20s.
+# Seed corpora for all three also run (instantly) in plain `make test`.
 fuzz-smoke:
 	$(GO) test ./internal/serve/ -fuzz FuzzIngestJSON -fuzztime 30s -run '^$$'
 	$(GO) test ./internal/serve/ -fuzz FuzzRankParams -fuzztime 30s -run '^$$'
+	$(GO) test ./internal/wal/ -fuzz FuzzWALDecode -fuzztime 20s -run '^$$'
 
 clean:
 	rm -f test_output.txt bench_output.txt dsl-year.gob.gz

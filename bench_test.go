@@ -28,6 +28,7 @@ import (
 	"nevermind/internal/rng"
 	"nevermind/internal/serve"
 	"nevermind/internal/sim"
+	"nevermind/internal/wal"
 )
 
 // benchCtx builds one shared small-scale experiment context.
@@ -825,5 +826,103 @@ func BenchmarkTransformWorkers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// benchIngestLoop drives the ingest hot path with 200-record batches — the
+// shared body for the WAL-off/WAL-on pair, so the two numbers differ only by
+// the durability sink.
+func benchIngestLoop(b *testing.B, s *serve.Store) {
+	const batch = 200
+	recs := make([]serve.TestRecord, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range recs {
+			l := (i*batch + j*31) % 16000
+			recs[j] = serve.TestRecord{
+				Line: data.LineID(l), Week: 30 + i%14,
+				F:     []float32{float32(i), float32(j)},
+				DSLAM: int32(l % 50), Usage: 0.5,
+			}
+		}
+		if _, err := s.IngestTests(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestWALOff is the control: the exact PR 7 ingest path, no
+// durability attached.
+func BenchmarkIngestWALOff(b *testing.B) {
+	benchIngestLoop(b, serve.NewStore(8))
+}
+
+// BenchmarkIngestWALOn measures the write-ahead tax on the same loop: encode
+// each batch and append it to the segment chain (OS-buffered writes; fsync
+// runs off the critical path under the default interval policy, so it is
+// excluded here just as it is excluded from an ack).
+func BenchmarkIngestWALOn(b *testing.B) {
+	s := serve.NewStore(8)
+	d, err := serve.OpenDurability(s, nil, serve.DurabilityConfig{
+		Dir: b.TempDir(), Sync: wal.SyncNever,
+		CheckpointEvery: -1, NoFinalCheckpoint: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Abandon()
+	benchIngestLoop(b, s)
+}
+
+// BenchmarkRecovery measures cold restart: checkpoint load plus WAL tail
+// replay. The fixture is built once — 100 batches with a checkpoint cut at
+// version 50, so every iteration loads the checkpoint and replays 50
+// records; Abandon leaves the directory byte-identical for the next one.
+func BenchmarkRecovery(b *testing.B) {
+	dir := b.TempDir()
+	build := serve.NewStore(8)
+	d, err := serve.OpenDurability(build, nil, serve.DurabilityConfig{
+		Dir: dir, Sync: wal.SyncNever,
+		CheckpointEvery: -1, NoFinalCheckpoint: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]serve.TestRecord, 200)
+	for i := 0; i < 100; i++ {
+		for j := range recs {
+			l := (i*200 + j*31) % 16000
+			recs[j] = serve.TestRecord{
+				Line: data.LineID(l), Week: 30 + i%14,
+				F:     []float32{float32(i), float32(j)},
+				DSLAM: int32(l % 50), Usage: 0.5,
+			}
+		}
+		if _, err := build.IngestTests(recs); err != nil {
+			b.Fatal(err)
+		}
+		if i == 49 {
+			d.Checkpoint()
+		}
+	}
+	if err := d.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := serve.NewStore(8)
+		d, err := serve.OpenDurability(s, nil, serve.DurabilityConfig{
+			Dir: dir, Sync: wal.SyncNever,
+			CheckpointEvery: -1, NoFinalCheckpoint: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := s.Version(); got != 100 {
+			b.Fatalf("recovered to version %d, want 100", got)
+		}
+		d.Abandon()
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"nevermind/internal/ml"
 	"nevermind/internal/serve"
 	"nevermind/internal/sim"
+	"nevermind/internal/wal"
 )
 
 func main() {
@@ -58,6 +59,19 @@ func main() {
 		fleetID       = flag.String("fleet.id", "", "this daemon's shard name in a fleet (enables ring-ownership ingest filtering)")
 		fleetPeers    = flag.String("fleet.peers", "", "comma-separated shard names of the whole fleet, including -fleet.id; must match the gateway's list")
 		fleetReplicas = flag.Int("fleet.replicas", 0, "consistent-hash virtual nodes per shard (0 = default; must match the gateway)")
+
+		// Durability: with -wal.dir set, every ingest batch is logged before
+		// it is acked and the store checkpoints periodically; at startup the
+		// daemon recovers newest-checkpoint + WAL-tail to the exact state a
+		// never-restarted process would hold. Unset (the default) keeps the
+		// store purely in-memory, byte-identical to the pre-WAL daemon.
+		walDir       = flag.String("wal.dir", "", "write-ahead log + checkpoint directory (empty = no durability)")
+		walFsync     = flag.String("wal.fsync", "interval", "WAL fsync policy: always (no acked batch lost), interval, never")
+		walFsyncIvl  = flag.Duration("wal.fsync-interval", 50*time.Millisecond, "background fsync period under -wal.fsync=interval")
+		walSegBytes  = flag.Int64("wal.segment-bytes", 64<<20, "WAL segment rotation size")
+		ckptEvery    = flag.Int64("checkpoint.every", 256, "checkpoint once the store is this many versions past the last one (<0 disables)")
+		ckptInterval = flag.Duration("checkpoint.interval", 5*time.Minute, "also checkpoint on this timer when versions moved (0 disables)")
+		ckptKeep     = flag.Int("checkpoint.keep", 2, "checkpoint files to retain (the WAL is truncated only past the oldest)")
 
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling is opt-in)")
 		reqTimeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline on the API (0 disables)")
@@ -177,6 +191,35 @@ func main() {
 			*fleetID, ring.NumShards())
 	}
 
+	// Durability comes after fleet ownership is installed (replayed records
+	// were logged post-filter, so recovery needs no filtering, but live
+	// ingest after recovery does) and before the listener opens, so no
+	// request ever sees a half-recovered store.
+	var dur *serve.Durability
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			fatalStage("wal", err)
+		}
+		dur, err = serve.OpenDurability(srv.Store(), srv.Registry(), serve.DurabilityConfig{
+			Dir:                *walDir,
+			Sync:               policy,
+			SyncEvery:          *walFsyncIvl,
+			SegmentBytes:       *walSegBytes,
+			CheckpointEvery:    *ckptEvery,
+			CheckpointInterval: *ckptInterval,
+			KeepCheckpoints:    *ckptKeep,
+		})
+		if err != nil {
+			fatalStage("wal", err)
+		}
+		rec := dur.Recovery()
+		fmt.Fprintf(os.Stderr,
+			"nevermindd: recovered to version %d in %v (checkpoint %d + %d replayed records; %d bytes truncated, %d segments dropped, %d checkpoints skipped)\n",
+			rec.Version, rec.Duration.Round(time.Millisecond), rec.CheckpointVersion,
+			rec.ReplayedRecords, rec.TruncatedBytes, rec.DroppedSegments, rec.SkippedCheckpoints)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatalStage("listen", err)
@@ -249,6 +292,13 @@ func main() {
 
 	if err := srv.Serve(ctx, ln); err != nil {
 		fatalStage("serve", err)
+	}
+	if dur != nil {
+		// Final checkpoint + clean log close: the next start recovers from
+		// the checkpoint alone, no replay.
+		if err := dur.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "nevermindd: wal close: %v\n", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "nevermindd: drained, exiting")
 }

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"nevermind/internal/data"
+	"nevermind/internal/wal"
+)
+
+// StoreState is the checkpoint shape: a complete, canonical dump of the
+// store's shard contents plus the counters needed to resume exactly where a
+// crashed process stopped. It is gob-encoded (gzipped) by wal.WriteCheckpoint
+// — the same idiom as data.Dataset persistence. Canonical ordering (lines
+// ascending, per-line weeks ascending, tickets in (Day, Line, ID, Category)
+// order) makes the encoded bytes a function of the state alone, independent
+// of shard count and map iteration order.
+//
+// The dump is full shard state, NOT a Snapshot: a snapshot excludes tickets
+// for lines with no test record yet, while the shards keep them so those
+// tickets surface once the line's first test arrives. A restart must not
+// lose that pending set.
+type StoreState struct {
+	Version    uint64
+	LatestWeek int64
+	MaxLine    int64
+	Lines      []LineDump
+	Tickets    []data.Ticket
+}
+
+// LineDump is one line's full state: static attributes plus every seen
+// week's measurement (Week is carried inside each data.Measurement).
+type LineDump struct {
+	Line    data.LineID
+	Profile uint8
+	DSLAM   int32
+	Usage   float32
+	Tests   []data.Measurement
+}
+
+// ExportState captures a consistent-enough dump for checkpointing: the
+// version is read FIRST, then the shards are swept, so the captured state is
+// at least as new as the recorded version. Replaying WAL records past that
+// version on top re-applies idempotently (test cells overwrite per
+// (line, week), tickets dedup), which is exactly what recovery does.
+func (s *Store) ExportState() *StoreState {
+	st := &StoreState{
+		Version:    s.version.Load(),
+		LatestWeek: s.latestWeek.Load(),
+		MaxLine:    s.maxLine.Load(),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.rlockShard(sh, "checkpoint")
+		for l, ls := range sh.lines {
+			ld := LineDump{Line: l, Profile: ls.profile, DSLAM: ls.dslam, Usage: ls.usage}
+			for w := 0; w < data.Weeks; w++ {
+				if ls.seen[w] {
+					ld.Tests = append(ld.Tests, ls.tests[w])
+				}
+			}
+			st.Lines = append(st.Lines, ld)
+		}
+		st.Tickets = append(st.Tickets, sh.tickets...)
+		sh.mu.RUnlock()
+	}
+	sort.Slice(st.Lines, func(a, b int) bool { return st.Lines[a].Line < st.Lines[b].Line })
+	sortTickets(st.Tickets)
+	return st
+}
+
+// RestoreState seats a checkpoint dump into an empty store. The store must
+// be fresh (version 0, nothing ingested) — recovery builds a new store,
+// restores, then replays the WAL tail on top.
+func (s *Store) RestoreState(st *StoreState) error {
+	if s.version.Load() != 0 || s.maxLine.Load() != -1 {
+		return fmt.Errorf("serve: RestoreState on a non-empty store (version %d)", s.version.Load())
+	}
+	for i := range st.Lines {
+		ld := &st.Lines[i]
+		if ld.Line < 0 || ld.Line >= MaxLineID {
+			return fmt.Errorf("serve: checkpoint line %d outside [0,%d)", ld.Line, MaxLineID)
+		}
+		sh := s.shardOf(ld.Line)
+		ls := &lineState{profile: ld.Profile, dslam: ld.DSLAM, usage: ld.Usage}
+		for _, m := range ld.Tests {
+			if m.Week < 0 || m.Week >= data.Weeks {
+				return fmt.Errorf("serve: checkpoint line %d has week %d", ld.Line, m.Week)
+			}
+			if m.Line != ld.Line {
+				return fmt.Errorf("serve: checkpoint line %d holds a measurement for line %d", ld.Line, m.Line)
+			}
+			ls.tests[m.Week] = m
+			ls.seen[m.Week] = true
+		}
+		sh.lines[ld.Line] = ls
+	}
+	for _, t := range st.Tickets {
+		if t.Line < 0 || t.Line >= MaxLineID || t.Day < 0 || t.Day >= data.DaysInYear || t.Category > data.CatOther {
+			return fmt.Errorf("serve: checkpoint ticket %+v out of range", t)
+		}
+		sh := s.shardOf(t.Line)
+		if _, dup := sh.dedup[t]; !dup {
+			sh.dedup[t] = struct{}{}
+			sh.tickets = append(sh.tickets, t)
+		}
+	}
+	s.version.Store(st.Version)
+	s.latestWeek.Store(st.LatestWeek)
+	s.maxLine.Store(st.MaxLine)
+	return nil
+}
+
+// ApplyWALRecord replays one logged batch during recovery: the batch is
+// applied through the same shard-apply helpers live ingest uses, and the
+// store version is pinned to the record's version (no counter bump, no delta
+// log, no WAL sink — the record is already durable). Records must arrive in
+// version order; the WAL replay guarantees contiguity.
+func (s *Store) ApplyWALRecord(rec *wal.Record) error {
+	if v := s.version.Load(); rec.Version != v+1 {
+		return fmt.Errorf("serve: replay version %d onto store at %d", rec.Version, v)
+	}
+	switch rec.Op {
+	case wal.OpTests:
+		recs := make([]TestRecord, len(rec.Tests))
+		for i, t := range rec.Tests {
+			recs[i] = TestRecord{
+				Line: t.Line, Week: t.Week, Missing: t.Missing,
+				F: t.F, Profile: t.Profile, DSLAM: t.DSLAM, Usage: t.Usage,
+			}
+			if err := validateTest(&recs[i]); err != nil {
+				return fmt.Errorf("serve: replay version %d: %w", rec.Version, err)
+			}
+		}
+		s.applyTests(recs)
+	case wal.OpTickets:
+		recs := make([]TicketRecord, len(rec.Tickets))
+		for i, t := range rec.Tickets {
+			recs[i] = TicketRecord{ID: t.ID, Line: t.Line, Day: t.Day, Category: uint8(t.Category)}
+			if err := validateTicket(i, &recs[i]); err != nil {
+				return fmt.Errorf("serve: replay version %d: %w", rec.Version, err)
+			}
+		}
+		s.applyTickets(recs)
+	default:
+		return fmt.Errorf("serve: replay version %d: unknown op %d", rec.Version, rec.Op)
+	}
+	s.version.Store(rec.Version)
+	return nil
+}

@@ -156,6 +156,13 @@ type Store struct {
 	deltas   []deltaRecord
 	logCells int
 
+	// walSink, when set, receives every version bump with the applied batch
+	// while deltaMu is held, so the write-ahead log's record order is exactly
+	// the version order. Exactly one of tests/tickets is non-empty. Installed
+	// by the Durability manager before the store takes traffic; nil (the
+	// default) logs nothing.
+	walSink func(version uint64, tests []TestRecord, tickets []data.Ticket)
+
 	// genSalt disambiguates snapshot generations between stores in one
 	// process. Downstream encode/bin caches key on DS.Generation, and the
 	// cache is attached to the (shared) model — in a process holding several
@@ -364,8 +371,10 @@ func ValidateIngest(req *IngestRequest) error {
 
 // bumpVersion advances the ingest counter and logs the ingest's delta as one
 // atomic step, keeping the log gapless: record i always holds the footprint
-// of version deltas[0].version+i.
-func (s *Store) bumpVersion(cells []cellKey, tickets []data.Ticket) {
+// of version deltas[0].version+i. tests carries the applied (post-filter)
+// records for the write-ahead log sink, which runs under the same lock so
+// the durable log's order matches the version order exactly.
+func (s *Store) bumpVersion(cells []cellKey, tickets []data.Ticket, tests []TestRecord) {
 	s.deltaMu.Lock()
 	v := s.version.Add(1)
 	s.deltas = append(s.deltas, deltaRecord{version: v, cells: cells, tickets: tickets})
@@ -376,7 +385,16 @@ func (s *Store) bumpVersion(cells []cellKey, tickets []data.Ticket) {
 		*drop = deltaRecord{}
 		s.deltas = s.deltas[1:]
 	}
+	if s.walSink != nil {
+		s.walSink(v, tests, tickets)
+	}
 	s.deltaMu.Unlock()
+}
+
+// SetWALSink installs the write-ahead log hook (see Store.walSink). Call
+// before the store takes traffic; nil removes it.
+func (s *Store) SetWALSink(fn func(version uint64, tests []TestRecord, tickets []data.Ticket)) {
+	s.walSink = fn
 }
 
 // deltasBetween returns the delta records covering versions (base, target],
@@ -453,6 +471,17 @@ func (s *Store) IngestTests(recs []TestRecord) (int, error) {
 			m.storeIngestDur.With("ingest_tests").Observe(time.Since(t0))
 		}(time.Now())
 	}
+	cells := s.applyTests(recs)
+	s.bumpVersion(cells, nil, recs)
+	return len(recs), nil
+}
+
+// applyTests seats validated test records into their shards and advances the
+// latestWeek/maxLine watermarks. It is the shared apply step between live
+// ingest (IngestTests, which then bumps the version) and WAL replay
+// (ApplyWALRecord, which pins the version the record carries). Returns the
+// touched cells for the delta log.
+func (s *Store) applyTests(recs []TestRecord) []cellKey {
 	// Group by shard so each shard's lock is taken once per batch.
 	byShard := make(map[uint32][]int)
 	maxWeek := -1
@@ -507,8 +536,7 @@ func (s *Store) IngestTests(recs []TestRecord) (int, error) {
 			break
 		}
 	}
-	s.bumpVersion(cells, nil)
-	return len(recs), nil
+	return cells
 }
 
 // IngestTickets applies a batch of customer tickets (exact duplicates are
@@ -543,6 +571,18 @@ func (s *Store) IngestTickets(recs []TicketRecord) (int, error) {
 			m.storeIngestDur.With("ingest_tickets").Observe(time.Since(t0))
 		}(time.Now())
 	}
+	added := s.applyTickets(recs)
+	if len(added) > 0 {
+		s.bumpVersion(nil, added, nil)
+	}
+	return len(added), nil
+}
+
+// applyTickets seats validated tickets into their shards, dropping exact
+// duplicates via the shard dedup maps, and returns the tickets actually
+// added. Shared between live ingest and WAL replay (replayed ticket batches
+// are post-dedup values, so on a clean replay every one is added again).
+func (s *Store) applyTickets(recs []TicketRecord) []data.Ticket {
 	// Group by shard and take each shard's lock once per batch, exactly as
 	// IngestTests does. The per-record lock/unlock this replaced made a
 	// large ticket batch pay thousands of lock round-trips on one shard.
@@ -565,10 +605,7 @@ func (s *Store) IngestTickets(recs []TicketRecord) (int, error) {
 		}
 		sh.mu.Unlock()
 	}
-	if len(added) > 0 {
-		s.bumpVersion(nil, added)
-	}
-	return len(added), nil
+	return added
 }
 
 // Snapshot is an immutable point-in-use view of the store in the shape the

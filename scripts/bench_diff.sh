@@ -17,7 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GO="${GO:-go}"
-MATCH='ScoreCompiled|ServeScore'
+MATCH='ScoreCompiled|ServeScore|IngestWAL'
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 

@@ -1,0 +1,175 @@
+#!/usr/bin/env bash
+# Kill/restart smoke test for the durability subsystem: a nevermindd with a
+# write-ahead log is fed half-week batches over HTTP, killed with SIGKILL
+# mid-week, restarted over the same WAL directory, fed the rest of the feed,
+# and must answer /v1/rank and /v1/score byte-identically to a reference
+# daemon that was never killed. -wal.fsync=always makes every acked batch
+# durable, so the recovered version must equal the acked version exactly.
+# Finishes with `nevermindwal verify` proving the surviving directory
+# recovers offline. Used by `make restart-smoke` (part of `make check`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+WORK="$(mktemp -d)"
+WALDIR="$WORK/wal"
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "restart-smoke: FAIL: $*" >&2
+    for log in "$WORK"/*.log; do
+        echo "--- $log ---" >&2
+        cat "$log" >&2 || true
+    done
+    exit 1
+}
+
+echo "restart-smoke: building nevermindd and nevermindwal"
+"$GO" build -o "$WORK/nevermindd" ./cmd/nevermindd
+"$GO" build -o "$WORK/nevermindwal" ./cmd/nevermindwal
+
+# Both daemons train the same deterministic model (same -seed/-lines/-rounds),
+# so any divergence in answers can only come from store state.
+COMMON=(-addr 127.0.0.1:0 -lines 1200 -seed 7 -rounds 20 -pipeline=false)
+
+# boot <log> <extra flags...> — starts a daemon in THIS shell (so `wait`
+# can reap it), waits for its listen line, and sets BOOT_PID/BOOT_ADDR.
+boot() {
+    local log="$1"
+    shift
+    "$WORK/nevermindd" "${COMMON[@]}" "$@" >"$log" 2>&1 &
+    BOOT_PID=$!
+    BOOT_ADDR=""
+    for _ in $(seq 1 600); do
+        BOOT_ADDR="$(sed -n 's/^nevermindd: listening on //p' "$log" | head -n 1)"
+        [[ -n "$BOOT_ADDR" ]] && break
+        kill -0 "$BOOT_PID" 2>/dev/null || fail "daemon exited before listening (see $log)"
+        sleep 0.2
+    done
+    [[ -n "$BOOT_ADDR" ]] || fail "daemon never reported its listen address (see $log)"
+}
+
+# batch <index> — writes the feed's i-th batch to stdout. Half-week test
+# batches (lines 0-15 then 16-31) for weeks 38..41, with one ticket batch in
+# the middle; deterministic, so both daemons eat identical bytes.
+batch() {
+    local i="$1"
+    if [[ "$i" -eq 4 ]]; then
+        printf '{"tickets":[{"id":1,"line":3,"day":260,"category":0},{"id":2,"line":19,"day":262,"category":2}]}'
+        return
+    fi
+    local k="$i"
+    [[ "$i" -gt 4 ]] && k=$((i - 1))
+    local week=$((38 + k / 2)) lo=$((k % 2 * 16))
+    printf '{"tests":['
+    local sep=""
+    for line in $(seq "$lo" $((lo + 15))); do
+        printf '%s{"line":%d,"week":%d,"f":[%d,0.5,0.2%d],"profile":1,"dslam":%d,"usage":0.4}' \
+            "$sep" "$line" "$week" $((line % 3)) $((week % 10)) $((line % 8))
+        sep=","
+    done
+    printf ']}'
+}
+NBATCH=9 # batches 0..8: eight half-weeks + the ticket batch
+
+ingest() { # ingest <base-url> <index>; echoes the acked store version
+    local out
+    out="$(batch "$2" | curl -fsS -X POST -H 'Content-Type: application/json' \
+        --data-binary @- "$1/v1/ingest")" || fail "batch $2 rejected by $1: $out"
+    sed -n 's/.*"version":\([0-9]*\).*/\1/p' <<<"$out"
+}
+
+# --- Reference daemon: never killed, no WAL. ---
+boot "$WORK/reference.log"
+REF_PID="$BOOT_PID" REF_ADDR="$BOOT_ADDR"
+PIDS+=("$REF_PID")
+echo "restart-smoke: reference daemon up at $REF_ADDR"
+for i in $(seq 0 $((NBATCH - 1))); do
+    ingest "http://$REF_ADDR" "$i" >/dev/null
+done
+
+# --- Victim daemon: WAL on, fsync=always, killed mid-week. ---
+WALFLAGS=(-wal.dir "$WALDIR" -wal.fsync=always -checkpoint.every 3 -checkpoint.keep 2)
+boot "$WORK/victim.log" "${WALFLAGS[@]}"
+VIC_PID="$BOOT_PID" VIC_ADDR="$BOOT_ADDR"
+PIDS+=("$VIC_PID")
+echo "restart-smoke: victim daemon up at $VIC_ADDR (wal: $WALDIR)"
+
+KILL_AFTER=6 # after batch 5: the first half of week 40 is acked, week torn
+ACKED=""
+for i in $(seq 0 $((KILL_AFTER - 1))); do
+    ACKED="$(ingest "http://$VIC_ADDR" "$i")"
+done
+echo "restart-smoke: killing victim (SIGKILL) at acked version $ACKED"
+kill -9 "$VIC_PID"
+wait "$VIC_PID" 2>/dev/null || true
+
+# --- Restart over the same directory. ---
+boot "$WORK/restart.log" "${WALFLAGS[@]}"
+VIC_PID="$BOOT_PID" VIC_ADDR="$BOOT_ADDR"
+PIDS+=("$VIC_PID")
+RECLINE="$(grep '^nevermindd: recovered to version' "$WORK/restart.log" || true)"
+[[ -n "$RECLINE" ]] || fail "restarted daemon printed no recovery line"
+echo "restart-smoke: $RECLINE"
+RECOVERED="$(sed -n 's/^nevermindd: recovered to version \([0-9]*\) .*/\1/p' "$WORK/restart.log")"
+[[ "$RECOVERED" == "$ACKED" ]] \
+    || fail "recovered version $RECOVERED != acked version $ACKED (fsync=always lost a batch)"
+
+for i in $(seq "$KILL_AFTER" $((NBATCH - 1))); do
+    ingest "http://$VIC_ADDR" "$i" >/dev/null
+done
+
+# --- The restarted daemon must be indistinguishable from the reference. ---
+REF_VER="$(curl -fsS "http://$REF_ADDR/healthz" | sed -n 's/.*"version":\([0-9]*\).*/\1/p')"
+VIC_VER="$(curl -fsS "http://$VIC_ADDR/healthz" | sed -n 's/.*"version":\([0-9]*\).*/\1/p')"
+[[ "$REF_VER" == "$VIC_VER" ]] || fail "store versions diverged: reference $REF_VER, restarted $VIC_VER"
+
+RANK_Q="/v1/rank?week=41&n=10"
+diff <(curl -fsS "http://$REF_ADDR$RANK_Q") <(curl -fsS "http://$VIC_ADDR$RANK_Q") \
+    || fail "/v1/rank diverged between reference and restarted daemon"
+
+SCORE_BODY='{"examples":[{"line":3,"week":41},{"line":17,"week":40},{"line":25,"week":39}]}'
+score() {
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        --data-binary "$SCORE_BODY" "http://$1/v1/score"
+}
+diff <(score "$REF_ADDR") <(score "$VIC_ADDR") \
+    || fail "/v1/score diverged between reference and restarted daemon"
+echo "restart-smoke: rank, score, and version identical at version $VIC_VER"
+
+# One fetch, then grep the file: grep -q quitting early would SIGPIPE curl
+# mid-body and trip pipefail.
+curl -fsS "http://$VIC_ADDR/metrics" >"$WORK/metrics.txt"
+grep -q '^nevermind_wal_records_total' "$WORK/metrics.txt" \
+    || fail "/metrics is missing the WAL family"
+grep -q '^nevermind_recovery_duration_seconds' "$WORK/metrics.txt" \
+    || fail "/metrics is missing recovery stats"
+
+# --- Clean shutdown (final checkpoint), then offline verification. ---
+kill -TERM "$VIC_PID"
+DEADLINE=$((SECONDS + 30))
+while kill -0 "$VIC_PID" 2>/dev/null; do
+    [[ "$SECONDS" -lt "$DEADLINE" ]] || fail "restarted daemon did not exit within 30s of SIGTERM"
+    sleep 0.2
+done
+wait "$VIC_PID" || fail "restarted daemon exited non-zero"
+
+"$WORK/nevermindwal" inspect "$WALDIR" || fail "nevermindwal inspect errored"
+VERIFY="$("$WORK/nevermindwal" verify "$WALDIR")" || fail "nevermindwal verify failed"
+echo "$VERIFY"
+grep -q "OK — recovers to version $VIC_VER" <<<"$VERIFY" \
+    || fail "verify did not confirm version $VIC_VER: $VERIFY"
+
+kill -TERM "$REF_PID"
+wait "$REF_PID" 2>/dev/null || true
+
+echo "restart-smoke: PASS"
