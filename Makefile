@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-repeat race bench bench-json bench-diff bench-smoke serve-smoke fleet-smoke restart-smoke chaos-smoke chaos-soak experiments examples fuzz fuzz-smoke clean
+.PHONY: all check build vet test test-repeat race bench bench-json bench-diff bench-smoke serve-smoke fleet-smoke restart-smoke replica-smoke chaos-smoke chaos-soak experiments examples fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -14,7 +14,7 @@ all: build vet test
 # the sharded fleet, and of a kill -9/restart over the write-ahead log, a
 # short fuzz pass over the API decoders, and the chaos smoke (daemon under
 # injected faults).
-check: build vet test test-repeat race bench-smoke bench-diff serve-smoke fleet-smoke restart-smoke fuzz-smoke chaos-smoke
+check: build vet test test-repeat race bench-smoke bench-diff serve-smoke fleet-smoke restart-smoke replica-smoke fuzz-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -38,7 +38,7 @@ test-repeat:
 race:
 	$(GO) test -race ./internal/parallel/ ./internal/ml/ ./internal/obs/
 	$(GO) test -race -run 'AcrossWorkers|Compiled|Cache' ./internal/core/ ./internal/eval/
-	$(GO) test -race -timeout 30m ./internal/serve/ ./internal/chaos/
+	$(GO) test -race -timeout 30m ./internal/serve/ ./internal/chaos/ ./internal/replica/
 
 # One benchmark per paper table/figure plus ablations; writes the artifacts
 # the repository documents.
@@ -48,11 +48,12 @@ bench:
 # Machine-readable numbers for the ML and serving hot paths (reference vs
 # compiled scoring, training, transform, the serve endpoint, the
 # full-vs-delta snapshot rebuild, the fleet gateway's scatter-gather
-# score/rank paths, and the durability axis: ingest with the WAL off vs on
-# plus cold-restart recovery); BENCH_ml.json is committed so perf diffs
-# show up in review.
+# score/rank paths, the durability axis: ingest with the WAL off vs on
+# plus cold-restart recovery, and the replication axis: follower catch-up
+# over HTTP plus gateway scoring through a replica); BENCH_ml.json is
+# committed so perf diffs show up in review.
 bench-json:
-	$(GO) test -run '^$$' -bench 'ScoreAllWorkers|ScoreCompiled|CompileBStump|TrainBStump|Transform|FeatureScores|ServeScore|Snapshot|FleetScore|FleetRank|IngestWAL|Recovery' -benchmem . 2>&1 | tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_ml.json
+	$(GO) test -run '^$$' -bench 'ScoreAllWorkers|ScoreCompiled|CompileBStump|TrainBStump|Transform|FeatureScores|ServeScore|Snapshot|FleetScore|FleetRank|IngestWAL|Recovery|ReplicaCatchup|GatewayScoreReplicas' -benchmem . 2>&1 | tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_ml.json
 
 # Perf gate: rerun the compiled-scoring and serve-score benchmarks and fail
 # on a >25% ns/op regression — or an allocs/op regression past the same
@@ -86,6 +87,13 @@ fleet-smoke:
 restart-smoke:
 	./scripts/restart_smoke.sh
 
+# Replication smoke: a leader, a -replica.of follower, and a gateway routing
+# reads to the replica over real HTTP. The replica bootstraps mid-stream and
+# answers byte-identically to the leader; SIGKILLing it must leave gateway
+# reads answering via the leader, and a restart must converge again.
+replica-smoke:
+	./scripts/replica_smoke.sh
+
 # Chaos smoke: the daemon boots with every fault mode armed and must ride
 # the storm out — weeks complete exactly once, /healthz never fails, and
 # SIGTERM still drains. (The in-process equivalent, TestChaosSoak, runs in
@@ -117,13 +125,15 @@ fuzz:
 	$(GO) test ./internal/data/ -fuzz FuzzReadTicketsCSV -fuzztime 20s
 
 # Fuzz the serving API's decoders — the ingest body decoder and the rank
-# query parser — plus the WAL segment decoder (arbitrary bytes must
-# inspect, replay, and repair consistently, never panic), 30s/30s/20s.
-# Seed corpora for all three also run (instantly) in plain `make test`.
+# query parser — plus the WAL segment decoder and the replication stream
+# decoder (arbitrary bytes must decode consistently and never panic or
+# corrupt a store), 30s/30s/20s/20s. Seed corpora for all four also run
+# (instantly) in plain `make test`.
 fuzz-smoke:
 	$(GO) test ./internal/serve/ -fuzz FuzzIngestJSON -fuzztime 30s -run '^$$'
 	$(GO) test ./internal/serve/ -fuzz FuzzRankParams -fuzztime 30s -run '^$$'
 	$(GO) test ./internal/wal/ -fuzz FuzzWALDecode -fuzztime 20s -run '^$$'
+	$(GO) test ./internal/replica/ -fuzz FuzzReplStream -fuzztime 20s -run '^$$'
 
 clean:
 	rm -f test_output.txt bench_output.txt dsl-year.gob.gz

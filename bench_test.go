@@ -8,11 +8,13 @@ package nevermind
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -25,6 +27,7 @@ import (
 	"nevermind/internal/features"
 	"nevermind/internal/fleet"
 	"nevermind/internal/ml"
+	"nevermind/internal/replica"
 	"nevermind/internal/rng"
 	"nevermind/internal/serve"
 	"nevermind/internal/sim"
@@ -924,5 +927,169 @@ func BenchmarkRecovery(b *testing.B) {
 			b.Fatalf("recovered to version %d, want 100", got)
 		}
 		d.Abandon()
+	}
+}
+
+// BenchmarkReplicaCatchup measures a follower's full bootstrap over real
+// HTTP: download the leader's checkpoint (version 50 of the same fixture
+// BenchmarkRecovery replays), restore it, and stream-apply the 50-record WAL
+// tail. The delta against BenchmarkRecovery is the wire tax — HTTP transfer
+// plus the stream framing — since both end at the identical version-100
+// store.
+func BenchmarkReplicaCatchup(b *testing.B) {
+	dir := b.TempDir()
+	build := serve.NewStore(8)
+	d, err := serve.OpenDurability(build, nil, serve.DurabilityConfig{
+		Dir: dir, Sync: wal.SyncNever,
+		CheckpointEvery: -1, NoFinalCheckpoint: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]serve.TestRecord, 200)
+	for i := 0; i < 100; i++ {
+		for j := range recs {
+			l := (i*200 + j*31) % 16000
+			recs[j] = serve.TestRecord{
+				Line: data.LineID(l), Week: 30 + i%14,
+				F:     []float32{float32(i), float32(j)},
+				DSLAM: int32(l % 50), Usage: 0.5,
+			}
+		}
+		if _, err := build.IngestTests(recs); err != nil {
+			b.Fatal(err)
+		}
+		if i == 49 {
+			d.Checkpoint()
+		}
+	}
+	if err := d.Close(); err != nil {
+		b.Fatal(err)
+	}
+	src, err := replica.NewSource(replica.SourceConfig{
+		Dir:         dir,
+		LastVersion: func() uint64 { return 100 },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(src.Handler())
+	defer ts.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fol, err := replica.NewFollower(replica.FollowerConfig{
+			Leader: ts.URL, ID: "bench", Shards: 8,
+			SwapStore: func(*serve.Store) {},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fol.Bootstrap(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if got := fol.Status().Applied; got != 100 {
+			b.Fatalf("caught up to version %d, want 100", got)
+		}
+	}
+}
+
+// BenchmarkGatewayScoreReplicas measures whole-population batch scoring
+// through a gateway whose single shard has a caught-up read replica: every
+// score request routes to the replica, with the leader idle as fallback.
+// The comparison against BenchmarkFleetScore/shards-1 pins the cost of the
+// replica read path (health gating, round-robin pick, lag check) at ~zero.
+func BenchmarkGatewayScoreReplicas(b *testing.B) {
+	ctx := benchContext(b)
+	pred, err := ctx.StandardPredictor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	leader, err := serve.New(serve.Config{Predictor: pred})
+	if err != nil {
+		b.Fatal(err)
+	}
+	populateServeStore(b, leader, ctx.DS)
+	repl, err := serve.New(serve.Config{
+		Predictor: pred,
+		ReadOnly:  true,
+		ReplicaStatus: func() serve.ReplicaStatus {
+			v := leader.Store().Version()
+			return serve.ReplicaStatus{Applied: v, LeaderVersion: v, Connected: true}
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	populateServeStore(b, repl, ctx.DS)
+	ht := fleet.HostTransport{"shard-0": leader.Handler(), "shard-0-replica": repl.Handler()}
+	gw, err := fleet.NewGateway(fleet.Config{
+		Shards: []fleet.ShardSpec{{
+			Name: "shard-0", URL: "http://shard-0",
+			Replicas: []string{"http://shard-0-replica"},
+		}},
+		Retry:         serve.RetryConfig{MaxAttempts: 2},
+		Transport:     ht,
+		Sleep:         func(time.Duration) {},
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gw.Start()
+	defer gw.Stop()
+
+	handler := gw.Handler()
+	metrics := func() string {
+		sink := httptest.NewRecorder()
+		handler.ServeHTTP(sink, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+		return sink.Body.String()
+	}
+	// Replicas start pessimistic-down; wait for the prober to mark it up.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(metrics(), `fleet_replica_up{replica="shard-0-r0"} 1`) {
+		if time.Now().After(deadline) {
+			b.Fatal("prober never marked the replica up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	type ex struct {
+		Line int `json:"line"`
+		Week int `json:"week"`
+	}
+	examples := make([]ex, ctx.DS.NumLines)
+	for l := range examples {
+		examples[l] = ex{Line: l, Week: 43}
+	}
+	body, err := json.Marshal(map[string]any{"examples": examples})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rd := bytes.NewReader(body)
+	req := httptest.NewRequest(http.MethodPost, "/v1/score", rd)
+	sink := &sinkResponseWriter{h: make(http.Header, 4)}
+	post := func() {
+		rd.Seek(0, io.SeekStart)
+		sink.code, sink.n = 0, 0
+		handler.ServeHTTP(sink, req)
+		if sink.code != http.StatusOK {
+			b.Fatalf("score: status %d", sink.code)
+		}
+	}
+	post() // warm the replica's snapshot and week score tables
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N*ctx.DS.NumLines)/s, "lines/sec")
+	}
+	// The bench is void if reads quietly fell back to the leader.
+	if !strings.Contains(metrics(), `fleet_replica_reads_total{replica="shard-0-r0"}`) ||
+		strings.Contains(metrics(), `fleet_replica_reads_total{replica="shard-0-r0"} 0`) {
+		b.Fatal("score reads did not route to the replica")
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"nevermind/internal/features"
 	"nevermind/internal/fleet"
 	"nevermind/internal/ml"
+	"nevermind/internal/replica"
 	"nevermind/internal/serve"
 	"nevermind/internal/sim"
 	"nevermind/internal/wal"
@@ -65,6 +66,17 @@ func main() {
 		// daemon recovers newest-checkpoint + WAL-tail to the exact state a
 		// never-restarted process would hold. Unset (the default) keeps the
 		// store purely in-memory, byte-identical to the pre-WAL daemon.
+		// Replication: -replica.of turns this daemon into a read-only
+		// follower of another nevermindd. It bootstraps from the leader's
+		// newest checkpoint, then tails the leader's WAL stream, so its
+		// store is bit-identical to the leader's at every version. A leader
+		// running with -wal.dir automatically serves the replication
+		// endpoints under /v1/repl/.
+		replicaOf   = flag.String("replica.of", "", "leader base URL to replicate from (turns this daemon into a read-only follower)")
+		replicaPoll = flag.Duration("replica.poll", 2*time.Second, "long-poll wait per replication stream request")
+		replicaID   = flag.String("replica.id", "", "follower id for the leader's WAL retention tracking (default host-pid)")
+		replRetain  = flag.Duration("repl.retention", 5*time.Minute, "leader: how long a silent follower keeps pinning WAL segments")
+
 		walDir       = flag.String("wal.dir", "", "write-ahead log + checkpoint directory (empty = no durability)")
 		walFsync     = flag.String("wal.fsync", "interval", "WAL fsync policy: always (no acked batch lost), interval, never")
 		walFsyncIvl  = flag.Duration("wal.fsync-interval", 50*time.Millisecond, "background fsync period under -wal.fsync=interval")
@@ -97,6 +109,17 @@ func main() {
 
 	if *startWeek < 1 || *endWeek >= data.Weeks || *startWeek > *endWeek {
 		fatalStage("config", fmt.Errorf("pipeline weeks [%d,%d] outside [1,%d)", *startWeek, *endWeek, data.Weeks))
+	}
+	if *replicaOf != "" {
+		if *walDir != "" {
+			fatalStage("config", fmt.Errorf("-replica.of and -wal.dir are mutually exclusive: a follower's durability is the leader's"))
+		}
+		if *pipeline {
+			// A follower's store is written only by the replication apply
+			// loop; the weekly loop belongs to the leader (or the gateway).
+			fmt.Fprintln(os.Stderr, "nevermindd: replica mode; pipeline disabled")
+			*pipeline = false
+		}
 	}
 
 	ds, err := loadOrSimulate(*dataPath, *lines, *seed)
@@ -150,7 +173,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nevermindd: CHAOS armed (seed %d)\n", *chaosSeed)
 	}
 
-	srv, err := serve.New(serve.Config{
+	// In replica mode the status closure late-binds the follower: it is
+	// built after the server (it needs srv.SwapStore), but always before the
+	// listener opens, so no request observes a nil follower.
+	var fol *replica.Follower
+	scfg := serve.Config{
 		Predictor:      pred,
 		Locator:        loc,
 		PredictorPath:  *model,
@@ -162,7 +189,17 @@ func main() {
 		MaxInflight:    *maxInflight,
 		EnablePprof:    *pprofOn,
 		Faults:         faults,
-	})
+	}
+	if *replicaOf != "" {
+		scfg.ReadOnly = true
+		scfg.ReplicaStatus = func() serve.ReplicaStatus {
+			if fol == nil {
+				return serve.ReplicaStatus{}
+			}
+			return fol.Status()
+		}
+	}
+	srv, err := serve.New(scfg)
 	if err != nil {
 		fatalStage("server", err)
 	}
@@ -218,6 +255,47 @@ func main() {
 			"nevermindd: recovered to version %d in %v (checkpoint %d + %d replayed records; %d bytes truncated, %d segments dropped, %d checkpoints skipped)\n",
 			rec.Version, rec.Duration.Round(time.Millisecond), rec.CheckpointVersion,
 			rec.ReplayedRecords, rec.TruncatedBytes, rec.DroppedSegments, rec.SkippedCheckpoints)
+
+		// A durable daemon is a replication leader: serve its checkpoints and
+		// WAL under /v1/repl/, wake blocked follower streams on every append,
+		// and hold WAL truncation back for active followers.
+		src, err := replica.NewSource(replica.SourceConfig{
+			Dir:          dur.Dir(),
+			LastVersion:  dur.LogVersion,
+			RetentionTTL: *replRetain,
+			Reg:          srv.Registry(),
+		})
+		if err != nil {
+			fatalStage("replica", err)
+		}
+		dur.SetOnAppend(src.Wake)
+		dur.SetRetention(src.Retain)
+		srv.MountReplication(src.Handler())
+		fmt.Fprintf(os.Stderr, "nevermindd: replication source mounted at /v1/repl/ (log tail %d)\n", dur.LogVersion())
+	}
+
+	// Replica bootstrap happens synchronously before the listener opens:
+	// once the daemon accepts a request, its store is a complete leader state
+	// at some version, never a partial one.
+	if *replicaOf != "" {
+		fol, err = replica.NewFollower(replica.FollowerConfig{
+			Leader:    *replicaOf,
+			ID:        *replicaID,
+			Shards:    *shards,
+			SwapStore: srv.SwapStore,
+			PollWait:  *replicaPoll,
+			Reg:       srv.Registry(),
+		})
+		if err != nil {
+			fatalStage("replica", err)
+		}
+		t0 := time.Now()
+		if err := fol.Bootstrap(context.Background()); err != nil {
+			fatalStage("replica", err)
+		}
+		// The smoke test parses this line for the bootstrap version.
+		fmt.Fprintf(os.Stderr, "nevermindd: replica bootstrapped to version %d from %s in %v\n",
+			fol.Status().Applied, *replicaOf, time.Since(t0).Round(time.Millisecond))
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -229,6 +307,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if fol != nil {
+		go func() {
+			if err := fol.Run(ctx); ctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "nevermindd: replica: %v\n", err)
+			}
+		}()
+	}
 
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)

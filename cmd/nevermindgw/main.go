@@ -54,12 +54,37 @@ func (s *shardFlags) Set(v string) error {
 	return nil
 }
 
+// replicaFlags collects repeated -replica shard=url flags: each names a
+// read replica (a nevermindd running -replica.of against that shard's
+// leader). Order within a shard fixes the replica index only.
+type replicaFlags []struct{ shard, url string }
+
+func (r *replicaFlags) String() string {
+	parts := make([]string, len(*r))
+	for i, e := range *r {
+		parts[i] = e.shard + "=" + e.url
+	}
+	return strings.Join(parts, ",")
+}
+
+func (r *replicaFlags) Set(v string) error {
+	shard, url, ok := strings.Cut(v, "=")
+	if !ok || shard == "" || url == "" {
+		return fmt.Errorf("want shard=url, got %q", v)
+	}
+	*r = append(*r, struct{ shard, url string }{shard, url})
+	return nil
+}
+
 func main() {
 	var shards shardFlags
 	flag.Var(&shards, "shard", "fleet member as name=url (repeat once per shard)")
+	var shardReplicas replicaFlags
+	flag.Var(&shardReplicas, "replica", "read replica as shard=url (repeatable; reads prefer fresh replicas, ingest stays on leaders)")
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8090", "listen address (port 0 picks a free port)")
 		replicas = flag.Int("replicas", 0, "consistent-hash virtual nodes per shard (0 = default; must match the shards' -fleet.replicas)")
+		maxLag   = flag.Uint64("max-replica-lag", 0, "ingest versions a replica may trail before reads skip it (0 = default)")
 		probe    = flag.Duration("probe", time.Second, "shard health-probe interval")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 		seed     = flag.Uint64("seed", 42, "simulation seed; also drives retry-backoff jitter")
@@ -86,6 +111,19 @@ func main() {
 	if len(shards) == 0 {
 		fatalStage("config", fmt.Errorf("no shards; pass -shard name=url at least once"))
 	}
+	for _, e := range shardReplicas {
+		found := false
+		for i := range shards {
+			if shards[i].Name == e.shard {
+				shards[i].Replicas = append(shards[i].Replicas, e.url)
+				found = true
+				break
+			}
+		}
+		if !found {
+			fatalStage("config", fmt.Errorf("-replica %s=%s names an unknown shard", e.shard, e.url))
+		}
+	}
 
 	var inj *chaos.Injector
 	var hooks *fleet.FaultHooks
@@ -102,8 +140,9 @@ func main() {
 	}
 
 	gw, err := fleet.NewGateway(fleet.Config{
-		Shards:   shards,
-		Replicas: *replicas,
+		Shards:        shards,
+		Replicas:      *replicas,
+		MaxReplicaLag: *maxLag,
 		Retry: serve.RetryConfig{
 			MaxAttempts: *retryAttempts,
 			BaseDelay:   *retryBase,

@@ -1,0 +1,396 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nevermind/internal/replica"
+	"nevermind/internal/serve"
+	"nevermind/internal/wal"
+)
+
+// The replication soak is the leader/follower fault family: a follower killed
+// and restarted mid-catch-up, leader retention pruning racing a follower that
+// fell asleep, and a stream transport that tears and flips bytes. In every
+// case the follower must converge bit-identically to the leader (the same
+// assertStoreContentEqual the restart soak uses) or re-bootstrap from a fresh
+// checkpoint — and a store handed to SwapStore must never be behind one
+// readers already saw, nor torn.
+
+// replLeader is a leader reduced to what replication needs: a durable store
+// with the source mounted over real HTTP. No models, no serving handlers —
+// the follower only ever talks to /v1/repl/.
+type replLeader struct {
+	st  *serve.Store
+	d   *serve.Durability
+	src *replica.Source
+	ts  *httptest.Server
+}
+
+func newReplLeader(t *testing.T, ttl time.Duration, maxStream int) *replLeader {
+	t.Helper()
+	dir := t.TempDir()
+	st := serve.NewStore(4)
+	d, err := serve.OpenDurability(st, nil, serve.DurabilityConfig{
+		Dir:             dir,
+		Sync:            wal.SyncNever,
+		CheckpointEvery: -1,
+		SegmentBytes:    8 << 10, // small segments so pruning bites quickly
+		KeepCheckpoints: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := replica.NewSource(replica.SourceConfig{
+		Dir:              dir,
+		LastVersion:      d.LogVersion,
+		RetentionTTL:     ttl,
+		MaxStreamRecords: maxStream,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetOnAppend(src.Wake)
+	d.SetRetention(src.Retain)
+	ts := httptest.NewServer(src.Handler())
+	t.Cleanup(func() { ts.Close(); d.Abandon() })
+	return &replLeader{st: st, d: d, src: src, ts: ts}
+}
+
+// pubTracker records every store the follower publishes and enforces the
+// swap contract: a published store never trails one readers already saw.
+type pubTracker struct {
+	t  *testing.T
+	mu sync.Mutex
+	st []*serve.Store
+}
+
+func (p *pubTracker) swap(s *serve.Store) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.st); n > 0 && s.Version() < p.st[n-1].Version() {
+		p.t.Errorf("published store went backwards: %d after %d", s.Version(), p.st[n-1].Version())
+	}
+	p.st = append(p.st, s)
+}
+
+func (p *pubTracker) last() *serve.Store {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.st) == 0 {
+		return nil
+	}
+	return p.st[len(p.st)-1]
+}
+
+func (p *pubTracker) count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.st)
+}
+
+// waitApplied spins until the follower's applied position reaches want.
+func waitApplied(t *testing.T, fol *replica.Follower, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for fol.Status().Applied != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck: status %+v, want applied %d", fol.Status(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// killRT lets a fixed number of requests through, then fails every later one
+// at the transport — the deterministic stand-in for kill -9 on the follower:
+// the process loses its in-flight catch-up and all in-memory state.
+type killRT struct {
+	inner   http.RoundTripper
+	mu      sync.Mutex
+	allowed int
+}
+
+func (k *killRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	k.mu.Lock()
+	ok := k.allowed > 0
+	if ok {
+		k.allowed--
+	}
+	k.mu.Unlock()
+	if !ok {
+		return nil, errors.New("chaos: follower killed")
+	}
+	return k.inner.RoundTrip(req)
+}
+
+// TestReplicaKillRestartMidCatchup kills a follower partway through a
+// multi-poll catch-up (the leader's stream cap makes one poll insufficient)
+// and restarts it as a fresh process. The dead follower must never have
+// published a store; the restarted one must converge bit-identically.
+func TestReplicaKillRestartMidCatchup(t *testing.T) {
+	steps := restartFeed(40, 47, 6)
+	leader := newReplLeader(t, 5*time.Minute, 5)
+
+	// Checkpoint early so catch-up is checkpoint + a long WAL tail, then pile
+	// on: 24 versions against a 5-record stream cap means >= 4 polls to boot.
+	for i := 0; i < 8; i++ {
+		ingestStep(t, leader.st, &steps[i])
+	}
+	leader.d.Checkpoint()
+	for i := 8; i < 24; i++ {
+		ingestStep(t, leader.st, &steps[i])
+	}
+
+	// First follower: killed after the checkpoint download plus two stream
+	// polls — mid-catch-up by construction.
+	tracker1 := &pubTracker{t: t}
+	fol1, err := replica.NewFollower(replica.FollowerConfig{
+		Leader: leader.ts.URL, ID: "doomed", Shards: 4,
+		SwapStore: tracker1.swap,
+		Client:    &http.Client{Transport: &killRT{inner: http.DefaultTransport, allowed: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fol1.Bootstrap(t.Context()); err == nil {
+		t.Fatal("killed follower bootstrapped anyway")
+	}
+	if n := tracker1.count(); n != 0 {
+		t.Fatalf("killed follower published %d stores; a partial catch-up must publish nothing", n)
+	}
+
+	// Restart: a fresh follower (fresh process: no state carries over) boots
+	// from the same leader and then tails it live through the rest of the feed.
+	tracker2 := &pubTracker{t: t}
+	fol2, err := replica.NewFollower(replica.FollowerConfig{
+		Leader: leader.ts.URL, ID: "restarted", Shards: 4,
+		SwapStore: tracker2.swap,
+		PollWait:  200 * time.Millisecond,
+		RetryBase: time.Millisecond, RetryMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fol2.Bootstrap(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(t.Context())
+	done := make(chan struct{})
+	go func() { defer close(done); fol2.Run(ctx) }()
+	for i := 24; i < len(steps); i++ {
+		ingestStep(t, leader.st, &steps[i])
+	}
+	waitApplied(t, fol2, leader.st.Version())
+	cancel()
+	<-done
+
+	if got := fol2.Bootstraps(); got != 1 {
+		t.Fatalf("restarted follower bootstrapped %d times, want 1", got)
+	}
+	assertStoreContentEqual(t, "kill-restart", runClean(t, steps), tracker2.last())
+}
+
+// TestReplicaPruningRacesSlowFollower lets a follower's retention claim lapse
+// while the leader checkpoints and prunes past its position. The next poll
+// must get 410 Gone and the follower must re-bootstrap from a fresh
+// checkpoint — never resume from a gapped WAL — and still converge
+// bit-identically.
+func TestReplicaPruningRacesSlowFollower(t *testing.T) {
+	steps := restartFeed(40, 51, 15)
+	leader := newReplLeader(t, 40*time.Millisecond, 0)
+
+	cursor := 0
+	ingestN := func(n int) {
+		for i := 0; i < n && cursor < len(steps); i++ {
+			ingestStep(t, leader.st, &steps[cursor])
+			cursor++
+		}
+	}
+
+	ingestN(8)
+	leader.d.Checkpoint()
+
+	tracker := &pubTracker{t: t}
+	fol, err := replica.NewFollower(replica.FollowerConfig{
+		Leader: leader.ts.URL, ID: "slow", Shards: 4,
+		SwapStore: tracker.swap,
+		PollWait:  50 * time.Millisecond,
+		RetryBase: time.Millisecond, RetryMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fol.Bootstrap(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	v0 := tracker.last().Version()
+
+	// The follower sleeps past the retention TTL; the leader keeps ingesting
+	// and checkpointing until the WAL chain no longer reaches v0.
+	time.Sleep(80 * time.Millisecond)
+	probe := errors.New("probe")
+	gapped := false
+	for i := 0; i < 40 && !gapped && cursor < len(steps); i++ {
+		ingestN(4)
+		leader.d.Checkpoint()
+		_, err := wal.Replay(leader.d.Dir(), v0, func(*wal.Record) error { return probe })
+		gapped = errors.Is(err, wal.ErrReplayGap)
+	}
+	if !gapped {
+		t.Fatalf("pruning never gapped the WAL past the follower (v0 %d, leader %d)", v0, leader.st.Version())
+	}
+
+	ctx, cancel := context.WithCancel(t.Context())
+	done := make(chan struct{})
+	go func() { defer close(done); fol.Run(ctx) }()
+	deadline := time.Now().Add(30 * time.Second)
+	for fol.Status().Applied != leader.st.Version() || fol.Bootstraps() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no 410-triggered convergence: status %+v bootstraps %d leader %d",
+				fol.Status(), fol.Bootstraps(), leader.st.Version())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	assertStoreContentEqual(t, "pruned", runClean(t, steps[:cursor]), tracker.last())
+}
+
+// faultRT mangles replication stream responses: truncation at a random byte
+// (a torn read) or a single bit flip (corruption), seeded and serialized so
+// runs replay. Checkpoint downloads pass clean — the stream decoder is the
+// target here; corrupt checkpoints have their own walk-back test.
+type faultRT struct {
+	inner http.RoundTripper
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	mangled int
+}
+
+func (f *faultRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := f.inner.RoundTrip(req)
+	if err != nil || !strings.HasSuffix(req.URL.Path, "/v1/repl/wal") {
+		return resp, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	f.mu.Lock()
+	switch {
+	case len(body) > 0 && f.rng.Float64() < 0.25:
+		body = body[:f.rng.Intn(len(body))]
+		f.mangled++
+	case len(body) > 0 && f.rng.Float64() < 0.25:
+		body = append([]byte(nil), body...)
+		body[f.rng.Intn(len(body))] ^= 1 << f.rng.Intn(8)
+		f.mangled++
+	}
+	f.mu.Unlock()
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}
+
+// TestReplicaCorruptStream tails a live leader through a transport that tears
+// and flips stream bytes. CRC framing means every applied prefix is valid: the
+// follower resumes from its position after each mangled read and still
+// converges bit-identically, while concurrent readers never observe the store
+// going backwards.
+func TestReplicaCorruptStream(t *testing.T) {
+	steps := restartFeed(40, 51, 6)
+	leader := newReplLeader(t, 5*time.Minute, 5)
+
+	for i := 0; i < 8; i++ {
+		ingestStep(t, leader.st, &steps[i])
+	}
+	leader.d.Checkpoint()
+
+	rt := &faultRT{inner: http.DefaultTransport, rng: rand.New(rand.NewSource(43))}
+	tracker := &pubTracker{t: t}
+	fol, err := replica.NewFollower(replica.FollowerConfig{
+		Leader: leader.ts.URL, ID: "mangled", Shards: 4,
+		SwapStore: tracker.swap,
+		Client:    &http.Client{Transport: rt},
+		PollWait:  50 * time.Millisecond,
+		RetryBase: time.Millisecond, RetryMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mangled read during the bootstrap catch-up fails the boot (the daemon
+	// would exit); keep restarting until one gets through, as an operator's
+	// supervisor would.
+	boot := func() error {
+		var err error
+		for attempt := 0; attempt < 20; attempt++ {
+			if err = fol.Bootstrap(t.Context()); err == nil {
+				return nil
+			}
+		}
+		return err
+	}
+	if err := boot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Readers hammer the published store throughout: snapshot versions must
+	// never regress, across in-place applies and swaps alike.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if s := tracker.last(); s != nil {
+				if sn := s.Snapshot(); sn != nil {
+					if sn.Version < prev {
+						t.Errorf("reader saw the store go backwards: %d after %d", sn.Version, prev)
+						return
+					}
+					prev = sn.Version
+				}
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(t.Context())
+	done := make(chan struct{})
+	go func() { defer close(done); fol.Run(ctx) }()
+	for i := 8; i < len(steps); i++ {
+		ingestStep(t, leader.st, &steps[i])
+	}
+	waitApplied(t, fol, leader.st.Version())
+	cancel()
+	<-done
+	close(stop)
+	wg.Wait()
+
+	rt.mu.Lock()
+	mangled := rt.mangled
+	rt.mu.Unlock()
+	if mangled == 0 {
+		t.Fatal("fault transport mangled nothing; the soak proved nothing")
+	}
+	t.Logf("converged through %d mangled stream reads", mangled)
+	assertStoreContentEqual(t, "corrupt-stream", runClean(t, steps), tracker.last())
+}

@@ -12,6 +12,7 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nevermind/internal/data"
@@ -25,6 +26,10 @@ import (
 type ShardSpec struct {
 	Name string
 	URL  string
+	// Replicas lists read-replica base URLs for this shard (nevermindd
+	// -replica.of pointed at URL). Reads prefer a healthy, fresh-enough
+	// replica; ingest and fleet control always go to the leader.
+	Replicas []string
 }
 
 // Config assembles a Gateway.
@@ -44,6 +49,10 @@ type Config struct {
 	ProbeInterval time.Duration
 	// DrainTimeout bounds graceful shutdown (0 = 10s).
 	DrainTimeout time.Duration
+	// MaxReplicaLag is the staleness bound for replica reads: a replica
+	// whose last probe reported more versions of lag than this is skipped
+	// and the read goes to the leader. 0 = DefaultMaxReplicaLag.
+	MaxReplicaLag uint64
 	// Sleep replaces time.Sleep for retry backoff; tests inject an instant
 	// fake. nil = time.Sleep.
 	Sleep func(time.Duration)
@@ -61,6 +70,8 @@ type Config struct {
 type Gateway struct {
 	ring         *Ring
 	clients      []*ShardClient
+	replicas     []*replicaSet // parallel to clients; entries may be empty
+	maxLag       uint64
 	m            *gwMetrics
 	mux          *http.ServeMux
 	prober       *prober
@@ -81,15 +92,26 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	if err != nil {
 		return nil, err
 	}
+	var replicaNames []string
+	for _, s := range cfg.Shards {
+		for k := range s.Replicas {
+			replicaNames = append(replicaNames, replicaName(s.Name, k))
+		}
+	}
 	g := &Gateway{
 		ring:         ring,
-		m:            newGwMetrics(names),
+		maxLag:       cfg.MaxReplicaLag,
+		m:            newGwMetrics(names, replicaNames),
 		drainTimeout: cfg.DrainTimeout,
+	}
+	if g.maxLag == 0 {
+		g.maxLag = DefaultMaxReplicaLag
 	}
 	if g.drainTimeout <= 0 {
 		g.drainTimeout = 10 * time.Second
 	}
 	g.clients = make([]*ShardClient, len(cfg.Shards))
+	g.replicas = make([]*replicaSet, len(cfg.Shards))
 	for i, s := range cfg.Shards {
 		if s.URL == "" {
 			return nil, fmt.Errorf("fleet: shard %q has no URL", s.Name)
@@ -101,6 +123,24 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		g.clients[i] = c
 		// Optimistic until the first probe or failure says otherwise.
 		g.m.shardUp.With(s.Name).Set(1)
+
+		rs := &replicaSet{}
+		for k, u := range s.Replicas {
+			if u == "" {
+				return nil, fmt.Errorf("fleet: shard %q replica %d has no URL", s.Name, k)
+			}
+			name := replicaName(s.Name, k)
+			// Replicas retry at most once: the leader is the fallback, so a
+			// flaky replica should lose the request quickly, not hold it
+			// through a full backoff ladder.
+			retry := cfg.Retry
+			retry.MaxAttempts = 2
+			rc := &replicaState{client: newShardClient(name, u, i, retry, cfg.Transport, cfg.Sleep)}
+			rc.client.hooks = cfg.Hooks
+			rs.members = append(rs.members, rc)
+			g.m.replicaUp.With(name).Set(0) // pessimistic until probed
+		}
+		g.replicas[i] = rs
 	}
 	g.prober = newProber(g, cfg.ProbeInterval)
 
@@ -186,6 +226,71 @@ func writeRawJSON(w http.ResponseWriter, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
+}
+
+// DefaultMaxReplicaLag is the staleness bound for replica reads when the
+// config leaves it zero: a replica trailing the leader by more ingest
+// versions than this serves no reads until it catches up.
+const DefaultMaxReplicaLag = 64
+
+// replicaName labels shard s's k-th replica in metrics and errors.
+func replicaName(shard string, k int) string {
+	return fmt.Sprintf("%s-r%d", shard, k)
+}
+
+// replicaState is one replica's client plus the health the prober last saw.
+// up starts false: a replica serves no reads until a probe has proven it
+// reachable and fresh enough.
+type replicaState struct {
+	client *ShardClient
+	up     atomic.Bool
+	lag    atomic.Uint64
+}
+
+// replicaSet is one shard's replicas plus the round-robin cursor reads
+// rotate through.
+type replicaSet struct {
+	members []*replicaState
+	next    atomic.Uint32
+}
+
+// pickReplica returns the next healthy, fresh-enough replica for a shard, or
+// nil when the leader should serve the read itself.
+func (g *Gateway) pickReplica(idx int) *replicaState {
+	rs := g.replicas[idx]
+	if rs == nil || len(rs.members) == 0 {
+		return nil
+	}
+	start := int(rs.next.Add(1))
+	for k := 0; k < len(rs.members); k++ {
+		rc := rs.members[(start+k)%len(rs.members)]
+		if rc.up.Load() && rc.lag.Load() <= g.maxLag {
+			return rc
+		}
+	}
+	return nil
+}
+
+// readCall serves one read-path shard request (score, locate, rank legs):
+// it prefers a replica, and on replica failure — transport error or a 5xx —
+// falls back to the leader within the same request, marking the replica down
+// so the next read skips it until a probe brings it back. Ingest, reload and
+// health always use shardCall directly.
+func (g *Gateway) readCall(ctx context.Context, idx int, op, method, path, ct string, body []byte) (*Response, error) {
+	if rc := g.pickReplica(idx); rc != nil {
+		resp, err := rc.client.Do(ctx, op, method, path, ct, body)
+		if err == nil && resp.Status < 500 {
+			g.m.replicaReads.With(rc.client.name).Add(1)
+			return resp, nil
+		}
+		// A 5xx from a replica (empty store mid-bootstrap, drain) is not the
+		// fleet's answer while the leader can still give a real one.
+		g.m.replicaErrors.With(rc.client.name).Add(1)
+		g.m.readFallbacks.Add(1)
+		rc.up.Store(false)
+		g.m.replicaUp.With(rc.client.name).Set(0)
+	}
+	return g.shardCall(ctx, idx, op, method, path, ct, body)
 }
 
 // shardCall performs one retried shard request, downgrading the shard's
@@ -351,7 +456,7 @@ func (g *Gateway) handleScore(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, body []byte) {
 			defer wg.Done()
-			results[i].resp, results[i].err = g.shardCall(r.Context(), i,
+			results[i].resp, results[i].err = g.readCall(r.Context(), i,
 				"score", http.MethodPost, "/v1/score", "application/json", body)
 		}(i, sub)
 	}
@@ -423,7 +528,7 @@ func (g *Gateway) handleLocate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	o := g.ring.Owner(req.Line)
-	resp, err := g.shardCall(r.Context(), o, "locate", http.MethodPost, "/v1/locate", "application/json", body)
+	resp, err := g.readCall(r.Context(), o, "locate", http.MethodPost, "/v1/locate", "application/json", body)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
@@ -525,7 +630,7 @@ func (g *Gateway) handleRank(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i].resp, results[i].err = g.shardCall(r.Context(), i,
+			results[i].resp, results[i].err = g.readCall(r.Context(), i,
 				"rank", http.MethodGet, path, "", nil)
 		}(i)
 	}

@@ -22,6 +22,12 @@ type ShardHealth struct {
 	Version           uint64 `json:"version"`
 	SnapshotLag       uint64 `json:"snapshot_lag"`
 	SchemaFingerprint string `json:"schema_fingerprint"`
+	// Replica fields, present only on followers (-replica.of): absent on a
+	// leader both decode to the zero value, which reads as "no lag" —
+	// correct, since a leader IS the source of truth.
+	Replica          bool   `json:"replica"`
+	ReplicaLag       uint64 `json:"replica_lag"`
+	ReplicaConnected bool   `json:"replica_connected"`
 }
 
 // Health probes one shard's /healthz through the normal retrying client.
@@ -104,7 +110,36 @@ func (p *prober) probeAll() {
 			p.setDown(c.name, false)
 		}(c)
 	}
+	for _, rs := range p.gw.replicas {
+		if rs == nil {
+			continue
+		}
+		for _, rc := range rs.members {
+			wg.Add(1)
+			go func(rc *replicaState) {
+				defer wg.Done()
+				p.probeReplica(ctx, rc)
+			}(rc)
+		}
+	}
 	wg.Wait()
+}
+
+// probeReplica refreshes one replica's routing state: reachable + its
+// reported replication lag. The up/lag pair is what pickReplica gates on, so
+// a dead or lapsed replica stops taking reads within one probe interval.
+func (p *prober) probeReplica(ctx context.Context, rc *replicaState) {
+	m := p.gw.m
+	h, err := rc.client.Health(ctx)
+	if err != nil {
+		rc.up.Store(false)
+		m.replicaUp.With(rc.client.name).Set(0)
+		return
+	}
+	rc.lag.Store(h.ReplicaLag)
+	rc.up.Store(true)
+	m.replicaUp.With(rc.client.name).Set(1)
+	m.replicaLag.With(rc.client.name).Set(int64(h.ReplicaLag))
 }
 
 // setDown records a shard's up/down transition and keeps the degraded count

@@ -33,13 +33,22 @@ type gwMetrics struct {
 	shardRetries *obs.CounterVec
 	shardErrors  *obs.CounterVec
 
+	// Per-replica routing state, refreshed by the prober and by read-path
+	// fallbacks. readFallbacks counts reads a replica lost to the leader
+	// mid-request.
+	replicaUp     *obs.GaugeVec
+	replicaLag    *obs.GaugeVec
+	replicaReads  *obs.CounterVec
+	replicaErrors *obs.CounterVec
+	readFallbacks *obs.Counter
+
 	// degraded counts shards currently considered down; partialRanks counts
 	// /v1/rank responses served from a subset of the fleet.
 	degraded     *obs.Gauge
 	partialRanks *obs.Counter
 }
 
-func newGwMetrics(shardNames []string) *gwMetrics {
+func newGwMetrics(shardNames, replicaNames []string) *gwMetrics {
 	reg := obs.NewRegistry()
 	m := &gwMetrics{start: time.Now(), reg: reg}
 	m.requests = reg.CounterVec("fleet_http_requests_total",
@@ -61,6 +70,17 @@ func newGwMetrics(shardNames []string) *gwMetrics {
 		"Shard requests retried after a transient failure, by shard.", "shard").Preset(shardNames...)
 	m.shardErrors = reg.CounterVec("fleet_shard_errors_total",
 		"Shard requests that exhausted the retry budget, by shard.", "shard").Preset(shardNames...)
+
+	m.replicaUp = reg.GaugeVec("fleet_replica_up",
+		"1 while the replica answers its probe and serves reads, else 0.", "replica").Preset(replicaNames...)
+	m.replicaLag = reg.GaugeVec("fleet_replica_lag_versions",
+		"Ingest versions the replica trails its leader, per last probe.", "replica").Preset(replicaNames...)
+	m.replicaReads = reg.CounterVec("fleet_replica_reads_total",
+		"Read requests served by the replica.", "replica").Preset(replicaNames...)
+	m.replicaErrors = reg.CounterVec("fleet_replica_errors_total",
+		"Replica read attempts that failed over to the leader.", "replica").Preset(replicaNames...)
+	m.readFallbacks = reg.Counter("fleet_read_fallbacks_total",
+		"Reads that fell back to a leader after a replica failure.")
 
 	m.degraded = reg.Gauge("fleet_degraded_shards",
 		"Shards currently down; > 0 means rank answers may be partial.")

@@ -1,0 +1,124 @@
+package replica_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"nevermind/internal/data"
+	"nevermind/internal/serve"
+	"nevermind/internal/wal"
+)
+
+// healthyStream builds a valid replication stream: header at leader version 3
+// plus records v1..v3 covering both ops, exactly what a leader would ship a
+// follower starting from 0.
+func healthyStream(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	sw, err := wal.NewStreamWriter(&buf, 3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	recs := []wal.Record{
+		{Version: 1, Op: wal.OpTests, Tests: []wal.TestRec{
+			{Line: 5, Week: 40, F: []float32{1, 2, 3}},
+			{Line: 9, Week: 40, Missing: true},
+		}},
+		{Version: 2, Op: wal.OpTickets, Tickets: []data.Ticket{
+			{ID: 1, Line: 5, Day: data.SaturdayOf(40), Category: 2},
+		}},
+		{Version: 3, Op: wal.OpTests, Tests: []wal.TestRec{
+			{Line: 5, Week: 41, F: []float32{4, 5}},
+		}},
+	}
+	for i := range recs {
+		if err := sw.WriteRecord(&recs[i]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzReplStream fuzzes the replication wire decoder with the same contract
+// FuzzWALDecode pins for segments: whatever bytes arrive — truncated, bit-
+// flipped, garbage — a decodable frame must apply cleanly, anything else must
+// surface as a corrupt-stream error, and a failed decode must never mutate
+// the store. Decoding is also deterministic: the same bytes always yield the
+// same record sequence.
+func FuzzReplStream(f *testing.F) {
+	healthy := healthyStream(f)
+	f.Add(healthy)
+	// Truncations at and around every structural boundary: inside the
+	// header, at the header edge, inside a frame header, inside a payload.
+	for _, n := range []int{0, 1, wal.StreamHeaderLen - 1, wal.StreamHeaderLen,
+		wal.StreamHeaderLen + 3, wal.StreamHeaderLen + 8, len(healthy) / 2, len(healthy) - 1} {
+		if n <= len(healthy) {
+			f.Add(healthy[:n])
+		}
+	}
+	// Bit flips in the magic, the claimed leader version, a frame length,
+	// a CRC, and a payload byte.
+	for _, off := range []int{0, 9, 15, wal.StreamHeaderLen, wal.StreamHeaderLen + 4, wal.StreamHeaderLen + 11} {
+		mut := append([]byte(nil), healthy...)
+		mut[off] ^= 0x40
+		f.Add(mut)
+	}
+	// A huge frame-length claim after the healthy prefix, and garbage tails.
+	f.Add(append(append([]byte(nil), healthy...), 0xff, 0xff, 0xff, 0x7f))
+	f.Add(append(append([]byte(nil), healthy...), []byte("not a frame at all")...))
+	f.Add([]byte("NVMREPL1 but not really a header"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		decode := func() (versions []uint64, ops []wal.Op) {
+			st := serve.NewStore(2)
+			sr, err := wal.NewStreamReader(bytes.NewReader(b))
+			if err != nil {
+				// A rejected header must be a corrupt-stream error, not a
+				// silent success or an unrelated failure.
+				if !wal.IsCorrupt(err) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+					t.Fatalf("header rejection with non-corrupt error: %v", err)
+				}
+				return nil, nil
+			}
+			for {
+				before := st.Version()
+				rec, err := sr.Next()
+				if err != nil {
+					if !errors.Is(err, io.EOF) && !wal.IsCorrupt(err) {
+						t.Fatalf("Next() failed with non-corrupt, non-EOF error: %v", err)
+					}
+					break
+				}
+				versions = append(versions, rec.Version)
+				ops = append(ops, rec.Op)
+				if err := st.ApplyWALRecord(rec); err != nil {
+					// A decodable but inapplicable record (gap, bad batch)
+					// must leave the store exactly where it was — the
+					// follower treats this as leader divergence.
+					if got := st.Version(); got != before {
+						t.Fatalf("failed apply mutated the store: version %d -> %d", before, got)
+					}
+					break
+				}
+				if got := st.Version(); got != rec.Version {
+					t.Fatalf("applied record %d but store is at %d", rec.Version, got)
+				}
+			}
+			return versions, ops
+		}
+
+		v1, o1 := decode()
+		v2, o2 := decode()
+		if len(v1) != len(v2) {
+			t.Fatalf("non-deterministic decode: %d records then %d", len(v1), len(v2))
+		}
+		for i := range v1 {
+			if v1[i] != v2[i] || o1[i] != o2[i] {
+				t.Fatalf("non-deterministic decode at %d: (%d,%d) vs (%d,%d)",
+					i, v1[i], o1[i], v2[i], o2[i])
+			}
+		}
+	})
+}

@@ -141,7 +141,7 @@ func TestPipelineRetriesTransientFaults(t *testing.T) {
 				reports[i].Week, reports[i], cleanReports[i])
 		}
 	}
-	snA, snB := srv.store.Snapshot(), clean.store.Snapshot()
+	snA, snB := srv.Store().Snapshot(), clean.Store().Snapshot()
 	if snA.DS.NumLines != snB.DS.NumLines || len(snA.DS.Tickets) != len(snB.DS.Tickets) {
 		t.Fatal("stores diverged after faults cleared")
 	}
@@ -252,12 +252,12 @@ func TestPipelineRetriesStaleSnapshot(t *testing.T) {
 	if len(reports) != 1 || reports[0].Retries != 2 {
 		t.Fatalf("reports = %+v", reports)
 	}
-	sn := srv.store.Snapshot()
-	if sn == nil || sn.Version != srv.store.Version() {
+	sn := srv.Store().Snapshot()
+	if sn == nil || sn.Version != srv.Store().Version() {
 		t.Fatal("pipeline completed without a fresh snapshot")
 	}
-	if srv.store.BuildFailures() != 2 {
-		t.Fatalf("build failures = %d", srv.store.BuildFailures())
+	if srv.Store().BuildFailures() != 2 {
+		t.Fatalf("build failures = %d", srv.Store().BuildFailures())
 	}
 }
 

@@ -98,11 +98,47 @@ type Durability struct {
 	ckptDur  *obs.Histogram // nil when metrics are off
 	fsyncDur *obs.Histogram
 
+	// retention, when set, is the replication source's floor: checkpoint
+	// pruning never truncates WAL segments past min(oldest kept checkpoint,
+	// floor), so an active follower's next stream request stays answerable.
+	retention atomic.Pointer[func() (uint64, bool)]
+	// onAppend, when set, is called (outside locks) after every durable
+	// append — the wake-up for long-polled replication streams.
+	onAppend atomic.Pointer[func(version uint64)]
+
 	kick     chan struct{}
 	done     chan struct{}
 	wg       sync.WaitGroup
 	closeOne sync.Once
 }
+
+// SetRetention installs the replication retention hook: fn returns the
+// lowest version an active follower still needs records after, and whether
+// any follower is active at all. Safe to call at any time.
+func (d *Durability) SetRetention(fn func() (uint64, bool)) {
+	if fn == nil {
+		d.retention.Store(nil)
+		return
+	}
+	d.retention.Store(&fn)
+}
+
+// SetOnAppend installs a post-append observer (the replication source's
+// stream wake-up). Safe to call at any time; nil removes it.
+func (d *Durability) SetOnAppend(fn func(version uint64)) {
+	if fn == nil {
+		d.onAppend.Store(nil)
+		return
+	}
+	d.onAppend.Store(&fn)
+}
+
+// LogVersion returns the version of the last durably appended WAL record —
+// the position a replication stream can serve records up to.
+func (d *Durability) LogVersion() uint64 { return d.log.LastVersion() }
+
+// Dir returns the durability directory the WAL and checkpoints live in.
+func (d *Durability) Dir() string { return d.cfg.Dir }
 
 // OpenDurability recovers store from cfg.Dir (newest loadable checkpoint +
 // contiguous WAL tail), installs the WAL sink so every later ingest is
@@ -229,6 +265,9 @@ func (d *Durability) sink(version uint64, tests []TestRecord, tickets []data.Tic
 		return
 	}
 	d.records.Add(1)
+	if fn := d.onAppend.Load(); fn != nil {
+		(*fn)(version)
+	}
 	if d.cfg.CheckpointEvery > 0 && version-d.lastCkpt.Load() >= uint64(d.cfg.CheckpointEvery) {
 		select {
 		case d.kick <- struct{}{}:
@@ -284,7 +323,17 @@ func (d *Durability) checkpoint() {
 		return
 	}
 	if len(kept) > 0 {
-		if _, err := d.log.TruncateThrough(kept[0].Version); err != nil {
+		bound := kept[0].Version
+		// Retention handshake: keep segments an active follower still needs.
+		// A follower that lapses past its TTL loses the floor, hits a replay
+		// gap on its next stream request, and re-bootstraps from a checkpoint
+		// — bounded disk either way.
+		if fn := d.retention.Load(); fn != nil {
+			if floor, ok := (*fn)(); ok && floor < bound {
+				bound = floor
+			}
+		}
+		if _, err := d.log.TruncateThrough(bound); err != nil {
 			log.Printf("serve: durability: truncate wal: %v", err)
 		}
 	}

@@ -58,11 +58,11 @@ func TestGoldenEndToEndReplay(t *testing.T) {
 	}
 
 	// The final ranking, top 16, exactly as /v1/rank orders it.
-	sn := srv.store.Snapshot()
+	sn := srv.Store().Snapshot()
 	if sn == nil {
 		t.Fatal("empty store after the run")
 	}
-	week := srv.store.LatestWeek()
+	week := srv.Store().LatestWeek()
 	lines := sn.LinesAt(week)
 	examples := make([]features.Example, len(lines))
 	for i, l := range lines {

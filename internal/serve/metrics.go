@@ -140,23 +140,23 @@ func (m *metrics) bindServer(s *Server) {
 	reg := m.reg
 	reg.GaugeFunc("nevermind_store_lines",
 		"Distinct lines in the store.",
-		func() float64 { return float64(s.store.NumLines()) })
+		func() float64 { return float64(s.Store().NumLines()) })
 	reg.GaugeFunc("nevermind_store_version",
 		"Store ingest version (bumps on every successful ingest).",
-		func() float64 { return float64(s.store.Version()) })
+		func() float64 { return float64(s.Store().Version()) })
 	reg.GaugeFunc("nevermind_store_latest_week",
 		"Newest week any ingested test record carried (-1 before the first).",
-		func() float64 { return float64(s.store.LatestWeek()) })
+		func() float64 { return float64(s.Store().LatestWeek()) })
 	reg.GaugeFunc("nevermind_store_snapshot_lag",
 		"Ingest versions the cached snapshot trails the store (0 = fresh).",
-		func() float64 { return float64(s.store.SnapshotLag()) })
+		func() float64 { return float64(s.Store().SnapshotLag()) })
 	reg.CounterFunc("nevermind_store_snapshot_build_failures_total",
 		"Snapshot rebuilds that failed (readers keep the last good snapshot).",
-		func() float64 { return float64(s.store.BuildFailures()) })
+		func() float64 { return float64(s.Store().BuildFailures()) })
 	reg.GaugeFunc("nevermind_degraded",
 		"1 while scoring serves a stale snapshot, else 0.",
 		func() float64 {
-			if s.store.SnapshotLag() > 0 {
+			if s.Store().SnapshotLag() > 0 {
 				return 1
 			}
 			return 0

@@ -323,11 +323,11 @@ pull:
 	// The ranking must see this week's data: a snapshot older than the
 	// store version after our ingest means a rebuild failed (the API keeps
 	// serving the stale one; the pipeline retries until fresh).
-	wantVersion := p.srv.store.Version()
+	wantVersion := p.srv.Store().Version()
 	var sn *Snapshot
 	for {
 		ssp := p.beginStage("snapshot", batch.Week)
-		sn = p.srv.store.Snapshot()
+		sn = p.srv.Store().Snapshot()
 		if sn != nil && sn.Version >= wantVersion {
 			ssp.end()
 			break
@@ -434,10 +434,10 @@ func (p *Pipeline) ingest(batch *sim.Batch, rep *WeekReport) error {
 		tickets[i] = TicketRecord{ID: t.ID, Line: t.Line, Day: t.Day, Category: uint8(t.Category)}
 	}
 	var err error
-	if rep.IngestedTests, err = p.srv.store.IngestTests(tests); err != nil {
+	if rep.IngestedTests, err = p.srv.Store().IngestTests(tests); err != nil {
 		return err
 	}
-	if rep.IngestedTickets, err = p.srv.store.IngestTickets(tickets); err != nil {
+	if rep.IngestedTickets, err = p.srv.Store().IngestTickets(tickets); err != nil {
 		return err
 	}
 	return nil

@@ -44,11 +44,11 @@ func TestPipelineRunsWeeks(t *testing.T) {
 	if reports[0].IngestedTickets == 0 {
 		t.Fatal("first week ingested no tickets")
 	}
-	if srv.store.LatestWeek() != 43 {
-		t.Fatalf("store latest week %d after the run", srv.store.LatestWeek())
+	if srv.Store().LatestWeek() != 43 {
+		t.Fatalf("store latest week %d after the run", srv.Store().LatestWeek())
 	}
-	if srv.store.NumLines() != ds.NumLines {
-		t.Fatalf("store holds %d lines", srv.store.NumLines())
+	if srv.Store().NumLines() != ds.NumLines {
+		t.Fatalf("store holds %d lines", srv.Store().NumLines())
 	}
 
 	// ATDS worked jobs: customer tickets always outrank predictions, and the

@@ -66,18 +66,53 @@ type Config struct {
 	// Faults installs fault-injection hooks on the store, the reload probe
 	// and the request path; nil in production.
 	Faults *FaultHooks
+	// ReadOnly refuses /v1/ingest with 403: a replica's store is written
+	// only by the replication apply loop, and a stray ingest would fork its
+	// version history from the leader's.
+	ReadOnly bool
+	// ReplicaStatus, when set, marks this server as a replication follower:
+	// data-plane reads carry an X-Replica-Lag header and /healthz grows the
+	// replica_* fields the gateway's staleness gating reads. Leaders and
+	// standalone daemons leave it nil and keep their exact wire surface.
+	ReplicaStatus func() ReplicaStatus
+}
+
+// ReplicaStatus is a follower's replication position, published by the
+// replica apply loop (see internal/replica).
+type ReplicaStatus struct {
+	// Applied is the store version the follower has applied through.
+	Applied uint64
+	// LeaderVersion is the leader's durable version as of the last stream
+	// response; Applied ≤ LeaderVersion and the difference is the lag.
+	LeaderVersion uint64
+	// Connected reports whether the last leader fetch succeeded.
+	Connected bool
+}
+
+// Lag returns LeaderVersion − Applied, saturating at 0 (a follower can
+// briefly know of no version newer than its own).
+func (rs ReplicaStatus) Lag() uint64 {
+	if rs.LeaderVersion <= rs.Applied {
+		return 0
+	}
+	return rs.LeaderVersion - rs.Applied
 }
 
 // Server is the nevermindd HTTP server: the sharded store, the current
 // model pair, the encode/bin cache they score through, and the API mux.
 type Server struct {
-	store   *Store
-	cache   *features.Cache
-	models  atomic.Pointer[Models]
-	m       *metrics
-	mux     *http.ServeMux
-	handler http.Handler // mux wrapped in admission control + timeouts
-	faults  *FaultHooks
+	// store is swappable: a replication follower re-bootstrapping after a
+	// retention gap builds a fresh store offline and swaps it in whole, so
+	// readers only ever see a store whose content matches its version.
+	store         atomic.Pointer[Store]
+	cache         *features.Cache
+	models        atomic.Pointer[Models]
+	m             *metrics
+	mux           *http.ServeMux
+	handler       http.Handler // mux wrapped in admission control + timeouts
+	faults        *FaultHooks
+	readOnly      bool
+	replicaStatus func() ReplicaStatus
 
 	reloadMu      sync.Mutex
 	predictorPath string
@@ -98,10 +133,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("serve: a trained predictor is required")
 	}
 	s := &Server{
-		store:         NewStore(cfg.Shards),
 		cache:         features.NewCache(cfg.CacheEntries),
 		m:             newMetrics(),
 		faults:        cfg.Faults,
+		readOnly:      cfg.ReadOnly,
+		replicaStatus: cfg.ReplicaStatus,
 		predictorPath: cfg.PredictorPath,
 		locatorPath:   cfg.LocatorPath,
 		drainTimeout:  cfg.DrainTimeout,
@@ -109,8 +145,7 @@ func New(cfg Config) (*Server, error) {
 	if s.drainTimeout <= 0 {
 		s.drainTimeout = 10 * time.Second
 	}
-	s.store.SetFaults(cfg.Faults)
-	s.store.setMetrics(s.m)
+	s.SwapStore(NewStore(cfg.Shards))
 	s.m.bindServer(s)
 	cfg.Predictor.SetEncodeCache(s.cache)
 	if cfg.Locator != nil {
@@ -166,7 +201,8 @@ func (s *Server) buildHandler(timeout time.Duration, maxInflight int) http.Handl
 		switch {
 		case r.URL.Path == "/healthz", r.URL.Path == "/debug/vars",
 			r.URL.Path == "/metrics", r.URL.Path == "/v1/trace",
-			strings.HasPrefix(r.URL.Path, "/debug/pprof/"):
+			strings.HasPrefix(r.URL.Path, "/debug/pprof/"),
+			strings.HasPrefix(r.URL.Path, "/v1/repl/"):
 			s.mux.ServeHTTP(w, r)
 			return
 		}
@@ -187,7 +223,25 @@ func (s *Server) buildHandler(timeout time.Duration, maxInflight int) http.Handl
 }
 
 // Store exposes the line-state store (the pipeline ingests through it).
-func (s *Server) Store() *Store { return s.store }
+func (s *Server) Store() *Store { return s.store.Load() }
+
+// SwapStore atomically replaces the serving store, wiring the fault hooks
+// and metrics the constructor would. Requests racing the swap see either the
+// old store or the new one, each internally consistent — the replica
+// re-bootstrap path relies on this to never expose a half-restored store.
+func (s *Server) SwapStore(st *Store) {
+	st.SetFaults(s.faults)
+	st.setMetrics(s.m)
+	s.store.Store(st)
+}
+
+// MountReplication hangs the leader-side replication handler under
+// /v1/repl/. The prefix bypasses the admission gate and request deadline
+// (see buildHandler): a long-polled WAL stream holds its request open on
+// purpose, and shedding or timing out followers would just stall catch-up.
+func (s *Server) MountReplication(h http.Handler) {
+	s.mux.Handle("/v1/repl/", h)
+}
 
 // Models returns the current model generation.
 func (s *Server) Models() *Models { return s.models.Load() }
@@ -301,11 +355,21 @@ func DecodeStrict(r io.Reader, v any) error {
 // snapshotOr503 returns the current snapshot, writing a 503 if the store is
 // still empty (nothing has been ingested, so there is nothing to score).
 func (s *Server) snapshotOr503(w http.ResponseWriter) *Snapshot {
-	sn := s.store.Snapshot()
+	sn := s.Store().Snapshot()
 	if sn == nil {
 		writeError(w, http.StatusServiceUnavailable, errors.New("store is empty; ingest line tests first"))
 	}
 	return sn
+}
+
+// setReplicaLag stamps the follower's current staleness on a data-plane
+// response header; a no-op on leaders and standalone daemons, whose wire
+// surface stays byte-identical.
+func (s *Server) setReplicaLag(w http.ResponseWriter) {
+	if s.replicaStatus == nil {
+		return
+	}
+	w.Header().Set("X-Replica-Lag", strconv.FormatUint(s.replicaStatus().Lag(), 10))
 }
 
 // --- handlers -----------------------------------------------------------------
@@ -318,17 +382,23 @@ type IngestRequest struct {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly {
+		writeError(w, http.StatusForbidden,
+			errors.New("replica is read-only; ingest through the leader"))
+		return
+	}
 	var req IngestRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	nt, err := s.store.IngestTests(req.Tests)
+	st := s.Store()
+	nt, err := st.IngestTests(req.Tests)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	nk, err := s.store.IngestTickets(req.Tickets)
+	nk, err := st.IngestTickets(req.Tickets)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -338,8 +408,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ingested_tests":   nt,
 		"ingested_tickets": nk,
-		"lines":            s.store.NumLines(),
-		"version":          s.store.Version(),
+		"lines":            st.NumLines(),
+		"version":          st.Version(),
 	})
 }
 
@@ -347,6 +417,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if s.scoreBarrier != nil {
 		s.scoreBarrier()
 	}
+	s.setReplicaLag(w)
 	sc := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(sc)
 	body, err := readBody(w, r, sc)
@@ -432,6 +503,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	s.setReplicaLag(w)
 	sn := s.snapshotOr503(w)
 	if sn == nil {
 		return
@@ -441,7 +513,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if r.URL.RawQuery != "" {
 		q = r.URL.Query()
 	}
-	week, n, err := ParseRankParams(q, s.store.LatestWeek(), models.Pred.Cfg.BudgetN)
+	week, n, err := ParseRankParams(q, s.Store().LatestWeek(), models.Pred.Cfg.BudgetN)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -504,6 +576,7 @@ func ParseRankParams(q url.Values, defWeek, defN int) (week, n int, err error) {
 }
 
 func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
+	s.setReplicaLag(w)
 	var req struct {
 		Line  data.LineID `json:"line"`
 		Week  int         `json:"week"`
@@ -571,10 +644,11 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	models := s.Models()
-	writeJSON(w, http.StatusOK, map[string]any{
+	st := s.Store()
+	body := map[string]any{
 		"status":             "ok",
-		"lines":              s.store.NumLines(),
-		"latest_week":        s.store.LatestWeek(),
+		"lines":              st.NumLines(),
+		"latest_week":        st.LatestWeek(),
 		"predictor":          true,
 		"locator":            models.Loc != nil,
 		"schema_fingerprint": fmt.Sprintf("%016x", models.Pred.SchemaFingerprint()),
@@ -582,10 +656,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// Fleet probe surface: the gateway resolves /v1/rank defaults and
 		// snapshot freshness from these without a data-plane round trip.
 		"budget_n":     models.Pred.Cfg.BudgetN,
-		"version":      s.store.Version(),
-		"snapshot_lag": s.store.SnapshotLag(),
-		"grid_lines":   s.store.GridLines(),
-	})
+		"version":      st.Version(),
+		"snapshot_lag": st.SnapshotLag(),
+		"grid_lines":   st.GridLines(),
+	}
+	if s.replicaStatus != nil {
+		rs := s.replicaStatus()
+		body["replica"] = true
+		body["replica_lag"] = rs.Lag()
+		body["replica_applied"] = rs.Applied
+		body["replica_leader_version"] = rs.LeaderVersion
+		body["replica_connected"] = rs.Connected
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics serves the registry in Prometheus text exposition format.
@@ -618,6 +701,7 @@ func latencySums(v map[string]obs.HistSnapshot) map[string]int64 {
 func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 	models := s.Models()
 	m := s.m
+	st := s.Store()
 	vars := map[string]any{
 		"uptime_seconds":   time.Since(m.start).Seconds(),
 		"requests":         m.requests.Values(),
@@ -627,19 +711,19 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 		"ingested_tickets": m.ingestedTickets.Value(),
 		"reloads":          m.reloads.Value(),
 		"store": map[string]any{
-			"lines":            s.store.NumLines(),
-			"version":          s.store.Version(),
-			"latest_week":      s.store.LatestWeek(),
-			"shard_lines":      s.store.ShardSizes(),
-			"filtered_records": s.store.FilteredRecords(),
+			"lines":            st.NumLines(),
+			"version":          st.Version(),
+			"latest_week":      st.LatestWeek(),
+			"shard_lines":      st.ShardSizes(),
+			"filtered_records": st.FilteredRecords(),
 		},
 		// The degradation surface: snapshot_lag > 0 means rebuilds are
 		// failing and scoring is serving the last good (stale) snapshot;
 		// the counters say how the server has been shedding trouble.
 		"degraded": map[string]any{
-			"snapshot_lag":            s.store.SnapshotLag(),
-			"snapshot_stale":          s.store.SnapshotLag() > 0,
-			"snapshot_build_failures": s.store.BuildFailures(),
+			"snapshot_lag":            st.SnapshotLag(),
+			"snapshot_stale":          st.SnapshotLag() > 0,
+			"snapshot_build_failures": st.BuildFailures(),
 			"load_shed":               m.loadShed.Value(),
 			"timeouts":                m.timeouts.Value(),
 			"reload_failures":         m.reloadFailures.Value(),
@@ -736,8 +820,9 @@ func (s *Server) reload() (*ReloadResult, error) {
 		}
 	}
 	res := &ReloadResult{Identical: true, SchemaFingerprint: fmt.Sprintf("%016x", pred.SchemaFingerprint())}
-	if sn := s.store.Snapshot(); sn != nil {
-		week := s.store.LatestWeek()
+	st := s.Store()
+	if sn := st.Snapshot(); sn != nil {
+		week := st.LatestWeek()
 		lines := sn.LinesAt(week)
 		if len(lines) > reloadProbeMax {
 			lines = lines[:reloadProbeMax]

@@ -143,7 +143,7 @@ func TestServerEndpoints(t *testing.T) {
 		}
 	}
 	// The server's ranking head must agree with the library's.
-	top, err := pred.TopN(srv.store.Snapshot().DS, 41)
+	top, err := pred.TopN(srv.Store().Snapshot().DS, 41)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestServerEndpoints(t *testing.T) {
 	if err := json.Unmarshal(vars["store"], &store); err != nil {
 		t.Fatal(err)
 	}
-	if store.Lines != ds.NumLines || len(store.ShardLines) != srv.store.NumShards() {
+	if store.Lines != ds.NumLines || len(store.ShardLines) != srv.Store().NumShards() {
 		t.Fatalf("store vars: %+v", store)
 	}
 	var cache struct {
@@ -316,7 +316,7 @@ func TestScoreFreshAfterReingest(t *testing.T) {
 	// cache in the path at all.
 	pred := srv.Models().Pred
 	pred.SetEncodeCache(nil)
-	sn := srv.store.Snapshot()
+	sn := srv.Store().Snapshot()
 	ex := make([]features.Example, len(examples))
 	for i, e := range examples {
 		ex[i] = features.Example{Line: data.LineID(e["line"].(int)), Week: e["week"].(int)}
@@ -419,10 +419,10 @@ func TestConcurrentIngestScore(t *testing.T) {
 	if t.Failed() {
 		t.FailNow()
 	}
-	if srv.store.NumLines() != ds.NumLines {
-		t.Fatalf("store holds %d lines after the storm", srv.store.NumLines())
+	if srv.Store().NumLines() != ds.NumLines {
+		t.Fatalf("store holds %d lines after the storm", srv.Store().NumLines())
 	}
-	if sn := srv.store.Snapshot(); sn == nil || sn.DS.Validate() != nil {
+	if sn := srv.Store().Snapshot(); sn == nil || sn.DS.Validate() != nil {
 		t.Fatal("post-storm snapshot invalid")
 	}
 }

@@ -111,15 +111,19 @@ func (s *Store) RestoreState(st *StoreState) error {
 	return nil
 }
 
-// ApplyWALRecord replays one logged batch during recovery: the batch is
-// applied through the same shard-apply helpers live ingest uses, and the
-// store version is pinned to the record's version (no counter bump, no delta
-// log, no WAL sink — the record is already durable). Records must arrive in
-// version order; the WAL replay guarantees contiguity.
+// ApplyWALRecord replays one logged batch during recovery or replication
+// catch-up: the batch is applied through the same shard-apply helpers live
+// ingest uses, and the store version is pinned to the record's version (no
+// counter bump, no WAL sink — the record is already durable on the log that
+// shipped it). The delta log IS fed, so a follower applying a stream of
+// records keeps its snapshot rebuilds incremental. Records must arrive in
+// version order; the WAL replay and stream decoders guarantee contiguity.
 func (s *Store) ApplyWALRecord(rec *wal.Record) error {
 	if v := s.version.Load(); rec.Version != v+1 {
 		return fmt.Errorf("serve: replay version %d onto store at %d", rec.Version, v)
 	}
+	var cells []cellKey
+	var added []data.Ticket
 	switch rec.Op {
 	case wal.OpTests:
 		recs := make([]TestRecord, len(rec.Tests))
@@ -132,7 +136,7 @@ func (s *Store) ApplyWALRecord(rec *wal.Record) error {
 				return fmt.Errorf("serve: replay version %d: %w", rec.Version, err)
 			}
 		}
-		s.applyTests(recs)
+		cells = s.applyTests(recs)
 	case wal.OpTickets:
 		recs := make([]TicketRecord, len(rec.Tickets))
 		for i, t := range rec.Tickets {
@@ -141,10 +145,13 @@ func (s *Store) ApplyWALRecord(rec *wal.Record) error {
 				return fmt.Errorf("serve: replay version %d: %w", rec.Version, err)
 			}
 		}
-		s.applyTickets(recs)
+		// A replayed ticket batch may be wholly covered by the checkpoint the
+		// replay started from (ExportState captures at-least-the-version); the
+		// version still advances, through an empty delta.
+		added = s.applyTickets(recs)
 	default:
 		return fmt.Errorf("serve: replay version %d: unknown op %d", rec.Version, rec.Op)
 	}
-	s.version.Store(rec.Version)
+	s.pinVersion(rec.Version, cells, added)
 	return nil
 }

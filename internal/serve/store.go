@@ -391,6 +391,25 @@ func (s *Store) bumpVersion(cells []cellKey, tickets []data.Ticket, tests []Test
 	s.deltaMu.Unlock()
 }
 
+// pinVersion sets the store version to v (a replayed record's version) and
+// logs its delta, exactly as bumpVersion does for live ingest but with no
+// counter bump and no WAL sink (the record is already durable). Feeding the
+// delta log during replay keeps a replication follower's snapshot rebuilds
+// O(batch) per applied record instead of a full grid recopy per version.
+func (s *Store) pinVersion(v uint64, cells []cellKey, tickets []data.Ticket) {
+	s.deltaMu.Lock()
+	s.version.Store(v)
+	s.deltas = append(s.deltas, deltaRecord{version: v, cells: cells, tickets: tickets})
+	s.logCells += len(cells) + len(tickets)
+	for len(s.deltas) > 0 && (len(s.deltas) > maxDeltaRecords || s.logCells > maxDeltaCells) {
+		drop := &s.deltas[0]
+		s.logCells -= len(drop.cells) + len(drop.tickets)
+		*drop = deltaRecord{}
+		s.deltas = s.deltas[1:]
+	}
+	s.deltaMu.Unlock()
+}
+
 // SetWALSink installs the write-ahead log hook (see Store.walSink). Call
 // before the store takes traffic; nil removes it.
 func (s *Store) SetWALSink(fn func(version uint64, tests []TestRecord, tickets []data.Ticket)) {

@@ -86,7 +86,23 @@ func LoadCheckpoint(path string, state any) (uint64, error) {
 		return 0, fmt.Errorf("wal: open checkpoint: %w", err)
 	}
 	defer f.Close()
-	zr, err := gzip.NewReader(f)
+	v, err := ReadCheckpoint(f, state)
+	if err != nil {
+		return 0, err
+	}
+	if nameV, ok := parseCkptName(filepath.Base(path)); ok && nameV != v {
+		return 0, fmt.Errorf("wal: checkpoint name says version %d, header says %d", nameV, v)
+	}
+	return v, nil
+}
+
+// ReadCheckpoint decodes a checkpoint byte stream (the exact file format,
+// minus the filename cross-check LoadCheckpoint adds) into state and returns
+// the store version it captures. This is the loader a replication follower
+// uses on an HTTP response body, where there is no filename to check against
+// — the caller compares the version to the leader's advertised one instead.
+func ReadCheckpoint(r io.Reader, state any) (uint64, error) {
+	zr, err := gzip.NewReader(r)
 	if err != nil {
 		return 0, fmt.Errorf("wal: checkpoint not gzip: %w", err)
 	}
@@ -109,9 +125,6 @@ func LoadCheckpoint(path string, state any) (uint64, error) {
 	// reading at the last value and would miss a corrupted tail otherwise.
 	if _, err := io.Copy(io.Discard, zr); err != nil {
 		return 0, fmt.Errorf("wal: checkpoint trailer: %w", err)
-	}
-	if nameV, ok := parseCkptName(filepath.Base(path)); ok && nameV != hdr.Version {
-		return 0, fmt.Errorf("wal: checkpoint name says version %d, header says %d", nameV, hdr.Version)
 	}
 	return hdr.Version, nil
 }

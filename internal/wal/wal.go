@@ -2,6 +2,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -103,6 +104,12 @@ func (o *Options) fill() {
 		o.SyncEvery = 50 * time.Millisecond
 	}
 }
+
+// ErrReplayGap marks a replay whose chain does not reach back to the
+// requested start version — the segments covering it were truncated away.
+// The replication source maps it to 410 Gone so a lapsed follower knows to
+// re-bootstrap from a checkpoint instead of retrying the stream.
+var ErrReplayGap = errors.New("wal: replay gap")
 
 // RecoverInfo reports what Open found and repaired.
 type RecoverInfo struct {
@@ -682,7 +689,7 @@ func replaySegment(path string, prev, from uint64, applied *int, fn func(*Record
 			// the whole replay must be exactly from+1; chain arithmetic
 			// guarantees contiguity from there.
 			if *applied == 0 && rec.Version != from+1 {
-				return 0, fmt.Errorf("wal: replay gap: next record is version %d, want %d", rec.Version, from+1)
+				return 0, fmt.Errorf("%w: next record is version %d, want %d", ErrReplayGap, rec.Version, from+1)
 			}
 			if err := fn(rec); err != nil {
 				return expect, fmt.Errorf("wal: replay apply version %d: %w", rec.Version, err)

@@ -1,0 +1,219 @@
+#!/usr/bin/env bash
+# Replication smoke test over real HTTP: a leader nevermindd with the WAL on,
+# a follower running -replica.of against it, and a gateway routing reads to
+# the replica with the leader as fallback. The replica bootstraps mid-stream,
+# converges, and serves /v1/rank and /v1/score byte-identically to the
+# leader; SIGKILLing it mid-feed must leave every gateway read answering
+# (fallback to the leader), and a restarted replica must converge again.
+# Used by `make replica-smoke` (part of `make check`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+WORK="$(mktemp -d)"
+WALDIR="$WORK/wal"
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "replica-smoke: FAIL: $*" >&2
+    for log in "$WORK"/*.log; do
+        echo "--- $log ---" >&2
+        cat "$log" >&2 || true
+    done
+    exit 1
+}
+
+echo "replica-smoke: building nevermindd and nevermindgw"
+"$GO" build -o "$WORK/nevermindd" ./cmd/nevermindd
+"$GO" build -o "$WORK/nevermindgw" ./cmd/nevermindgw
+
+# Leader and replica train the same deterministic model (same -seed/-lines/
+# -rounds), so any divergence in answers can only come from store state.
+COMMON=(-addr 127.0.0.1:0 -lines 1200 -seed 7 -rounds 20 -pipeline=false)
+
+# boot <log> <extra flags...> — starts a daemon in THIS shell, waits for its
+# listen line, and sets BOOT_PID/BOOT_ADDR.
+boot() {
+    local log="$1"
+    shift
+    "$WORK/nevermindd" "${COMMON[@]}" "$@" >"$log" 2>&1 &
+    BOOT_PID=$!
+    BOOT_ADDR=""
+    for _ in $(seq 1 600); do
+        BOOT_ADDR="$(sed -n 's/^nevermindd: listening on //p' "$log" | head -n 1)"
+        [[ -n "$BOOT_ADDR" ]] && break
+        kill -0 "$BOOT_PID" 2>/dev/null || fail "daemon exited before listening (see $log)"
+        sleep 0.2
+    done
+    [[ -n "$BOOT_ADDR" ]] || fail "daemon never reported its listen address (see $log)"
+}
+
+# Deterministic feed, same shape as the restart smoke: half-week test batches
+# for weeks 38..41 plus one ticket batch.
+batch() {
+    local i="$1"
+    if [[ "$i" -eq 4 ]]; then
+        printf '{"tickets":[{"id":1,"line":3,"day":260,"category":0},{"id":2,"line":19,"day":262,"category":2}]}'
+        return
+    fi
+    local k="$i"
+    [[ "$i" -gt 4 ]] && k=$((i - 1))
+    local week=$((38 + k / 2)) lo=$((k % 2 * 16))
+    printf '{"tests":['
+    local sep=""
+    for line in $(seq "$lo" $((lo + 15))); do
+        printf '%s{"line":%d,"week":%d,"f":[%d,0.5,0.2%d],"profile":1,"dslam":%d,"usage":0.4}' \
+            "$sep" "$line" "$week" $((line % 3)) $((week % 10)) $((line % 8))
+        sep=","
+    done
+    printf ']}'
+}
+NBATCH=9
+
+ingest() { # ingest <base-url> <index>
+    batch "$2" | curl -fsS -X POST -H 'Content-Type: application/json' \
+        --data-binary @- "$1/v1/ingest" >/dev/null || fail "batch $2 rejected by $1"
+}
+
+version_of() { # version_of <addr>
+    curl -fsS "http://$1/healthz" | sed -n 's/.*"version":\([0-9]*\).*/\1/p'
+}
+
+# wait_converged <replica-addr> <leader-addr>
+wait_converged() {
+    local want
+    want="$(version_of "$2")"
+    for _ in $(seq 1 150); do
+        [[ "$(version_of "$1" || true)" == "$want" ]] && return 0
+        sleep 0.2
+    done
+    fail "replica at $(version_of "$1" || echo '?') never converged to leader version $want"
+}
+
+# --- Leader: WAL on, checkpoints on, replication source mounted. ---
+boot "$WORK/leader.log" -wal.dir "$WALDIR" -wal.fsync=always -checkpoint.every 3 -checkpoint.keep 2
+LEADER_PID="$BOOT_PID" LEADER_ADDR="$BOOT_ADDR"
+PIDS+=("$LEADER_PID")
+grep -q '^nevermindd: replication source mounted' "$WORK/leader.log" \
+    || fail "leader did not mount the replication source"
+echo "replica-smoke: leader up at $LEADER_ADDR (wal: $WALDIR)"
+
+# Half the feed lands BEFORE the replica exists: its bootstrap is a
+# checkpoint download plus a WAL tail, not a from-zero stream.
+for i in 0 1 2 3; do ingest "http://$LEADER_ADDR" "$i"; done
+
+# --- Replica: read-only follower of the leader. ---
+REPLFLAGS=(-replica.of "http://$LEADER_ADDR" -replica.poll 200ms -replica.id smoke-replica)
+boot "$WORK/replica.log" "${REPLFLAGS[@]}"
+REPL_PID="$BOOT_PID" REPL_ADDR="$BOOT_ADDR"
+PIDS+=("$REPL_PID")
+BOOTLINE="$(grep '^nevermindd: replica bootstrapped to version' "$WORK/replica.log" || true)"
+[[ -n "$BOOTLINE" ]] || fail "replica printed no bootstrap line"
+echo "replica-smoke: $BOOTLINE"
+wait_converged "$REPL_ADDR" "$LEADER_ADDR"
+
+# A write against the replica must be refused, naming the leader.
+INGEST_CODE="$(batch 4 | curl -s -o "$WORK/ro.json" -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' --data-binary @- "http://$REPL_ADDR/v1/ingest")"
+[[ "$INGEST_CODE" == "403" ]] || fail "replica ingest answered $INGEST_CODE, want 403"
+grep -q 'read-only' "$WORK/ro.json" || fail "replica 403 does not say read-only"
+
+# --- Gateway: reads prefer the replica, ingest goes to the leader. ---
+"$WORK/nevermindgw" -addr 127.0.0.1:0 \
+    -shard "s0=http://$LEADER_ADDR" -replica "s0=http://$REPL_ADDR" \
+    -probe 200ms >"$WORK/gateway.log" 2>&1 &
+GW_PID=$!
+PIDS+=("$GW_PID")
+GW_ADDR=""
+for _ in $(seq 1 100); do
+    GW_ADDR="$(sed -n 's/^nevermindgw: listening on \([^ ]*\).*/\1/p' "$WORK/gateway.log" | head -n 1)"
+    [[ -n "$GW_ADDR" ]] && break
+    kill -0 "$GW_PID" 2>/dev/null || fail "gateway exited before listening"
+    sleep 0.2
+done
+[[ -n "$GW_ADDR" ]] || fail "gateway never reported its listen address"
+echo "replica-smoke: gateway up at $GW_ADDR"
+sleep 0.5 # one probe tick: the replica starts pessimistic-down until probed
+
+# Gateway reads flow and land on the replica.
+for _ in $(seq 1 10); do
+    curl -fsS "http://$GW_ADDR/v1/rank?week=39&n=5" >/dev/null || fail "gateway rank failed"
+done
+curl -fsS "http://$GW_ADDR/metrics" >"$WORK/gwmetrics.txt"
+READS="$(sed -n 's/^fleet_replica_reads_total{replica="s0-r0"} //p' "$WORK/gwmetrics.txt")"
+[[ -n "$READS" && "$READS" -gt 0 ]] || fail "no gateway reads reached the replica (got '${READS:-}')"
+echo "replica-smoke: $READS gateway reads served by the replica"
+
+# --- Kill the replica mid-feed: reads must keep answering via the leader. ---
+echo "replica-smoke: killing replica (SIGKILL) mid-feed"
+kill -9 "$REPL_PID"
+wait "$REPL_PID" 2>/dev/null || true
+for i in 4 5 6; do
+    ingest "http://$GW_ADDR" "$i"
+    curl -fsS "http://$GW_ADDR/v1/rank?week=40&n=5" >/dev/null \
+        || fail "gateway rank failed with the replica dead (no leader fallback)"
+done
+sleep 0.5 # let a probe tick observe the corpse
+curl -fsS "http://$GW_ADDR/metrics" >"$WORK/gwmetrics2.txt"
+grep -q '^fleet_replica_up{replica="s0-r0"} 0' "$WORK/gwmetrics2.txt" \
+    || fail "gateway still thinks the dead replica is up"
+
+# --- Restart the replica: fresh bootstrap, must converge again. ---
+boot "$WORK/replica2.log" "${REPLFLAGS[@]}"
+REPL_PID="$BOOT_PID" REPL_ADDR="$BOOT_ADDR"
+PIDS+=("$REPL_PID")
+for i in 7 8; do ingest "http://$GW_ADDR" "$i"; done
+wait_converged "$REPL_ADDR" "$LEADER_ADDR"
+echo "replica-smoke: restarted replica converged at version $(version_of "$REPL_ADDR")"
+
+# --- Byte identity at the converged version. ---
+RANK_Q="/v1/rank?week=41&n=10"
+diff <(curl -fsS "http://$LEADER_ADDR$RANK_Q") <(curl -fsS "http://$REPL_ADDR$RANK_Q") \
+    || fail "/v1/rank diverged between leader and replica"
+
+SCORE_BODY='{"examples":[{"line":3,"week":41},{"line":17,"week":40},{"line":25,"week":39}]}'
+score() {
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        --data-binary "$SCORE_BODY" "http://$1/v1/score"
+}
+diff <(score "$LEADER_ADDR") <(score "$REPL_ADDR") \
+    || fail "/v1/score diverged between leader and replica"
+
+curl -fsS -o /dev/null -D "$WORK/score-headers.txt" -X POST \
+    -H 'Content-Type: application/json' --data-binary "$SCORE_BODY" \
+    "http://$REPL_ADDR/v1/score" || fail "replica score for the lag header failed"
+LAG="$(tr -d '\r' <"$WORK/score-headers.txt" | sed -n 's/^X-Replica-Lag: //p')"
+[[ "$LAG" == "0" ]] || fail "converged replica reports X-Replica-Lag '$LAG', want 0"
+echo "replica-smoke: rank and score byte-identical, replica lag 0"
+
+# Replication metrics on both sides.
+curl -fsS "http://$REPL_ADDR/metrics" >"$WORK/replmetrics.txt"
+grep -q '^nevermind_replica_lag_versions' "$WORK/replmetrics.txt" \
+    || fail "replica /metrics is missing the lag gauge"
+grep -q '^nevermind_replica_applied_total' "$WORK/replmetrics.txt" \
+    || fail "replica /metrics is missing the applied counter"
+curl -fsS "http://$LEADER_ADDR/metrics" >"$WORK/leadermetrics.txt"
+grep -q '^nevermind_repl_streams_total' "$WORK/leadermetrics.txt" \
+    || fail "leader /metrics is missing the stream counter"
+
+# --- Clean shutdown all around. ---
+for pid in "$GW_PID" "$REPL_PID" "$LEADER_PID"; do
+    kill -TERM "$pid"
+    DEADLINE=$((SECONDS + 30))
+    while kill -0 "$pid" 2>/dev/null; do
+        [[ "$SECONDS" -lt "$DEADLINE" ]] || fail "pid $pid did not exit within 30s of SIGTERM"
+        sleep 0.2
+    done
+    wait "$pid" 2>/dev/null || true
+done
+
+echo "replica-smoke: PASS"
