@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-repeat race bench bench-json bench-diff bench-smoke serve-smoke fleet-smoke restart-smoke replica-smoke chaos-smoke chaos-soak experiments examples fuzz fuzz-smoke clean
+.PHONY: all check build vet test test-repeat race bench bench-json bench-diff bench-smoke serve-smoke fleet-smoke restart-smoke replica-smoke chaos-smoke chaos-soak drift-smoke experiments examples fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -12,9 +12,10 @@ all: build vet test
 # every benchmark so the bench code itself cannot rot, the perf-regression
 # diff against the committed baseline, end-to-end smokes of the daemon, of
 # the sharded fleet, and of a kill -9/restart over the write-ahead log, a
-# short fuzz pass over the API decoders, and the chaos smoke (daemon under
-# injected faults).
-check: build vet test test-repeat race bench-smoke bench-diff serve-smoke fleet-smoke restart-smoke replica-smoke fuzz-smoke chaos-smoke
+# short fuzz pass over the API decoders, the chaos smoke (daemon under
+# injected faults), and the drift smoke (the monitor/retrain/promote loop
+# end to end over HTTP).
+check: build vet test test-repeat race bench-smoke bench-diff serve-smoke fleet-smoke restart-smoke replica-smoke fuzz-smoke chaos-smoke drift-smoke
 
 build:
 	$(GO) build ./...
@@ -38,7 +39,7 @@ test-repeat:
 race:
 	$(GO) test -race ./internal/parallel/ ./internal/ml/ ./internal/obs/
 	$(GO) test -race -run 'AcrossWorkers|Compiled|Cache' ./internal/core/ ./internal/eval/
-	$(GO) test -race -timeout 30m ./internal/serve/ ./internal/chaos/ ./internal/replica/
+	$(GO) test -race -timeout 30m ./internal/serve/ ./internal/chaos/ ./internal/replica/ ./internal/drift/
 
 # One benchmark per paper table/figure plus ablations; writes the artifacts
 # the repository documents.
@@ -49,11 +50,12 @@ bench:
 # compiled scoring, training, transform, the serve endpoint, the
 # full-vs-delta snapshot rebuild, the fleet gateway's scatter-gather
 # score/rank paths, the durability axis: ingest with the WAL off vs on
-# plus cold-restart recovery, and the replication axis: follower catch-up
-# over HTTP plus gateway scoring through a replica); BENCH_ml.json is
-# committed so perf diffs show up in review.
+# plus cold-restart recovery, the replication axis: follower catch-up
+# over HTTP plus gateway scoring through a replica, and the drift loop:
+# the per-week monitor fold plus one week of challenger shadow scoring);
+# BENCH_ml.json is committed so perf diffs show up in review.
 bench-json:
-	$(GO) test -run '^$$' -bench 'ScoreAllWorkers|ScoreCompiled|CompileBStump|TrainBStump|Transform|FeatureScores|ServeScore|Snapshot|FleetScore|FleetRank|IngestWAL|Recovery|ReplicaCatchup|GatewayScoreReplicas' -benchmem . 2>&1 | tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_ml.json
+	$(GO) test -run '^$$' -bench 'ScoreAllWorkers|ScoreCompiled|CompileBStump|TrainBStump|Transform|FeatureScores|ServeScore|Snapshot|FleetScore|FleetRank|IngestWAL|Recovery|ReplicaCatchup|GatewayScoreReplicas|DriftMonitors|ShadowScore' -benchmem . 2>&1 | tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_ml.json
 
 # Perf gate: rerun the compiled-scoring and serve-score benchmarks and fail
 # on a >25% ns/op regression — or an allocs/op regression past the same
@@ -101,6 +103,14 @@ replica-smoke:
 chaos-smoke:
 	./scripts/chaos_soak.sh --smoke
 
+# Drift smoke: the daemon boots with a firmware drift scenario and the
+# drift loop armed; the monitors must trip on the scenario, retrain and
+# shadow-score a challenger, and surface the loop over /v1/drift,
+# /healthz and /metrics. (The in-process equivalent, TestDriftSoak, runs
+# in plain `make test`.)
+drift-smoke:
+	./scripts/drift_smoke.sh
+
 # Full chaos soak: the long-mode Go soak (five fault seeds over the whole
 # simulated year, convergence to a clean replay asserted bit for bit)
 # plus a 12-week daemon-level storm.
@@ -125,15 +135,18 @@ fuzz:
 	$(GO) test ./internal/data/ -fuzz FuzzReadTicketsCSV -fuzztime 20s
 
 # Fuzz the serving API's decoders — the ingest body decoder and the rank
-# query parser — plus the WAL segment decoder and the replication stream
+# query parser — plus the WAL segment decoder, the replication stream
 # decoder (arbitrary bytes must decode consistently and never panic or
-# corrupt a store), 30s/30s/20s/20s. Seed corpora for all four also run
-# (instantly) in plain `make test`.
+# corrupt a store), and the drift loop's two parsers: /v1/drift query
+# params and the -drift.thresholds spec. Seed corpora for all six also
+# run (instantly) in plain `make test`.
 fuzz-smoke:
 	$(GO) test ./internal/serve/ -fuzz FuzzIngestJSON -fuzztime 30s -run '^$$'
 	$(GO) test ./internal/serve/ -fuzz FuzzRankParams -fuzztime 30s -run '^$$'
 	$(GO) test ./internal/wal/ -fuzz FuzzWALDecode -fuzztime 20s -run '^$$'
 	$(GO) test ./internal/replica/ -fuzz FuzzReplStream -fuzztime 20s -run '^$$'
+	$(GO) test ./internal/drift/ -fuzz FuzzDriftParams -fuzztime 20s -run '^$$'
+	$(GO) test ./internal/drift/ -fuzz FuzzThresholds -fuzztime 20s -run '^$$'
 
 clean:
 	rm -f test_output.txt bench_output.txt dsl-year.gob.gz

@@ -21,6 +21,7 @@ import (
 
 	"nevermind/internal/core"
 	"nevermind/internal/data"
+	"nevermind/internal/drift"
 	"nevermind/internal/dsl"
 	"nevermind/internal/eval"
 	"nevermind/internal/faults"
@@ -1091,5 +1092,92 @@ func BenchmarkGatewayScoreReplicas(b *testing.B) {
 	if !strings.Contains(metrics(), `fleet_replica_reads_total{replica="shard-0-r0"}`) ||
 		strings.Contains(metrics(), `fleet_replica_reads_total{replica="shard-0-r0"} 0`) {
 		b.Fatal("score reads did not route to the replica")
+	}
+}
+
+// BenchmarkDriftMonitors measures the drift loop's per-tick observation
+// cost: a fresh controller folds the store's whole 14-week history — PSI
+// against the frozen reference for every week past the baseline, champion
+// AP@N + reliability gap for every matured week — exactly the work
+// `ObserveWeek` adds to a pipeline tick. Thresholds are parked so the fold
+// never retrains: the benchmark prices the monitors, not the trainer.
+func BenchmarkDriftMonitors(b *testing.B) {
+	ctx := benchContext(b)
+	pred, err := ctx.StandardPredictor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Predictor: pred})
+	if err != nil {
+		b.Fatal(err)
+	}
+	populateServeStore(b, srv, ctx.DS)
+	sn := srv.Store().Snapshot()
+
+	th := drift.DefaultThresholds()
+	th.PSICeil = 1000
+	th.APFloor = 0.01
+	th.K = data.Weeks // monitors may trip, the loop never retrains
+	const lo, hi = 30, 43
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl, err := drift.New(drift.Config{Server: srv, Thresholds: th})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctrl.Rebuild(sn, lo, hi)
+		if st := ctrl.Status(); st.Retrains != 0 {
+			b.Fatalf("monitor benchmark retrained: %+v", st)
+		}
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N*(hi-lo+1))/s, "weeks/sec")
+	}
+}
+
+// BenchmarkShadowScore measures one week of challenger shadow scoring —
+// ScoreExamplesIx over every line of a matured week, off the serving
+// score tables — the incremental cost a live challenger adds to each tick
+// while it auditions.
+func BenchmarkShadowScore(b *testing.B) {
+	ctx := benchContext(b)
+	pred, err := ctx.StandardPredictor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Predictor: pred})
+	if err != nil {
+		b.Fatal(err)
+	}
+	populateServeStore(b, srv, ctx.DS)
+	sn := srv.Store().Snapshot()
+
+	const week = 39 // matured by the store's week-43 horizon
+	lines := sn.LinesAt(week)
+	if len(lines) == 0 {
+		b.Fatal("no lines at the shadow week")
+	}
+	examples := make([]features.Example, len(lines))
+	for i, l := range lines {
+		examples[i] = features.Example{Line: l, Week: week}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scores, err := pred.ScoreExamplesIx(sn.DS, sn.Ix, examples)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(scores) != len(examples) {
+			b.Fatalf("scored %d of %d examples", len(scores), len(examples))
+		}
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N*len(examples))/s, "lines/sec")
 	}
 }

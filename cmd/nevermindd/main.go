@@ -24,6 +24,7 @@ import (
 	"nevermind/internal/chaos"
 	"nevermind/internal/core"
 	"nevermind/internal/data"
+	"nevermind/internal/drift"
 	"nevermind/internal/features"
 	"nevermind/internal/fleet"
 	"nevermind/internal/ml"
@@ -48,6 +49,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "line-state store shards (0 = GOMAXPROCS, rounded up to a power of two)")
 		cacheEnt  = flag.Int("cache", 0, "encode/bin cache entries (0 = library default)")
 		pipeline  = flag.Bool("pipeline", true, "run the weekly pipeline loop over the simulated feed")
+		scenario  = flag.String("scenario", "", "drift scenario pack over the simulated feed: kind[:week=N,weeks=N,frac=F,mag=F,seed=N]; kinds firmware|weather|aging|outage")
 		startWeek = flag.Int("start-week", 40, "first week the pipeline ingests and ranks")
 		endWeek   = flag.Int("end-week", 51, "last week the pipeline ingests and ranks")
 		tick      = flag.Duration("tick", 0, "wall-clock interval per simulated week (0 = back to back)")
@@ -104,6 +106,11 @@ func main() {
 		chaosShardLag  = flag.Duration("chaos.shard-delay", 20*time.Millisecond, "max injected per-shard stall")
 		chaosSlowReq   = flag.Float64("chaos.slow-request", 0, "P(an API request stalls in the handler)")
 		chaosReqLag    = flag.Duration("chaos.request-delay", 50*time.Millisecond, "max injected per-request stall")
+		chaosRetrain   = flag.Float64("chaos.retrain-error", 0, "P(a drift-loop retrain attempt fails; retried next tick)")
+
+		driftOn         = flag.Bool("drift", false, "run the drift monitors + champion/challenger retraining loop in the pipeline tick")
+		driftThresholds = flag.String("drift.thresholds", "", "drift monitor thresholds: ap-floor=F,gap-ceil=F,psi-ceil=F,k=N,w=N,min-gain=F,baseline-weeks=N,bins=N (empty = defaults)")
+		driftTrain      = flag.Int("drift.train-weeks", 8, "matured weeks a challenger trains on")
 	)
 	flag.Parse()
 
@@ -155,7 +162,7 @@ func main() {
 	var inj *chaos.Injector
 	var faults *serve.FaultHooks
 	if *chaosSource+*chaosPartial+*chaosMalformed+*chaosIngest+*chaosSnapshot+
-		*chaosReload+*chaosSlowShard+*chaosSlowReq > 0 {
+		*chaosReload+*chaosSlowShard+*chaosSlowReq+*chaosRetrain > 0 {
 		inj = chaos.New(chaos.Config{
 			Seed:           *chaosSeed,
 			SourceError:    *chaosSource,
@@ -168,6 +175,7 @@ func main() {
 			ShardDelay:     *chaosShardLag,
 			SlowRequest:    *chaosSlowReq,
 			RequestDelay:   *chaosReqLag,
+			RetrainError:   *chaosRetrain,
 		})
 		faults = inj.Hooks()
 		fmt.Fprintf(os.Stderr, "nevermindd: CHAOS armed (seed %d)\n", *chaosSeed)
@@ -336,8 +344,50 @@ func main() {
 			fatalStage("pipeline", err)
 		}
 		feed := serve.SimFeed(src)
+		if *scenario != "" {
+			sc, err := sim.ParseScenario(*scenario)
+			if err != nil {
+				fatalStage("scenario", err)
+			}
+			ss, err := sim.NewScenarioSource(src, sc)
+			if err != nil {
+				fatalStage("scenario", err)
+			}
+			feed = ss
+			// The drift smoke test parses this line.
+			fmt.Fprintf(os.Stderr, "nevermindd: scenario armed: %s\n", sc)
+		}
 		if inj != nil {
 			feed = inj.WrapSource(feed)
+		}
+
+		// The drift loop rides the pipeline tick: monitors observe each
+		// freshly ingested week, and retraining/promotion runs between
+		// ticks, never on the request path.
+		var ctrl *drift.Controller
+		if *driftOn {
+			th, err := drift.ParseThresholds(*driftThresholds)
+			if err != nil {
+				fatalStage("drift", err)
+			}
+			dcfg := drift.Config{
+				Server:     srv,
+				Thresholds: th,
+				TrainWeeks: *driftTrain,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "nevermindd: "+format+"\n", args...)
+				},
+			}
+			if inj != nil {
+				dcfg.Hooks = inj.DriftHooks()
+			}
+			if ctrl, err = drift.New(dcfg); err != nil {
+				fatalStage("drift", err)
+			}
+			ctrl.BindMetrics(srv.Registry())
+			srv.MountDrift(ctrl.Handler())
+			srv.SetDriftStatus(ctrl.ServeStatus)
+			fmt.Fprintf(os.Stderr, "nevermindd: drift loop armed (%s; train-weeks=%d)\n", th, *driftTrain)
 		}
 		pl, err := serve.NewPipeline(srv, serve.PipelineConfig{
 			Source: feed,
@@ -347,6 +397,11 @@ func main() {
 				BaseDelay:   *retryBase,
 				MaxDelay:    *retryMax,
 				Seed:        *seed,
+			},
+			OnSnapshot: func(sn *serve.Snapshot, week int) {
+				if ctrl != nil {
+					ctrl.ObserveWeek(sn, week)
+				}
 			},
 			OnWeek: func(r serve.WeekReport) {
 				fmt.Fprintf(os.Stderr,

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"nevermind/internal/data"
+	"nevermind/internal/drift"
 	"nevermind/internal/fleet"
 	"nevermind/internal/rng"
 	"nevermind/internal/serve"
@@ -65,6 +66,12 @@ type Config struct {
 	SlowRequest  float64
 	RequestDelay time.Duration
 
+	// RetrainError is P(a drift-loop challenger training attempt fails —
+	// the trainer host OOMs, the job is preempted. The loop must retry on a
+	// later tick and still produce the same challenger (the training window
+	// is anchored at trip time).
+	RetrainError float64
+
 	// ShardKill is P(a fleet gateway's request to a shard daemon finds it
 	// unreachable — the scaled-out analogue of a machine dying). Bounded by
 	// MaxConsecutive like every site, so a killed shard always comes back
@@ -91,13 +98,14 @@ type Stats struct {
 	SlowShards       int64
 	SlowRequests     int64
 	ShardKills       int64
+	RetrainFaults    int64
 }
 
 // Total sums every injected fault.
 func (s Stats) Total() int64 {
 	return s.SourceErrors + s.PartialBatches + s.MalformedBatches +
 		s.IngestFaults + s.SnapshotFaults + s.ReloadFaults +
-		s.SlowShards + s.SlowRequests + s.ShardKills
+		s.SlowShards + s.SlowRequests + s.ShardKills + s.RetrainFaults
 }
 
 // site labels partition the seed into independent decision streams.
@@ -112,6 +120,9 @@ const (
 	// siteShardKill is appended after the original sites so arming the
 	// fleet family never perturbs the seeded streams of existing soaks.
 	siteShardKill
+	// siteRetrain likewise: appended last so the drift family leaves every
+	// earlier seeded stream untouched.
+	siteRetrain
 )
 
 // Injector owns the fault processes. Safe for concurrent use: each site
@@ -133,8 +144,10 @@ type Injector struct {
 	shardSite         faultSite
 	requestSite       faultSite
 	shardKillSite     faultSite
+	retrainSite       faultSite
 
-	shardKills atomic.Int64
+	shardKills    atomic.Int64
+	retrainFaults atomic.Int64
 }
 
 // faultSite is one independent fault process: a decision sequence plus the
@@ -165,6 +178,7 @@ func New(cfg Config) *Injector {
 	in.shardSite.label = siteShard
 	in.requestSite.label = siteRequest
 	in.shardKillSite.label = siteShardKill
+	in.retrainSite.label = siteRetrain
 	return in
 }
 
@@ -180,6 +194,7 @@ func (in *Injector) Stats() Stats {
 		SlowShards:       in.slowShards.Load(),
 		SlowRequests:     in.slowRequests.Load(),
 		ShardKills:       in.shardKills.Load(),
+		RetrainFaults:    in.retrainFaults.Load(),
 	}
 }
 
@@ -262,6 +277,24 @@ func (in *Injector) Hooks() *serve.FaultHooks {
 				in.slowRequests.Add(1)
 				in.cfg.Sleep(d)
 			}
+		},
+	}
+}
+
+var errRetrainFault = errors.New("chaos: injected retrain fault")
+
+// DriftHooks returns the fault wiring for the drift loop's retrain seam.
+// Pass it in drift.Config.Hooks. A hit aborts that tick's challenger
+// training attempt; the loop retries on a later tick against the same
+// anchored training window, so the eventual challenger is identical.
+func (in *Injector) DriftHooks() *drift.FaultHooks {
+	return &drift.FaultHooks{
+		Retrain: func(week int) error {
+			if in.roll(&in.retrainSite, in.cfg.RetrainError) {
+				in.retrainFaults.Add(1)
+				return fmt.Errorf("%w: week %d", errRetrainFault, week)
+			}
+			return nil
 		},
 	}
 }

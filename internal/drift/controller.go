@@ -1,0 +1,576 @@
+package drift
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nevermind/internal/core"
+	"nevermind/internal/data"
+	"nevermind/internal/features"
+	"nevermind/internal/ml"
+	"nevermind/internal/rng"
+	"nevermind/internal/serve"
+)
+
+// Trainer builds a challenger from the accumulated store. The default
+// trains the full §4 pipeline on the snapshot's dataset; tests inject
+// cheaper stand-ins.
+type Trainer func(sn *serve.Snapshot, trainWeeks []int, cfg core.PredictorConfig) (*core.TicketPredictor, error)
+
+// FaultHooks are the drift loop's chaos seams. Every field may be nil.
+type FaultHooks struct {
+	// Retrain runs before a challenger training attempt; an error aborts
+	// the attempt (it is retried on the next tripped tick).
+	Retrain func(week int) error
+}
+
+// Config assembles a Controller.
+type Config struct {
+	// Server is the serving daemon the monitors watch and promotions swap.
+	Server *serve.Server
+	// Thresholds is the monitor/retrain operating point (zero value is
+	// replaced by DefaultThresholds).
+	Thresholds Thresholds
+	// TrainWeeks is how many matured weeks a challenger trains on
+	// (default 8). The window is anchored at the matured week of the tick
+	// that scheduled the retrain, so a delayed attempt (an injected
+	// retrain fault) still trains on exactly the same data.
+	TrainWeeks int
+	// Trainer replaces the default store-backed training entry point.
+	Trainer Trainer
+	// Hooks installs fault injection; nil in production.
+	Hooks *FaultHooks
+	// Logf, when set, receives one line per loop event.
+	Logf func(format string, args ...any)
+}
+
+// shadowEntry is one matured week's paired evaluation: the serving
+// champion against the model being auditioned (a shadowing challenger, or
+// the demoted champion during a post-promotion holdout).
+type shadowEntry struct {
+	Week  int     `json:"week"`
+	Champ float64 `json:"champion_ap"`
+	Other float64 `json:"other_ap"`
+}
+
+// WeekStats is one week's monitor readout. The distribution fields fill in
+// when the week is observed; the performance fields fill in four weeks
+// later, once the week's label window has closed; Tripped is the decision
+// the controller took at this week's tick.
+type WeekStats struct {
+	Week int `json:"week"`
+
+	PSIEvaluated bool    `json:"psi_evaluated"`
+	PSIMax       float64 `json:"psi_max"`
+	PSIFeature   string  `json:"psi_feature,omitempty"`
+
+	Evaluated bool    `json:"evaluated"`
+	AP        float64 `json:"ap"`
+	Gap       float64 `json:"gap"`
+
+	Shadowed     bool    `json:"shadowed,omitempty"`
+	ChallengerAP float64 `json:"challenger_ap,omitempty"`
+	Holdout      bool    `json:"holdout,omitempty"`
+	DemotedAP    float64 `json:"demoted_ap,omitempty"`
+
+	Tripped     bool     `json:"tripped"`
+	TripReasons []string `json:"trip_reasons,omitempty"`
+
+	psi []float64 // per-feature PSI, served via /v1/drift?feature=
+}
+
+// Status is the loop's operator surface (served on /v1/drift and folded
+// into /healthz).
+type Status struct {
+	State            string  `json:"state"` // watching | shadowing | holdout
+	ModelID          string  `json:"model_id"`
+	LastWeek         int     `json:"last_week"`
+	BaselineAP       float64 `json:"baseline_ap"`
+	ConsecutiveTrips int     `json:"consecutive_trips"`
+	TripsTotal       int     `json:"trips_total"`
+	Retrains         int     `json:"retrains"`
+	RetrainFailures  int     `json:"retrain_failures"`
+	ChallengerID     string  `json:"challenger_id,omitempty"`
+	ShadowWeeks      int     `json:"shadow_weeks"`
+	WeeksToPromotion int     `json:"weeks_to_promotion"`
+	Promotions       int     `json:"promotions"`
+	PromoteFailures  int     `json:"promote_failures"`
+	Rejections       int     `json:"rejections"`
+	Rollbacks        int     `json:"rollbacks"`
+}
+
+// Controller runs the monitors and the champion/challenger state machine.
+// ObserveWeek is a deterministic fold over (snapshot, week): every decision
+// derives from ingested data, frozen thresholds and seeded streams, so two
+// replays of the same feed agree bit for bit, and a restart rebuilds the
+// exact pre-crash state by replaying the recovered weeks (see Rebuild).
+type Controller struct {
+	mu         sync.Mutex
+	srv        *serve.Server
+	th         Thresholds
+	trainWeeks int
+	trainer    Trainer
+	hooks      *FaultHooks
+	logf       func(string, ...any)
+	lag        int // weeks until a week's label window closes
+
+	haveFirst           bool
+	firstWeek, lastWeek int
+	weeks               map[int]*WeekStats
+	refWeeks            []int
+	ref                 *Reference
+	baselineN           int
+	baselineSum         float64
+	baselineAP          float64
+	baselineFrozen      bool
+	consec              int
+	tripsTotal          int
+	pendingAnchor       int
+	havePending         bool
+	retrains            int
+	retrainFailures     int
+	challenger          *core.TicketPredictor
+	challengerID        string
+	shadow              []shadowEntry
+	demoted             *core.TicketPredictor
+	demotedID           string
+	holdout             []shadowEntry
+	promotions          int
+	promoteFailures     int
+	rejections          int
+	rollbacks           int
+}
+
+// New builds a controller bound to a server.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Server == nil {
+		return nil, errors.New("drift: controller needs a server")
+	}
+	if (cfg.Thresholds == Thresholds{}) {
+		cfg.Thresholds = DefaultThresholds()
+	}
+	if err := cfg.Thresholds.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TrainWeeks <= 0 {
+		cfg.TrainWeeks = 8
+	}
+	if cfg.Trainer == nil {
+		cfg.Trainer = func(sn *serve.Snapshot, weeks []int, pcfg core.PredictorConfig) (*core.TicketPredictor, error) {
+			return core.TrainPredictor(sn.DS, weeks, pcfg)
+		}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	wd := cfg.Server.Models().Pred.Cfg.WindowDays
+	return &Controller{
+		srv:        cfg.Server,
+		th:         cfg.Thresholds,
+		trainWeeks: cfg.TrainWeeks,
+		trainer:    cfg.Trainer,
+		hooks:      cfg.Hooks,
+		logf:       cfg.Logf,
+		lag:        (wd + 6) / 7,
+		weeks:      make(map[int]*WeekStats),
+	}, nil
+}
+
+// Thresholds returns the frozen operating point.
+func (c *Controller) Thresholds() Thresholds { return c.th }
+
+func (c *Controller) stat(week int) *WeekStats {
+	ws := c.weeks[week]
+	if ws == nil {
+		ws = &WeekStats{Week: week}
+		c.weeks[week] = ws
+	}
+	return ws
+}
+
+// ObserveWeek folds one completed pipeline tick into the monitors: PSI for
+// the week just ingested, AP@N and reliability gap for the week whose
+// label window just closed, shadow/holdout evaluations, and the
+// trip → retrain → shadow → promote/rollback state machine. Idempotent per
+// week — a re-observed week (a replayed restart, a re-delivered batch) is
+// a no-op, so shadow weeks are never double-counted.
+func (c *Controller) ObserveWeek(sn *serve.Snapshot, week int) {
+	if sn == nil || week < 0 || week >= data.Weeks {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.haveFirst && week <= c.lastWeek {
+		return
+	}
+	if !c.haveFirst {
+		c.haveFirst = true
+		c.firstWeek = week
+	}
+	c.lastWeek = week
+
+	span := c.srv.Tracer().Start("monitor", week)
+	c.observePSI(sn, week)
+	if m := week - c.lag; m >= c.firstWeek {
+		c.evaluateMatured(sn, m)
+	}
+	c.advance(sn, week)
+	span.End()
+}
+
+// Rebuild replays ObserveWeek over every recovered week of a restarted
+// store, reconstructing the monitor state a crashed process held — the
+// same deterministic fold over the same data arrives at the same state,
+// including retraining the same challenger. Call it on a fresh controller
+// before resuming the pipeline.
+func (c *Controller) Rebuild(sn *serve.Snapshot, firstWeek, lastWeek int) {
+	for w := firstWeek; w <= lastWeek; w++ {
+		c.ObserveWeek(sn, w)
+	}
+}
+
+// observePSI either accumulates the week into the pending reference window
+// or scores it against the frozen reference.
+func (c *Controller) observePSI(sn *serve.Snapshot, week int) {
+	ws := c.stat(week)
+	if c.ref == nil {
+		c.refWeeks = append(c.refWeeks, week)
+		if len(c.refWeeks) >= c.th.BaselineWeeks {
+			c.ref = NewReference(sn, c.refWeeks, c.th.Bins)
+		}
+		return
+	}
+	psi := c.ref.PSI(sn, week)
+	if psi == nil {
+		return
+	}
+	ws.psi = psi
+	ws.PSIEvaluated = true
+	for f, v := range psi {
+		if v > ws.PSIMax || f == 0 {
+			ws.PSIMax = v
+			ws.PSIFeature = data.BasicFeatureNames[f]
+		}
+	}
+}
+
+// evaluateMatured scores matured week m — whose 4-week label window closed
+// with this tick's ingest — with the champion (and the challenger or the
+// demoted champion, when one is auditioning). Features look backward and
+// the label window is complete, so the result is independent of which
+// later snapshot computes it.
+func (c *Controller) evaluateMatured(sn *serve.Snapshot, m int) {
+	ws := c.stat(m)
+	lines := sn.LinesAt(m)
+	if len(lines) == 0 {
+		return
+	}
+	examples := make([]features.Example, len(lines))
+	for i, l := range lines {
+		examples[i] = features.Example{Line: l, Week: m}
+	}
+	champ := c.srv.Models().Pred
+	labels := features.Labels(sn.Ix, examples, champ.Cfg.WindowDays)
+	ap, gap, err := c.scoreAP(champ, sn, examples, labels, true)
+	if err != nil {
+		c.logf("drift: week %d champion evaluation: %v", m, err)
+		return
+	}
+	ws.AP, ws.Gap, ws.Evaluated = ap, gap, true
+	if !c.baselineFrozen {
+		c.baselineSum += ap
+		c.baselineN++
+		if c.baselineN >= c.th.BaselineWeeks {
+			c.baselineAP = c.baselineSum / float64(c.baselineN)
+			c.baselineFrozen = true
+			c.logf("drift: AP baseline frozen at %.4f over %d weeks", c.baselineAP, c.baselineN)
+		}
+	}
+	if c.challenger != nil {
+		span := c.srv.Tracer().Start("shadow", m)
+		chalAP, _, err := c.scoreAP(c.challenger, sn, examples, labels, false)
+		span.Fail(err).End()
+		if err != nil {
+			c.logf("drift: week %d challenger shadow: %v", m, err)
+		} else {
+			ws.ChallengerAP, ws.Shadowed = chalAP, true
+			c.shadow = append(c.shadow, shadowEntry{Week: m, Champ: ap, Other: chalAP})
+			c.logf("drift: week %d shadow: champion AP %.4f vs challenger %.4f", m, ap, chalAP)
+		}
+	}
+	if c.demoted != nil {
+		span := c.srv.Tracer().Start("holdout", m)
+		demAP, _, err := c.scoreAP(c.demoted, sn, examples, labels, false)
+		span.Fail(err).End()
+		if err != nil {
+			c.logf("drift: week %d demoted holdout: %v", m, err)
+		} else {
+			ws.DemotedAP, ws.Holdout = demAP, true
+			c.holdout = append(c.holdout, shadowEntry{Week: m, Champ: ap, Other: demAP})
+		}
+	}
+}
+
+// scoreAP ranks the examples with one model and returns its AP@N (and,
+// when wantGap is set, its reliability gap).
+func (c *Controller) scoreAP(pred *core.TicketPredictor, sn *serve.Snapshot, examples []features.Example, labels []bool, wantGap bool) (ap, gap float64, err error) {
+	scores, err := pred.ScoreExamplesIx(sn.DS, sn.Ix, examples)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := pred.Cfg.BudgetN
+	if n > len(scores) {
+		n = len(scores)
+	}
+	ap = ml.TopNAveragePrecision(scores, labels, n)
+	if wantGap {
+		probs := make([]float64, len(scores))
+		for i, s := range scores {
+			probs[i] = pred.Model.Probability(s)
+		}
+		gap = ml.ReliabilityGap(probs, labels, c.th.Bins)
+	}
+	return ap, gap, nil
+}
+
+// advance runs the tick's trip decision and the retrain/promote/rollback
+// state machine.
+func (c *Controller) advance(sn *serve.Snapshot, week int) {
+	tick := c.stat(week)
+	var reasons []string
+	if tick.PSIEvaluated && tick.PSIMax > c.th.PSICeil {
+		reasons = append(reasons, fmt.Sprintf("psi:%s=%.3f", tick.PSIFeature, tick.PSIMax))
+	}
+	if ms, ok := c.weeks[week-c.lag]; ok && ms.Evaluated && c.baselineFrozen {
+		if ms.AP < c.th.APFloor*c.baselineAP {
+			reasons = append(reasons, fmt.Sprintf("ap(w%d)=%.4f<%.4f", ms.Week, ms.AP, c.th.APFloor*c.baselineAP))
+		}
+		if ms.Gap > c.th.GapCeil {
+			reasons = append(reasons, fmt.Sprintf("gap(w%d)=%.4f", ms.Week, ms.Gap))
+		}
+	}
+	tick.Tripped = len(reasons) > 0
+	tick.TripReasons = reasons
+	if tick.Tripped {
+		c.consec++
+		c.tripsTotal++
+		c.logf("drift: week %d tripped (%d consecutive): %v", week, c.consec, reasons)
+	} else {
+		c.consec = 0
+	}
+
+	// Schedule and run retraining. The training window is anchored at the
+	// matured week of the tick that reached K, so a fault-delayed attempt
+	// trains on the same frozen window and yields the same challenger.
+	if c.challenger == nil && c.demoted == nil {
+		if c.consec >= c.th.K && !c.havePending {
+			c.pendingAnchor = week - c.lag
+			c.havePending = true
+		}
+		if c.havePending && c.pendingAnchor < c.firstWeek {
+			c.pendingAnchor = week - c.lag // too early to have matured data; re-anchor
+		}
+		if c.havePending && c.pendingAnchor >= c.firstWeek {
+			c.tryRetrain(sn, week)
+		}
+	}
+
+	// Promotion decision after W shadow weeks: probe-verified swap on
+	// measured gain, discard on anything less.
+	if c.challenger != nil && len(c.shadow) >= c.th.W {
+		champMean, chalMean := meanPair(c.shadow)
+		if chalMean > champMean+c.th.MinGain {
+			span := c.srv.Tracer().Start("promote", week)
+			old := c.srv.Models()
+			res, err := c.srv.Promote(c.challenger, c.challengerID)
+			span.Fail(err).End()
+			if err != nil {
+				// A failed probe (injected or real) keeps the champion
+				// serving; the decision re-runs next tick.
+				c.promoteFailures++
+				c.logf("drift: week %d promotion of %s failed: %v", week, c.challengerID, err)
+			} else {
+				// Baselines are NOT re-anchored yet: they re-anchor only
+				// once the promotion survives its holdout. If it rolls
+				// back, the world is still drifted and the monitors must
+				// keep tripping against the original reference.
+				c.promotions++
+				c.demoted, c.demotedID = old.Pred, old.ID
+				c.holdout = nil
+				c.challenger, c.shadow = nil, nil
+				c.logf("drift: week %d promoted %s (challenger AP %.4f > champion %.4f; probe %d examples)",
+					week, c.srv.Models().ID, chalMean, champMean, res.ProbeExamples)
+			}
+		} else {
+			c.rejections++
+			c.challenger, c.shadow = nil, nil
+			c.consec = 0
+			c.havePending = false
+			c.logf("drift: week %d challenger %s rejected (AP %.4f vs champion %.4f)",
+				week, c.challengerID, chalMean, champMean)
+		}
+	}
+
+	// Rollback decision after W holdout weeks: if the demoted champion
+	// out-ranks the promoted model on fresh matured weeks, swap back
+	// through the same probe path.
+	if c.demoted != nil && len(c.holdout) >= c.th.W {
+		promMean, demMean := meanPair(c.holdout)
+		if demMean > promMean+c.th.MinGain {
+			span := c.srv.Tracer().Start("rollback", week)
+			_, err := c.srv.Promote(c.demoted, c.demotedID)
+			span.Fail(err).End()
+			if err != nil {
+				c.promoteFailures++
+				c.logf("drift: week %d rollback to %s failed: %v", week, c.demotedID, err)
+			} else {
+				// Baselines stay anchored to the original reference: the
+				// promotion didn't take, the drift is still live, and the
+				// monitors must keep tripping so a better challenger gets
+				// trained.
+				c.rollbacks++
+				c.logf("drift: week %d rolled back to %s (demoted AP %.4f > promoted %.4f)",
+					week, c.demotedID, demMean, promMean)
+				c.demoted = nil
+				c.consec = 0
+				c.havePending = false
+			}
+		} else {
+			// The promotion stands: the promoted model is the champion the
+			// plant is now measured against, so the PSI reference and AP
+			// baseline re-anchor to the new normal.
+			c.logf("drift: week %d promotion stands (promoted AP %.4f vs demoted %.4f)", week, promMean, demMean)
+			c.demoted = nil
+			c.resetBaselines()
+		}
+	}
+}
+
+func (c *Controller) tryRetrain(sn *serve.Snapshot, week int) {
+	span := c.srv.Tracer().Start("retrain", week)
+	if c.hooks != nil && c.hooks.Retrain != nil {
+		if err := c.hooks.Retrain(week); err != nil {
+			c.retrainFailures++
+			span.Fail(err).End()
+			c.logf("drift: week %d retrain attempt failed: %v", week, err)
+			return
+		}
+	}
+	anchor := c.pendingAnchor
+	lo := anchor - c.trainWeeks + 1
+	if lo < c.firstWeek {
+		lo = c.firstWeek
+	}
+	cfg := c.srv.Models().Pred.Cfg
+	cfg.Seed = rng.Derive(cfg.Seed, 0xd21f7c, uint64(c.retrains+1), uint64(anchor)).Uint64()
+	pred, err := c.trainer(sn, features.WeekRange(lo, anchor), cfg)
+	span.Fail(err).End()
+	if err != nil {
+		c.retrainFailures++
+		c.logf("drift: week %d challenger training on [%d,%d] failed: %v", week, lo, anchor, err)
+		return
+	}
+	c.retrains++
+	c.challenger = pred
+	c.challengerID = fmt.Sprintf("challenger-%d-w%d", c.retrains, anchor)
+	c.shadow = nil
+	c.havePending = false
+	c.logf("drift: week %d retrained %s on weeks [%d,%d]", week, c.challengerID, lo, anchor)
+}
+
+func (c *Controller) resetBaselines() {
+	c.baselineN, c.baselineSum, c.baselineAP = 0, 0, 0
+	c.baselineFrozen = false
+	c.ref, c.refWeeks = nil, nil
+	c.consec = 0
+	c.havePending = false
+}
+
+func meanPair(entries []shadowEntry) (champ, other float64) {
+	for _, e := range entries {
+		champ += e.Champ
+		other += e.Other
+	}
+	n := float64(len(entries))
+	return champ / n, other / n
+}
+
+// Status snapshots the loop state.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statusLocked()
+}
+
+func (c *Controller) statusLocked() Status {
+	st := Status{
+		State:            "watching",
+		ModelID:          c.srv.Models().ID,
+		LastWeek:         -1,
+		BaselineAP:       c.baselineAP,
+		ConsecutiveTrips: c.consec,
+		TripsTotal:       c.tripsTotal,
+		Retrains:         c.retrains,
+		RetrainFailures:  c.retrainFailures,
+		Promotions:       c.promotions,
+		PromoteFailures:  c.promoteFailures,
+		Rejections:       c.rejections,
+		Rollbacks:        c.rollbacks,
+	}
+	if c.haveFirst {
+		st.LastWeek = c.lastWeek
+	}
+	switch {
+	case c.challenger != nil:
+		st.State = "shadowing"
+		st.ChallengerID = c.challengerID
+		st.ShadowWeeks = len(c.shadow)
+		if w := c.th.W - len(c.shadow); w > 0 {
+			st.WeeksToPromotion = w
+		}
+	case c.demoted != nil:
+		st.State = "holdout"
+		st.ShadowWeeks = len(c.holdout)
+	}
+	return st
+}
+
+// ServeStatus adapts Status to the serving layer's /healthz block.
+func (c *Controller) ServeStatus() serve.DriftStatus {
+	st := c.Status()
+	return serve.DriftStatus{
+		ModelID:          st.ModelID,
+		State:            st.State,
+		ConsecutiveTrips: st.ConsecutiveTrips,
+		ShadowWeeks:      st.ShadowWeeks,
+		WeeksToPromotion: st.WeeksToPromotion,
+		Retrains:         st.Retrains,
+		Promotions:       st.Promotions,
+		Rollbacks:        st.Rollbacks,
+	}
+}
+
+// History returns every observed week's stats, oldest first.
+func (c *Controller) History() []WeekStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.historyLocked(0)
+}
+
+// historyLocked returns the last n weeks (0 = all), oldest first.
+func (c *Controller) historyLocked(n int) []WeekStats {
+	if !c.haveFirst {
+		return nil
+	}
+	out := make([]WeekStats, 0, c.lastWeek-c.firstWeek+1)
+	for w := c.firstWeek; w <= c.lastWeek; w++ {
+		if ws, ok := c.weeks[w]; ok {
+			out = append(out, *ws)
+		}
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+// Package drift closes the serving loop: online monitors that watch the
+// champion model drift away from the plant it serves, and the
+// champion/challenger retraining machinery that replaces it.
+//
+// Three monitors run incrementally in the weekly pipeline tick:
+//
+//   - rolling weekly AP@N of the champion against the tickets that actually
+//     arrived (a week's ranking is evaluated once its 4-week label window
+//     has closed, so every AP is computed against complete ground truth);
+//   - Platt-calibration drift, the reliability gap between the champion's
+//     predicted probabilities and the empirical ticket rate on the same
+//     matured weeks;
+//   - per-feature population-stability statistics (PSI) of the week's
+//     measurement distributions against a reference window frozen at
+//     startup — the monitor that fires the moment a firmware rollout or a
+//     weather front shifts the inputs, four weeks before any label can.
+//
+// When a monitor trips its threshold for K consecutive weeks, a challenger
+// is retrained on the accumulated store and shadow-scores every matured
+// week alongside the champion — logged, never served. It is promoted
+// through the probe-verified hot-reload path only on measured AP@N gain
+// over W shadow weeks, and the demoted champion is kept through a W-week
+// holdout so a promotion that regresses rolls back the same way.
+//
+// Everything is a deterministic fold over (snapshot, weeks observed): same
+// feed, same thresholds, same state — the property the replay and restart
+// batteries assert bit for bit.
+package drift
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nevermind/internal/data"
+	"nevermind/internal/serve"
+)
+
+// Thresholds configures the monitors and the retraining state machine.
+type Thresholds struct {
+	// APFloor trips the AP monitor when a matured week's AP@N falls below
+	// APFloor × the frozen baseline AP.
+	APFloor float64
+	// GapCeil trips the calibration monitor when the reliability gap on a
+	// matured week exceeds it.
+	GapCeil float64
+	// PSICeil trips the distribution monitor when any feature's PSI
+	// against the frozen reference exceeds it.
+	PSICeil float64
+	// K is how many consecutive tripped weeks trigger a retrain.
+	K int
+	// W is how many shadow weeks a challenger must win over before
+	// promotion, and how long the demoted champion is held for rollback.
+	W int
+	// MinGain is the mean-AP margin a challenger must clear to be
+	// promoted (and a demoted champion to be rolled back to).
+	MinGain float64
+	// BaselineWeeks is how many observed weeks freeze the PSI reference
+	// and how many matured weeks freeze the AP baseline.
+	BaselineWeeks int
+	// Bins sizes the reliability and PSI histograms.
+	Bins int
+}
+
+// DefaultThresholds returns the nominal operating point.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		APFloor:       0.6,
+		GapCeil:       0.25,
+		PSICeil:       0.5,
+		K:             2,
+		W:             3,
+		MinGain:       0,
+		BaselineWeeks: 4,
+		Bins:          10,
+	}
+}
+
+// Validate checks the parameter ranges.
+func (t Thresholds) Validate() error {
+	bad := func(f string, v any) error { return fmt.Errorf("drift: threshold %s=%v out of range", f, v) }
+	if !(t.APFloor > 0 && t.APFloor <= 1) || math.IsNaN(t.APFloor) {
+		return bad("ap-floor", t.APFloor)
+	}
+	if !(t.GapCeil > 0) || math.IsInf(t.GapCeil, 0) || math.IsNaN(t.GapCeil) {
+		return bad("gap-ceil", t.GapCeil)
+	}
+	if !(t.PSICeil > 0) || math.IsInf(t.PSICeil, 0) || math.IsNaN(t.PSICeil) {
+		return bad("psi-ceil", t.PSICeil)
+	}
+	if t.K < 1 || t.K > data.Weeks {
+		return bad("k", t.K)
+	}
+	if t.W < 1 || t.W > data.Weeks {
+		return bad("w", t.W)
+	}
+	if t.MinGain < 0 || math.IsInf(t.MinGain, 0) || math.IsNaN(t.MinGain) {
+		return bad("min-gain", t.MinGain)
+	}
+	if t.BaselineWeeks < 1 || t.BaselineWeeks > data.Weeks {
+		return bad("baseline-weeks", t.BaselineWeeks)
+	}
+	if t.Bins < 2 || t.Bins > 1024 {
+		return bad("bins", t.Bins)
+	}
+	return nil
+}
+
+// String renders the thresholds in the form ParseThresholds accepts.
+func (t Thresholds) String() string {
+	return fmt.Sprintf(
+		"ap-floor=%v,gap-ceil=%v,psi-ceil=%v,k=%d,w=%d,min-gain=%v,baseline-weeks=%d,bins=%d",
+		t.APFloor, t.GapCeil, t.PSICeil, t.K, t.W, t.MinGain, t.BaselineWeeks, t.Bins)
+}
+
+// ParseThresholds parses a comma-separated key=value list over the keys
+// ap-floor, gap-ceil, psi-ceil, k, w, min-gain, baseline-weeks and bins;
+// missing keys keep their defaults, and "" is exactly DefaultThresholds.
+// Unknown keys, malformed values and out-of-range parameters are rejected.
+func ParseThresholds(s string) (Thresholds, error) {
+	t := DefaultThresholds()
+	if s == "" {
+		return t, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Thresholds{}, fmt.Errorf("drift: threshold %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "ap-floor":
+			t.APFloor, err = strconv.ParseFloat(val, 64)
+		case "gap-ceil":
+			t.GapCeil, err = strconv.ParseFloat(val, 64)
+		case "psi-ceil":
+			t.PSICeil, err = strconv.ParseFloat(val, 64)
+		case "k":
+			t.K, err = strconv.Atoi(val)
+		case "w":
+			t.W, err = strconv.Atoi(val)
+		case "min-gain":
+			t.MinGain, err = strconv.ParseFloat(val, 64)
+		case "baseline-weeks":
+			t.BaselineWeeks, err = strconv.Atoi(val)
+		case "bins":
+			t.Bins, err = strconv.Atoi(val)
+		default:
+			return Thresholds{}, fmt.Errorf("drift: unknown threshold %q", key)
+		}
+		if err != nil {
+			return Thresholds{}, fmt.Errorf("drift: threshold %s=%q: %v", key, val, err)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return Thresholds{}, err
+	}
+	return t, nil
+}
+
+// Reference is the frozen distribution baseline the PSI monitor compares
+// against: per-feature quantile bin edges and reference bin proportions,
+// built from the measurement rows of a set of reference weeks.
+type Reference struct {
+	bins  int
+	edges [data.NumBasicFeatures][]float64 // len bins-1, ascending
+	ref   [data.NumBasicFeatures][]float64 // len bins, proportions
+}
+
+// NewReference freezes a PSI reference over the given weeks of a snapshot.
+// Missing measurements are skipped (a dark modem has no distribution to
+// shift). Returns nil when the weeks hold no measurements.
+func NewReference(sn *serve.Snapshot, weeks []int, bins int) *Reference {
+	vals := collectFeatureValues(sn, weeks)
+	if len(vals[0]) == 0 {
+		return nil
+	}
+	r := &Reference{bins: bins}
+	for f := 0; f < data.NumBasicFeatures; f++ {
+		sort.Float64s(vals[f])
+		r.edges[f] = quantileEdges(vals[f], bins)
+		r.ref[f] = binProportions(vals[f], r.edges[f], bins)
+	}
+	return r
+}
+
+// PSI returns the per-feature population stability index of one week's
+// measurement distribution against the reference:
+//
+//	PSI = Σ_bins (p_i − q_i) · ln(p_i / q_i)
+//
+// with proportions floored at a small epsilon so empty bins stay finite.
+// Returns nil when the week holds no measurements. The statistic is a pure
+// function of the week's value multiset, so any ingest order of the week's
+// batches yields the same result.
+func (r *Reference) PSI(sn *serve.Snapshot, week int) []float64 {
+	vals := collectFeatureValues(sn, []int{week})
+	if len(vals[0]) == 0 {
+		return nil
+	}
+	out := make([]float64, data.NumBasicFeatures)
+	for f := 0; f < data.NumBasicFeatures; f++ {
+		sort.Float64s(vals[f])
+		p := binProportions(vals[f], r.edges[f], r.bins)
+		q := r.ref[f]
+		const eps = 1e-4
+		psi := 0.0
+		for b := 0; b < r.bins; b++ {
+			pb, qb := math.Max(p[b], eps), math.Max(q[b], eps)
+			psi += (pb - qb) * math.Log(pb/qb)
+		}
+		out[f] = psi
+	}
+	return out
+}
+
+// collectFeatureValues gathers every non-Missing measurement's value per
+// feature over the given weeks, iterating the snapshot's canonical
+// ascending line order.
+func collectFeatureValues(sn *serve.Snapshot, weeks []int) [data.NumBasicFeatures][]float64 {
+	var vals [data.NumBasicFeatures][]float64
+	for _, w := range weeks {
+		for _, l := range sn.LinesAt(w) {
+			m := sn.DS.At(l, w)
+			if m == nil || m.Missing {
+				continue
+			}
+			for f := 0; f < data.NumBasicFeatures; f++ {
+				vals[f] = append(vals[f], float64(m.F[f]))
+			}
+		}
+	}
+	return vals
+}
+
+// quantileEdges returns bins-1 ascending cut points over sorted values.
+func quantileEdges(sorted []float64, bins int) []float64 {
+	edges := make([]float64, bins-1)
+	n := len(sorted)
+	for i := 1; i < bins; i++ {
+		edges[i-1] = sorted[i*n/bins]
+	}
+	return edges
+}
+
+// binProportions histograms sorted values into the edge-defined bins and
+// normalises to proportions. Values equal to an edge fall into the higher
+// bin, matching sort.SearchFloat64s.
+func binProportions(sorted []float64, edges []float64, bins int) []float64 {
+	counts := make([]float64, bins)
+	for _, v := range sorted {
+		b := sort.SearchFloat64s(edges, v)
+		if b < len(edges) && edges[b] == v {
+			b++
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	n := float64(len(sorted))
+	for b := range counts {
+		counts[b] /= n
+	}
+	return counts
+}

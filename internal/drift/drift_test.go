@@ -1,0 +1,284 @@
+package drift
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nevermind/internal/core"
+	"nevermind/internal/data"
+	"nevermind/internal/serve"
+)
+
+func TestParseThresholds(t *testing.T) {
+	if th, err := ParseThresholds(""); err != nil || th != DefaultThresholds() {
+		t.Fatalf("empty spec: %+v, %v", th, err)
+	}
+	th, err := ParseThresholds("psi-ceil=0.2,k=3,min-gain=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultThresholds()
+	want.PSICeil = 0.2
+	want.K = 3
+	want.MinGain = 0.05
+	if th != want {
+		t.Fatalf("got %+v want %+v", th, want)
+	}
+
+	for _, spec := range []string{
+		"psi-ceil",   // not key=value
+		"psi-ceil=",  // empty value
+		"psi-ceil=x", // not a number
+		"psi-ceil=0", // out of range
+		"psi-ceil=-1",
+		"psi-ceil=NaN",
+		"psi-ceil=+Inf",
+		"ap-floor=0",
+		"ap-floor=1.5",
+		"gap-ceil=0",
+		"k=0",
+		fmt.Sprintf("k=%d", data.Weeks+1),
+		"w=0",
+		"min-gain=-0.1",
+		"baseline-weeks=0",
+		"bins=1",
+		"bins=2048",
+		"tempo=4",           // unknown key
+		"psi-ceil=0.2,,k=3", // empty element
+	} {
+		if _, err := ParseThresholds(spec); err == nil {
+			t.Errorf("ParseThresholds(%q) accepted", spec)
+		}
+	}
+}
+
+func TestThresholdsStringRoundTrip(t *testing.T) {
+	for _, th := range []Thresholds{
+		DefaultThresholds(),
+		{APFloor: 0.33, GapCeil: 0.1, PSICeil: 2.5, K: 1, W: 7, MinGain: 0.125, BaselineWeeks: 6, Bins: 64},
+	} {
+		back, err := ParseThresholds(th.String())
+		if err != nil {
+			t.Fatalf("%q: %v", th.String(), err)
+		}
+		if back != th {
+			t.Fatalf("round trip: %+v -> %q -> %+v", th, th.String(), back)
+		}
+	}
+}
+
+// psiStore builds a tiny snapshot with hand-laid feature values: every
+// feature of line l at week w carries base[w] + l (an arithmetic ramp), so
+// shifting base shifts the whole distribution by a known amount.
+func psiSnapshot(t *testing.T, weekBase map[int]float32, lines int) *serve.Snapshot {
+	t.Helper()
+	st := serve.NewStore(2)
+	for w, base := range weekBase {
+		recs := make([]serve.TestRecord, lines)
+		for l := 0; l < lines; l++ {
+			f := make([]float32, data.NumBasicFeatures)
+			for i := range f {
+				f[i] = base + float32(l)
+			}
+			recs[l] = serve.TestRecord{Line: data.LineID(l), Week: w, F: f}
+		}
+		if _, err := st.IngestTests(recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st.Snapshot()
+}
+
+func TestPSI(t *testing.T) {
+	const lines = 200
+	sn := psiSnapshot(t, map[int]float32{
+		10: 0,   // reference
+		11: 0,   // identical distribution
+		12: 20,  // shifted by 10% of the range
+		13: 100, // shifted by half the range
+		14: 500, // disjoint support
+	}, lines)
+
+	ref := NewReference(sn, []int{10}, 10)
+	if ref == nil {
+		t.Fatal("nil reference over a populated week")
+	}
+
+	same := ref.PSI(sn, 11)
+	for f, v := range same {
+		if v != 0 {
+			t.Fatalf("identical distribution has PSI %v at feature %d", v, f)
+		}
+	}
+	small := ref.PSI(sn, 12)
+	mid := ref.PSI(sn, 13)
+	far := ref.PSI(sn, 14)
+	for f := 0; f < data.NumBasicFeatures; f++ {
+		if !(small[f] > 0) {
+			t.Fatalf("shifted distribution has PSI %v at feature %d", small[f], f)
+		}
+		if !(mid[f] > small[f]) || !(far[f] > mid[f]) {
+			t.Fatalf("PSI not monotone in shift at feature %d: %v, %v, %v", f, small[f], mid[f], far[f])
+		}
+	}
+	// A fully disjoint week concentrates everything in the top bin: with a
+	// 10-bin reference that is (1−0.1)·ln(1/1e-4)-ish per the epsilon floor
+	// — assert it cleared a conservative bound.
+	if far[0] < 2 {
+		t.Fatalf("disjoint distribution PSI %v suspiciously small", far[0])
+	}
+
+	if got := ref.PSI(sn, 20); got != nil {
+		t.Fatalf("PSI of an empty week = %v, want nil", got)
+	}
+	if r := NewReference(sn, []int{20, 21}, 10); r != nil {
+		t.Fatal("reference over empty weeks should be nil")
+	}
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without a server accepted")
+	}
+	_, predPath := driftFixture(t)
+	srv := newFixtureServer(t, predPath)
+	bad := DefaultThresholds()
+	bad.Bins = 1
+	if _, err := New(Config{Server: srv, Thresholds: bad}); err == nil {
+		t.Fatal("New with invalid thresholds accepted")
+	}
+	ctrl, err := New(Config{Server: srv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Thresholds() != DefaultThresholds() {
+		t.Fatalf("zero thresholds did not default: %+v", ctrl.Thresholds())
+	}
+}
+
+// TestObserveWeekIdempotent: re-observing an already-observed or older week
+// is a no-op — the pipeline's exactly-once guard is belt, this is braces
+// (chaos re-delivery, WAL replay after restart).
+func TestObserveWeekIdempotent(t *testing.T) {
+	cfg := firmwareSoakCfg()
+	cfg.hi = 41 // through the first retrain and two shadow weeks
+	res := runDriftSoak(t, cfg)
+	if res.status.Retrains != 1 || res.status.ShadowWeeks != 2 {
+		t.Fatalf("horizon drifted from the pinned setup: %+v", res.status)
+	}
+
+	// Re-run, then hammer ObserveWeek with already-seen weeks.
+	ds, predPath := driftFixture(t)
+	srv := newFixtureServer(t, predPath)
+	ctrl, err := New(Config{Server: srv, Thresholds: cfg.th, TrainWeeks: cfg.trainWeeks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := ingestWeeks(t, srv, ds, cfg)
+	ctrl.Rebuild(sn, cfg.lo, cfg.hi)
+	before, histBefore := ctrl.Status(), ctrl.History()
+	if before.Retrains != 1 || before.ShadowWeeks != 2 {
+		t.Fatalf("rebuild diverged from pipeline run: %+v vs %+v", before, res.status)
+	}
+	for _, w := range []int{cfg.hi, cfg.hi - 1, cfg.lo, 0} {
+		ctrl.ObserveWeek(sn, w)
+	}
+	after, histAfter := ctrl.Status(), ctrl.History()
+	if after != before {
+		t.Fatalf("re-observation moved status: %+v -> %+v", before, after)
+	}
+	if !reflect.DeepEqual(histBefore, histAfter) {
+		t.Fatal("re-observation moved history")
+	}
+}
+
+// TestAPAndGapTrips pins the two label-side monitors the firmware soak
+// never needs (PSI fires first there): with the distribution monitor
+// effectively off, a clean feed still trips the AP floor on its worst
+// matured weeks and the calibration ceiling once the gap threshold is
+// squeezed under the fixture's resting reliability gap.
+func TestAPAndGapTrips(t *testing.T) {
+	th := DefaultThresholds()
+	th.PSICeil = 1000 // distribution monitor effectively off
+	th.APFloor = 1.0  // any matured week below the baseline trips
+	th.GapCeil = 0.015
+	th.K = data.Weeks // never actually retrain
+
+	cfg := soakCfg{th: th, trainWeeks: 8, lo: 30, hi: 45}
+	res := runDriftSoak(t, cfg)
+	if res.status.Retrains != 0 || res.status.Promotions != 0 {
+		t.Fatalf("monitor-only run retrained: %+v", res.status)
+	}
+	var apTrips, gapTrips int
+	for _, ws := range res.history {
+		for _, reason := range ws.TripReasons {
+			switch {
+			case strings.HasPrefix(reason, "ap("):
+				apTrips++
+			case strings.HasPrefix(reason, "gap("):
+				gapTrips++
+			case strings.HasPrefix(reason, "psi:"):
+				t.Fatalf("PSI tripped at ceiling 1000: week %d %v", ws.Week, ws.TripReasons)
+			}
+		}
+	}
+	if apTrips == 0 {
+		t.Fatal("AP floor at 1.0×baseline never tripped")
+	}
+	if gapTrips == 0 {
+		t.Fatal("squeezed gap ceiling never tripped")
+	}
+	if res.status.TripsTotal == 0 || res.status.Rollbacks != 0 {
+		t.Fatalf("unexpected trajectory: %+v", res.status)
+	}
+}
+
+// newFixtureServer builds a serving stack around the saved fixture champion.
+func newFixtureServer(t *testing.T, predPath string) *serve.Server {
+	t.Helper()
+	pred, err := core.LoadPredictor(predPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Predictor: pred, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// ingestWeeks pushes the configured weeks (with any scenario) into the
+// server's store directly, without a pipeline, and returns the snapshot.
+func ingestWeeks(t *testing.T, srv *serve.Server, ds *data.Dataset, cfg soakCfg) *serve.Snapshot {
+	t.Helper()
+	feed := newFeed(t, ds, cfg)
+	for {
+		b, ok, err := feed.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		tests := make([]serve.TestRecord, len(b.Tests))
+		for i, lt := range b.Tests {
+			tests[i] = serve.TestRecord{
+				Line: lt.M.Line, Week: lt.M.Week, Missing: lt.M.Missing, F: lt.M.F[:],
+				Profile: lt.Profile, DSLAM: lt.DSLAM, Usage: lt.Usage,
+			}
+		}
+		tickets := make([]serve.TicketRecord, len(b.Tickets))
+		for i, tk := range b.Tickets {
+			tickets[i] = serve.TicketRecord{ID: tk.ID, Line: tk.Line, Day: tk.Day, Category: uint8(tk.Category)}
+		}
+		if _, err := srv.Store().IngestTests(tests); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Store().IngestTickets(tickets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srv.Store().Snapshot()
+}

@@ -1,0 +1,94 @@
+package drift
+
+import (
+	"net/url"
+	"testing"
+
+	"nevermind/internal/data"
+)
+
+// FuzzDriftParams holds /v1/drift's query parsing to its contract: it
+// either errors, or returns a non-negative weeks limit and a feature name
+// that is empty or a real Table 2 mnemonic. No input may panic, be
+// prefix-parsed, or be silently clamped.
+func FuzzDriftParams(f *testing.F) {
+	f.Add("")
+	f.Add("weeks=4")
+	f.Add("weeks=0")
+	f.Add("weeks=-1")
+	f.Add("weeks=4.5")
+	f.Add("weeks=99999999999999999999")
+	f.Add("feature=upnmr")
+	f.Add("feature=UPNMR")
+	f.Add("feature=")
+	f.Add("weeks=4&feature=dnpwr")
+	f.Add("weeks=4&weeks=5")
+	f.Add("color=red")
+	f.Add("weeks=%zz")
+
+	f.Fuzz(func(t *testing.T, query string) {
+		q, err := url.ParseQuery(query)
+		if err != nil {
+			return
+		}
+		p, err := ParseParams(q)
+		if err != nil {
+			return
+		}
+		if p.Weeks < 0 {
+			t.Fatalf("accepted negative weeks %d from %q", p.Weeks, query)
+		}
+		if p.Feature != "" && featureIndex(p.Feature) < 0 {
+			t.Fatalf("accepted unknown feature %q from %q", p.Feature, query)
+		}
+		if p.Feature != "" {
+			if n := data.BasicFeatureNames[featureIndex(p.Feature)]; n != p.Feature {
+				t.Fatalf("feature %q resolved to %q", p.Feature, n)
+			}
+		}
+	})
+}
+
+// FuzzThresholds pins the threshold config parser: whatever it accepts must
+// validate, and must survive a String() → ParseThresholds() round trip
+// unchanged — the property that makes -drift.thresholds flag values,
+// /v1/drift's echoed config, and the docs all speak one language.
+func FuzzThresholds(f *testing.F) {
+	f.Add("")
+	f.Add(DefaultThresholds().String())
+	f.Add("psi-ceil=0.2")
+	f.Add("ap-floor=0.5,k=3")
+	f.Add("k=0")
+	f.Add("k=-1")
+	f.Add("w=100000")
+	f.Add("bins=1")
+	f.Add("bins=2048")
+	f.Add("min-gain=-0.5")
+	f.Add("gap-ceil=NaN")
+	f.Add("psi-ceil=Inf")
+	f.Add("ap-floor=1e300")
+	f.Add("unknown=1")
+	f.Add("k=2,k=3")
+	f.Add(",")
+	f.Add("k")
+	f.Add("=")
+	f.Add("psi-ceil=0.2,")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		th, err := ParseThresholds(spec)
+		if err != nil {
+			return
+		}
+		if verr := th.Validate(); verr != nil {
+			t.Fatalf("accepted %q but Validate fails: %v (th=%+v)", spec, verr, th)
+		}
+		s := th.String()
+		back, err := ParseThresholds(s)
+		if err != nil {
+			t.Fatalf("String() %q of accepted %q does not re-parse: %v", s, spec, err)
+		}
+		if back != th {
+			t.Fatalf("round trip changed thresholds: %+v -> %q -> %+v", th, s, back)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package drift
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"nevermind/internal/data"
+)
+
+// Params are the validated /v1/drift query parameters.
+type Params struct {
+	// Weeks limits the history to the most recent N weeks; 0 means all.
+	Weeks int
+	// Feature, when non-empty, selects one basic feature's per-week PSI
+	// series. Must be a Table 2 mnemonic.
+	Feature string
+}
+
+// ParseParams validates /v1/drift query parameters. Unknown keys,
+// non-numeric or negative weeks and unknown feature names are rejected —
+// the contract the fuzz target hammers.
+func ParseParams(q url.Values) (Params, error) {
+	var p Params
+	for key, vals := range q {
+		if len(vals) != 1 {
+			return Params{}, fmt.Errorf("drift: repeated query param %q", key)
+		}
+		val := vals[0]
+		switch key {
+		case "weeks":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Params{}, fmt.Errorf("drift: bad weeks %q", val)
+			}
+			p.Weeks = n
+		case "feature":
+			if featureIndex(val) < 0 {
+				return Params{}, fmt.Errorf("drift: unknown feature %q", val)
+			}
+			p.Feature = val
+		default:
+			return Params{}, fmt.Errorf("drift: unknown query param %q", key)
+		}
+	}
+	return p, nil
+}
+
+func featureIndex(name string) int {
+	for f, n := range data.BasicFeatureNames {
+		if n == name {
+			return f
+		}
+	}
+	return -1
+}
+
+// FeaturePSI is one week's PSI for a selected feature.
+type FeaturePSI struct {
+	Week int     `json:"week"`
+	PSI  float64 `json:"psi"`
+}
+
+// Report is the /v1/drift response body.
+type Report struct {
+	Status     Status       `json:"status"`
+	Thresholds string       `json:"thresholds"`
+	Weeks      []WeekStats  `json:"weeks"`
+	Feature    string       `json:"feature,omitempty"`
+	FeaturePSI []FeaturePSI `json:"feature_psi,omitempty"`
+}
+
+// Report assembles the endpoint response for the given params.
+func (c *Controller) Report(p Params) Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := Report{
+		Status:     c.statusLocked(),
+		Thresholds: c.th.String(),
+		Weeks:      c.historyLocked(p.Weeks),
+	}
+	if p.Feature != "" {
+		f := featureIndex(p.Feature)
+		rep.Feature = p.Feature
+		rep.FeaturePSI = []FeaturePSI{}
+		for _, ws := range rep.Weeks {
+			if ws.psi != nil {
+				rep.FeaturePSI = append(rep.FeaturePSI, FeaturePSI{Week: ws.Week, PSI: ws.psi[f]})
+			}
+		}
+	}
+	return rep
+}
+
+// Handler serves GET /v1/drift.
+func (c *Controller) Handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		p, err := ParseParams(r.URL.Query())
+		if err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(c.Report(p))
+	}
+}

@@ -1,0 +1,80 @@
+package drift
+
+import "nevermind/internal/obs"
+
+// BindMetrics registers the nevermind_drift_* family on a registry. Every
+// series reads live controller state at scrape time, so the export is
+// always consistent with /v1/drift.
+func (c *Controller) BindMetrics(reg *obs.Registry) {
+	counter := func(name, help string, fn func() int) {
+		reg.CounterFunc(name, help, func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(fn())
+		})
+	}
+	counter("nevermind_drift_trips_total", "Tripped monitor weeks.", func() int { return c.tripsTotal })
+	counter("nevermind_drift_retrains_total", "Challengers trained.", func() int { return c.retrains })
+	counter("nevermind_drift_retrain_failures_total", "Failed challenger training attempts.", func() int { return c.retrainFailures })
+	counter("nevermind_drift_promotions_total", "Challengers promoted to champion.", func() int { return c.promotions })
+	counter("nevermind_drift_promote_failures_total", "Failed promotion/rollback reloads.", func() int { return c.promoteFailures })
+	counter("nevermind_drift_rejections_total", "Challengers discarded after shadowing.", func() int { return c.rejections })
+	counter("nevermind_drift_rollbacks_total", "Promotions rolled back.", func() int { return c.rollbacks })
+
+	gauge := func(name, help string, fn func() float64) {
+		reg.GaugeFunc(name, help, func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return fn()
+		})
+	}
+	gauge("nevermind_drift_consecutive_trips", "Consecutive tripped weeks.", func() float64 {
+		return float64(c.consec)
+	})
+	gauge("nevermind_drift_shadow_weeks", "Shadow (or holdout) weeks accumulated.", func() float64 {
+		if c.challenger != nil {
+			return float64(len(c.shadow))
+		}
+		if c.demoted != nil {
+			return float64(len(c.holdout))
+		}
+		return 0
+	})
+	gauge("nevermind_drift_baseline_ap", "Frozen AP@N baseline (0 until frozen).", func() float64 {
+		return c.baselineAP
+	})
+	gauge("nevermind_drift_ap", "Latest matured week's champion AP@N.", func() float64 {
+		return c.latestLocked(func(ws *WeekStats) (float64, bool) { return ws.AP, ws.Evaluated })
+	})
+	gauge("nevermind_drift_gap", "Latest matured week's reliability gap.", func() float64 {
+		return c.latestLocked(func(ws *WeekStats) (float64, bool) { return ws.Gap, ws.Evaluated })
+	})
+	gauge("nevermind_drift_psi_max", "Latest observed week's max per-feature PSI.", func() float64 {
+		return c.latestLocked(func(ws *WeekStats) (float64, bool) { return ws.PSIMax, ws.PSIEvaluated })
+	})
+	gauge("nevermind_drift_state", "Loop state: 0 watching, 1 shadowing, 2 holdout.", func() float64 {
+		switch {
+		case c.challenger != nil:
+			return 1
+		case c.demoted != nil:
+			return 2
+		}
+		return 0
+	})
+}
+
+// latestLocked scans backward for the most recent week where pick reports
+// a value. Callers hold c.mu.
+func (c *Controller) latestLocked(pick func(*WeekStats) (float64, bool)) float64 {
+	if !c.haveFirst {
+		return 0
+	}
+	for w := c.lastWeek; w >= c.firstWeek; w-- {
+		if ws, ok := c.weeks[w]; ok {
+			if v, ok := pick(ws); ok {
+				return v
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,171 @@
+package drift
+
+import (
+	"reflect"
+	"testing"
+
+	"nevermind/internal/data"
+	"nevermind/internal/rng"
+	"nevermind/internal/serve"
+	"nevermind/internal/sim"
+)
+
+// permutedFeed shuffles the order of test and ticket records inside each
+// batch (never across batches) with a seeded per-week permutation. The
+// weekly feed's arrival order is an accident of collection infrastructure;
+// nothing the drift monitors compute may depend on it.
+type permutedFeed struct {
+	inner serve.Source
+	seed  uint64
+}
+
+func (p permutedFeed) Remaining() int { return p.inner.Remaining() }
+
+func (p permutedFeed) Next() (sim.Batch, bool, error) {
+	b, ok, err := p.inner.Next()
+	if !ok || err != nil {
+		return b, ok, err
+	}
+	r := rng.Derive(p.seed, 0x9e37, uint64(b.Week))
+	tests := make([]sim.LineTest, len(b.Tests))
+	for i, j := range r.Perm(len(b.Tests)) {
+		tests[j] = b.Tests[i]
+	}
+	b.Tests = tests
+	tickets := make([]data.Ticket, len(b.Tickets))
+	for i, j := range r.Perm(len(b.Tickets)) {
+		tickets[j] = b.Tickets[i]
+	}
+	b.Tickets = tickets
+	return b, true, nil
+}
+
+// TestDriftStatsOrderIndependent ingests the same weeks into two stores —
+// different shard counts, and one receiving each week's records split into
+// seeded-permuted sub-batches — and asserts the PSI reference, the
+// per-week PSI vector, and the per-week line ordering the monitors consume
+// are identical. This is the unit-level statement of the property; the
+// full-stack statement is TestDriftSoakPermutationInvariant.
+func TestDriftStatsOrderIndependent(t *testing.T) {
+	ds, _ := driftFixture(t)
+	const lo, hi, baseWeeks = 30, 40, 4
+
+	ingest := func(shards int, permSeed uint64, pieces int) *serve.Snapshot {
+		st := serve.NewStore(shards)
+		src, err := sim.NewSource(ds, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			b, ok := src.Next()
+			if !ok {
+				break
+			}
+			tests := make([]serve.TestRecord, len(b.Tests))
+			for i, lt := range b.Tests {
+				tests[i] = serve.TestRecord{
+					Line: lt.M.Line, Week: lt.M.Week, Missing: lt.M.Missing, F: lt.M.F[:],
+					Profile: lt.Profile, DSLAM: lt.DSLAM, Usage: lt.Usage,
+				}
+			}
+			tickets := make([]serve.TicketRecord, len(b.Tickets))
+			for i, tk := range b.Tickets {
+				tickets[i] = serve.TicketRecord{ID: tk.ID, Line: tk.Line, Day: tk.Day, Category: uint8(tk.Category)}
+			}
+			if permSeed != 0 {
+				r := rng.Derive(permSeed, uint64(b.Week))
+				pt := make([]serve.TestRecord, len(tests))
+				for i, j := range r.Perm(len(tests)) {
+					pt[j] = tests[i]
+				}
+				tests = pt
+				pk := make([]serve.TicketRecord, len(tickets))
+				for i, j := range r.Perm(len(tickets)) {
+					pk[j] = tickets[i]
+				}
+				tickets = pk
+			}
+			// Deliver in pieces: a week often arrives as several ingest
+			// calls in production.
+			for p := 0; p < pieces; p++ {
+				from, to := p*len(tests)/pieces, (p+1)*len(tests)/pieces
+				if from < to {
+					if _, err := st.IngestTests(tests[from:to]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				from, to = p*len(tickets)/pieces, (p+1)*len(tickets)/pieces
+				if from < to {
+					if _, err := st.IngestTickets(tickets[from:to]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		return st.Snapshot()
+	}
+
+	base := ingest(2, 0, 1)
+	for _, alt := range []struct {
+		name   string
+		shards int
+		seed   uint64
+		pieces int
+	}{
+		{"permuted", 2, 17, 1},
+		{"permuted-split", 2, 23, 3},
+		{"resharded-permuted", 5, 41, 2},
+	} {
+		sn := ingest(alt.shards, alt.seed, alt.pieces)
+		for w := lo; w <= hi; w++ {
+			if !reflect.DeepEqual(base.LinesAt(w), sn.LinesAt(w)) {
+				t.Fatalf("%s: week %d line ordering differs", alt.name, w)
+			}
+		}
+		refA := NewReference(base, weekRangeInts(lo, lo+baseWeeks-1), DefaultThresholds().Bins)
+		refB := NewReference(sn, weekRangeInts(lo, lo+baseWeeks-1), DefaultThresholds().Bins)
+		if refA == nil || refB == nil {
+			t.Fatalf("%s: nil reference", alt.name)
+		}
+		if !reflect.DeepEqual(refA, refB) {
+			t.Fatalf("%s: PSI references differ", alt.name)
+		}
+		for w := lo + baseWeeks; w <= hi; w++ {
+			a, b := refA.PSI(base, w), refB.PSI(sn, w)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s: week %d PSI differs:\n a=%v\n b=%v", alt.name, w, a, b)
+			}
+		}
+	}
+}
+
+func weekRangeInts(lo, hi int) []int {
+	out := make([]int, 0, hi-lo+1)
+	for w := lo; w <= hi; w++ {
+		out = append(out, w)
+	}
+	return out
+}
+
+// TestDriftSoakPermutationInvariant is the full-stack statement: the
+// entire drift soak — monitors, trips, retrains, shadow scores,
+// promotions, served bytes — is invariant under within-batch record
+// shuffles of the feed.
+func TestDriftSoakPermutationInvariant(t *testing.T) {
+	cfg := firmwareSoakCfg()
+	cfg.hi = 42 // through the first retrain, shadow window and promotion
+	base := runDriftSoak(t, cfg)
+	if base.status.Retrains != 1 || base.status.Promotions != 1 {
+		t.Fatalf("horizon no longer covers retrain+promotion: %+v", base.status)
+	}
+	for _, seed := range []uint64{3, 77} {
+		cfg := cfg
+		cfg.wrapFeed = func(s serve.Source) serve.Source { return permutedFeed{inner: s, seed: seed} }
+		got := runDriftSoak(t, cfg)
+		got.traceJSON = base.traceJSON // spans carry wall-clock timestamps
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("seed %d: permuted feed changed an observable (status %+v vs %+v)",
+				seed, base.status, got.status)
+		}
+	}
+}

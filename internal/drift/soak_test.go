@@ -1,0 +1,259 @@
+package drift
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nevermind/internal/sim"
+)
+
+// The pinned firmware-soak timeline (deterministic: fixture seed 11,
+// champion trained on weeks 22–29, firmware scenario at week 38,
+// soakThresholds, trainWeeks=8):
+//
+//	t38,39 PSI trips (upnmr ~0.38 vs 0.2 ceiling) → retrain #1 anchored at
+//	matured week 35, i.e. on the still-clean window [30,35].
+//	Shadow weeks 36–38: challenger-1 wins on noise (0.24 vs 0.17) →
+//	promoted at t42. Holdout weeks 39–41: the demoted boot champion beats
+//	it (0.11 vs 0.09) → rolled back at t45. Baselines stay anchored, so
+//	the still-live drift keeps tripping → retrain #2 anchored at matured
+//	week 43, on the drifted window [36,43]. Shadow weeks 44–46:
+//	challenger-2 dominates (0.79 vs 0.26 mean) → promoted at t50 and
+//	serving at the horizon with its holdout in progress.
+const (
+	soakLo, soakHi   = 30, 51
+	firmwareWeek     = 38
+	wantTripsTotal   = 14
+	wantRetrains     = 2
+	wantPromotions   = 2
+	wantRollbacks    = 1
+	wantPromoteTick  = 12 // tick index of the first non-boot serve (week 42)
+	wantFinalModelID = "challenger-2-w43"
+)
+
+func firmwareSoakCfg() soakCfg {
+	sc := sim.DefaultScenario(sim.ScenarioFirmware)
+	sc.Week = firmwareWeek
+	return soakCfg{
+		scenario:   &sc,
+		th:         soakThresholds(),
+		trainWeeks: 8,
+		lo:         soakLo,
+		hi:         soakHi,
+	}
+}
+
+func wantModelIDs() []string {
+	ids := make([]string, 0, soakHi-soakLo+1)
+	add := func(id string, n int) {
+		for i := 0; i < n; i++ {
+			ids = append(ids, id)
+		}
+	}
+	add("boot", 12)            // weeks 30–41
+	add("challenger-1-w35", 3) // weeks 42–44: the bad promotion
+	add("boot", 5)             // weeks 45–49: rolled back
+	add(wantFinalModelID, 2)   // weeks 50–51: the good promotion
+	return ids
+}
+
+// TestDriftSoak is the seeded end-to-end drift soak: a firmware-rollout
+// scenario through the full pipeline + controller, asserting the monitor
+// trips on the scenario week, shadow scoring never touches served bytes,
+// promotion happens only on measured AP gain, rollback fires when a
+// promotion regresses, and the whole run is bit-identical across replays.
+func TestDriftSoak(t *testing.T) {
+	cfg := firmwareSoakCfg()
+	cfg.withControl = true
+	res := runDriftSoak(t, cfg)
+
+	// The monitor trips on the firmware week, for a distribution-shift
+	// reason — the PSI monitor is the first responder, before any label
+	// matures under the drift.
+	var firstTrip *WeekStats
+	for i := range res.history {
+		if res.history[i].Tripped {
+			firstTrip = &res.history[i]
+			break
+		}
+	}
+	if firstTrip == nil {
+		t.Fatal("monitor never tripped")
+	}
+	if firstTrip.Week != firmwareWeek {
+		t.Fatalf("first trip at week %d, want %d", firstTrip.Week, firmwareWeek)
+	}
+	if len(firstTrip.TripReasons) == 0 || !strings.HasPrefix(firstTrip.TripReasons[0], "psi:") {
+		t.Fatalf("first trip reasons %v, want a psi: reason", firstTrip.TripReasons)
+	}
+	for i := range res.history {
+		ws := &res.history[i]
+		if ws.Week < firmwareWeek && ws.Tripped {
+			t.Fatalf("week %d tripped before the scenario started: %v", ws.Week, ws.TripReasons)
+		}
+	}
+
+	// The full controller trajectory: two retrains, a bad promotion that
+	// rolls back, a good one that sticks.
+	st := res.status
+	if st.TripsTotal != wantTripsTotal || st.Retrains != wantRetrains ||
+		st.Promotions != wantPromotions || st.Rollbacks != wantRollbacks ||
+		st.Rejections != 0 || st.RetrainFailures != 0 || st.PromoteFailures != 0 {
+		t.Fatalf("final status off the pinned timeline: %+v", st)
+	}
+	if st.ModelID != wantFinalModelID || st.State != "holdout" {
+		t.Fatalf("final serving state %s/%s, want %s/holdout", st.ModelID, st.State, wantFinalModelID)
+	}
+	if got, want := res.modelIDs, wantModelIDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("served model IDs:\n got %v\nwant %v", got, want)
+	}
+	// Three generation swaps: promote, rollback, promote.
+	if res.reloads != 3 {
+		t.Fatalf("model reloads = %d, want 3", res.reloads)
+	}
+
+	// Shadow scoring never touches served responses: every tick before the
+	// first promotion, /v1/score bytes are identical to the controller-free
+	// twin's — including the three ticks where a challenger was actively
+	// shadow-scoring. The first promoted tick must differ (the swap is
+	// real).
+	if res.promoteTick != wantPromoteTick {
+		t.Fatalf("first non-boot tick = %d, want %d", res.promoteTick, wantPromoteTick)
+	}
+	for i := 0; i < res.promoteTick; i++ {
+		if res.scores[i] != res.controlScores[i] {
+			t.Fatalf("tick %d (week %d): served bytes diverged from the controller-free twin before any promotion:\n drift: %s\n ctrl:  %s",
+				i, soakLo+i, res.scores[i], res.controlScores[i])
+		}
+	}
+	if res.scores[res.promoteTick] == res.controlScores[res.promoteTick] {
+		t.Fatal("promotion did not change served bytes")
+	}
+
+	// Promotion only on measured AP gain: at both promotions the
+	// challenger's mean shadow AP over the W weeks exceeded the champion's
+	// over the same weeks.
+	assertShadowGain := func(weeks []int) {
+		var champ, chal float64
+		for _, w := range weeks {
+			ws := historyWeek(t, res.history, w)
+			if !ws.Shadowed {
+				t.Fatalf("week %d was not shadow-scored", w)
+			}
+			champ += ws.AP
+			chal += ws.ChallengerAP
+		}
+		if chal <= champ {
+			t.Fatalf("promotion over weeks %v without AP gain: challenger %.4f <= champion %.4f",
+				weeks, chal, champ)
+		}
+	}
+	assertShadowGain([]int{36, 37, 38})
+	assertShadowGain([]int{44, 45, 46})
+	// And the rollback really was a measured regression: over the holdout
+	// weeks the demoted champion out-scored the promoted model.
+	var prom, dem float64
+	for _, w := range []int{39, 40, 41} {
+		ws := historyWeek(t, res.history, w)
+		if !ws.Holdout {
+			t.Fatalf("week %d was not holdout-scored", w)
+		}
+		prom += ws.AP
+		dem += ws.DemotedAP
+	}
+	if dem <= prom {
+		t.Fatalf("rollback without regression: demoted %.4f <= promoted %.4f", dem, prom)
+	}
+
+	// /v1/drift and /healthz surface the loop's state.
+	var report struct {
+		Status Status      `json:"status"`
+		Weeks  []WeekStats `json:"weeks"`
+	}
+	if err := json.Unmarshal([]byte(res.driftJSON), &report); err != nil {
+		t.Fatalf("/v1/drift: %v in %s", err, res.driftJSON)
+	}
+	if report.Status != st || len(report.Weeks) != soakHi-soakLo+1 {
+		t.Fatalf("/v1/drift status %+v (%d weeks), want %+v (%d weeks)",
+			report.Status, len(report.Weeks), st, soakHi-soakLo+1)
+	}
+	var hz map[string]any
+	if err := json.Unmarshal([]byte(res.healthz), &hz); err != nil {
+		t.Fatalf("/healthz: %v in %s", err, res.healthz)
+	}
+	if hz["model_id"] != wantFinalModelID {
+		t.Fatalf("/healthz model_id = %v, want %s", hz["model_id"], wantFinalModelID)
+	}
+	dr, _ := hz["drift"].(map[string]any)
+	if dr == nil || dr["state"] != "holdout" || dr["model_id"] != wantFinalModelID {
+		t.Fatalf("/healthz drift block = %v", hz["drift"])
+	}
+
+	// The loop's lifecycle shows up in the flight recorder: every stage of
+	// trip→retrain→shadow→promote→holdout→rollback left spans in /v1/trace.
+	for _, stage := range []string{"monitor", "retrain", "shadow", "promote", "holdout", "rollback"} {
+		if !strings.Contains(res.traceJSON, `"stage":"`+stage+`"`) {
+			t.Fatalf("/v1/trace has no %q span", stage)
+		}
+	}
+
+	// Bit-identical replay: a second full run reproduces every observable —
+	// history, status, served bytes, model generations, endpoint bodies.
+	// Only the flight recorder is exempt: its spans carry wall-clock
+	// timestamps.
+	res2 := runDriftSoak(t, cfg)
+	res2.traceJSON = res.traceJSON
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatal("two replays of the drift soak diverged")
+	}
+}
+
+// TestDriftSoakNoDrift is the control: the same horizon and thresholds with
+// no scenario must never trip, never retrain, and serve the boot model
+// byte-identically throughout.
+func TestDriftSoakNoDrift(t *testing.T) {
+	cfg := firmwareSoakCfg()
+	cfg.scenario = nil
+	cfg.withControl = true
+	res := runDriftSoak(t, cfg)
+
+	st := res.status
+	if st.TripsTotal != 0 || st.Retrains != 0 || st.Promotions != 0 ||
+		st.Rollbacks != 0 || st.ConsecutiveTrips != 0 {
+		t.Fatalf("no-drift run moved: %+v", st)
+	}
+	if st.State != "watching" || st.ModelID != "boot" {
+		t.Fatalf("no-drift final state %s/%s, want watching/boot", st.State, st.ModelID)
+	}
+	for i, id := range res.modelIDs {
+		if id != "boot" {
+			t.Fatalf("tick %d served %s in the no-drift run", i, id)
+		}
+	}
+	if res.reloads != 0 {
+		t.Fatalf("no-drift run reloaded %d times", res.reloads)
+	}
+	for i := range res.scores {
+		if res.scores[i] != res.controlScores[i] {
+			t.Fatalf("tick %d: monitoring alone changed served bytes", i)
+		}
+	}
+	for i := range res.history {
+		if res.history[i].Tripped || res.history[i].Shadowed || res.history[i].Holdout {
+			t.Fatalf("no-drift week %d has loop activity: %+v", res.history[i].Week, res.history[i])
+		}
+	}
+}
+
+func historyWeek(t *testing.T, hist []WeekStats, week int) *WeekStats {
+	t.Helper()
+	for i := range hist {
+		if hist[i].Week == week {
+			return &hist[i]
+		}
+	}
+	t.Fatalf("week %d missing from history", week)
+	return nil
+}

@@ -15,8 +15,12 @@ import (
 var (
 	routeNames     = []string{"debugvars", "healthz", "ingest", "locate", "metrics", "rank", "reload", "score", "trace"}
 	pipelineStages = []string{"pull", "ingest", "snapshot", "score", "rank", "dispatch"}
-	retryOps       = []string{"pull", "ingest", "snapshot"}
-	storeOps       = []string{"ingest_tests", "ingest_tickets", "snapshot"}
+	// driftStages are the drift loop's tracer stages (see internal/drift).
+	// Not preset into the stage-duration histogram: a daemon without a
+	// drift controller keeps its exact /metrics series set.
+	driftStages = []string{"monitor", "retrain", "shadow", "holdout", "promote", "rollback"}
+	retryOps    = []string{"pull", "ingest", "snapshot"}
+	storeOps    = []string{"ingest_tests", "ingest_tickets", "snapshot"}
 )
 
 // metrics owns the server's observability state: the registry every counter

@@ -219,8 +219,11 @@ func TestTraceEndpoint(t *testing.T) {
 	if len(snap.Spans) == 0 {
 		t.Fatal("no spans retained after a pipeline run")
 	}
-	known := make(map[string]bool, len(pipelineStages))
+	known := make(map[string]bool, len(pipelineStages)+len(driftStages))
 	for _, s := range pipelineStages {
+		known[s] = true
+	}
+	for _, s := range driftStages {
 		known[s] = true
 	}
 	var lastSeq uint64

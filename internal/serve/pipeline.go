@@ -120,6 +120,11 @@ type PipelineConfig struct {
 	// Sleep, when set, replaces time.Sleep for backoff waits — the soak
 	// tests inject an instant fake to run years of faults in seconds.
 	Sleep func(time.Duration)
+	// OnSnapshot, when set, observes each newly completed week with the
+	// fresh snapshot it was ranked from — the drift monitors' feed. It runs
+	// after the exactly-once guard, so a re-delivered or replayed week is
+	// never observed twice.
+	OnSnapshot func(sn *Snapshot, week int)
 	// OnWeek, when set, observes each completed week.
 	OnWeek func(WeekReport)
 	// OnRetry, when set, observes each backed-off attempt.
@@ -412,6 +417,9 @@ pull:
 	m.pipelineWorked.Add(int64(rep.Stats.Predicted))
 	m.pipelineExpired.Add(int64(rep.Stats.ExpiredPredicted))
 
+	if p.cfg.OnSnapshot != nil {
+		p.cfg.OnSnapshot(sn, batch.Week)
+	}
 	if p.cfg.OnWeek != nil {
 		p.cfg.OnWeek(rep)
 	}

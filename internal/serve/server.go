@@ -32,6 +32,11 @@ import (
 type Models struct {
 	Pred *core.TicketPredictor
 	Loc  *core.TroubleLocator // nil when the daemon runs without a locator
+	// ID names the serving generation for operators: "boot" for the pair
+	// the daemon started with, a reload fingerprint after a file reload,
+	// or the challenger id a drift promotion supplied. Surfaced on
+	// /healthz and in the drift loop's logs.
+	ID string
 }
 
 // Config assembles a Server.
@@ -70,6 +75,9 @@ type Config struct {
 	// only by the replication apply loop, and a stray ingest would fork its
 	// version history from the leader's.
 	ReadOnly bool
+	// ModelID names the boot model generation on /healthz ("boot" when
+	// empty).
+	ModelID string
 	// ReplicaStatus, when set, marks this server as a replication follower:
 	// data-plane reads carry an X-Replica-Lag header and /healthz grows the
 	// replica_* fields the gateway's staleness gating reads. Leaders and
@@ -113,6 +121,7 @@ type Server struct {
 	faults        *FaultHooks
 	readOnly      bool
 	replicaStatus func() ReplicaStatus
+	driftStatus   atomic.Pointer[func() DriftStatus]
 
 	reloadMu      sync.Mutex
 	predictorPath string
@@ -151,7 +160,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Locator != nil {
 		cfg.Locator.SetEncodeCache(s.cache)
 	}
-	s.models.Store(&Models{Pred: cfg.Predictor, Loc: cfg.Locator})
+	if cfg.ModelID == "" {
+		cfg.ModelID = "boot"
+	}
+	s.models.Store(&Models{Pred: cfg.Predictor, Loc: cfg.Locator, ID: cfg.ModelID})
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/ingest", s.m.instrument("ingest", s.handleIngest))
@@ -201,6 +213,7 @@ func (s *Server) buildHandler(timeout time.Duration, maxInflight int) http.Handl
 		switch {
 		case r.URL.Path == "/healthz", r.URL.Path == "/debug/vars",
 			r.URL.Path == "/metrics", r.URL.Path == "/v1/trace",
+			r.URL.Path == "/v1/drift",
 			strings.HasPrefix(r.URL.Path, "/debug/pprof/"),
 			strings.HasPrefix(r.URL.Path, "/v1/repl/"):
 			s.mux.ServeHTTP(w, r)
@@ -651,6 +664,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"latest_week":        st.LatestWeek(),
 		"predictor":          true,
 		"locator":            models.Loc != nil,
+		"model_id":           models.ID,
 		"schema_fingerprint": fmt.Sprintf("%016x", models.Pred.SchemaFingerprint()),
 		"uptime_seconds":     time.Since(s.m.start).Seconds(),
 		// Fleet probe surface: the gateway resolves /v1/rank defaults and
@@ -668,7 +682,37 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["replica_leader_version"] = rs.LeaderVersion
 		body["replica_connected"] = rs.Connected
 	}
+	if fn := s.driftStatus.Load(); fn != nil {
+		body["drift"] = (*fn)()
+	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// DriftStatus is the drift-loop block /healthz publishes when a drift
+// controller is attached (see internal/drift): which model generation is
+// serving, where the champion/challenger state machine stands, and how
+// many shadow weeks remain before a promotion decision.
+type DriftStatus struct {
+	ModelID          string `json:"model_id"`
+	State            string `json:"state"`
+	ConsecutiveTrips int    `json:"consecutive_trips"`
+	ShadowWeeks      int    `json:"shadow_weeks"`
+	WeeksToPromotion int    `json:"weeks_to_promotion"`
+	Retrains         int    `json:"retrains"`
+	Promotions       int    `json:"promotions"`
+	Rollbacks        int    `json:"rollbacks"`
+}
+
+// SetDriftStatus attaches the drift controller's status snapshot to
+// /healthz. Safe to call after the server starts serving.
+func (s *Server) SetDriftStatus(fn func() DriftStatus) { s.driftStatus.Store(&fn) }
+
+// MountDrift mounts the drift controller's report endpoint at
+// GET /v1/drift. Like the rest of the monitoring plane it bypasses
+// admission control and request deadlines — loop state is exactly what an
+// operator needs while the daemon is struggling. Call before serving.
+func (s *Server) MountDrift(h http.HandlerFunc) {
+	s.mux.HandleFunc("GET /v1/drift", s.m.instrument("drift", h))
 }
 
 // handleMetrics serves the registry in Prometheus text exposition format.
@@ -814,6 +858,34 @@ func (s *Server) reload() (*ReloadResult, error) {
 		loc.SetEncodeCache(s.cache)
 	}
 
+	id := fmt.Sprintf("reload-%016x", pred.SchemaFingerprint())
+	return s.probeAndSwap(old, pred, loc, id)
+}
+
+// Promote atomically swaps an in-memory predictor into service through the
+// same probe-verified path a file reload takes: the candidate must score a
+// probe batch drawn from the live store before the swap, and any failure —
+// an injected probe fault, a schema mismatch — leaves the current champion
+// serving and bumps reload_failures. This is the drift loop's promotion
+// (and rollback) edge; the locator generation is carried over unchanged.
+func (s *Server) Promote(pred *core.TicketPredictor, id string) (*ReloadResult, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	old := s.Models()
+	// Operational settings travel with the process (see reload).
+	pred.Cfg.Workers = old.Pred.Cfg.Workers
+	pred.Cfg.BudgetN = old.Pred.Cfg.BudgetN
+	pred.SetEncodeCache(s.cache)
+	res, err := s.probeAndSwap(old, pred, old.Loc, id)
+	if err != nil {
+		s.m.reloadFailures.Add(1)
+	}
+	return res, err
+}
+
+// probeAndSwap runs the reload probe contract against the live store and,
+// only on success, publishes the new model pair. Callers hold reloadMu.
+func (s *Server) probeAndSwap(old *Models, pred *core.TicketPredictor, loc *core.TroubleLocator, id string) (*ReloadResult, error) {
 	if h := s.faults; h != nil && h.ReloadProbe != nil {
 		if err := h.ReloadProbe(); err != nil {
 			return nil, fmt.Errorf("serve: reload probe: %w", err)
@@ -869,7 +941,7 @@ func (s *Server) reload() (*ReloadResult, error) {
 			}
 		}
 	}
-	s.models.Store(&Models{Pred: pred, Loc: loc})
+	s.models.Store(&Models{Pred: pred, Loc: loc, ID: id})
 	s.m.reloads.Add(1)
 	return res, nil
 }

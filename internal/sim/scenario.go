@@ -1,0 +1,339 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nevermind/internal/data"
+	"nevermind/internal/rng"
+)
+
+// Drift scenario packs: deterministic disturbances layered on top of a
+// simulated year, the worlds the drift-detection loop (internal/drift) is
+// exercised against. Each pack rewrites the weekly batches of a base Source
+// in flight — shifting feature distributions, flipping lines to Missing,
+// injecting the correlated customer tickets the new regime produces — as a
+// pure function of (scenario, line, week). Purity is the load-bearing
+// property: a re-pulled week (the chaos layer's re-delivery contract) and a
+// replayed run both see bit-identical batches.
+//
+// The four packs mirror the network-vs-premise shifts TelApart and the PNM
+// line-monitoring work motivate:
+//
+//   - firmware: an overnight mass firmware rollout. Affected modems report
+//     inflated noise margins from the rollout week on; a buggy subset
+//     additionally stops reporting its error counters while the customers
+//     behind it start calling. The old model reads "pristine line" exactly
+//     where tickets now cluster — the distribution shift that makes a
+//     frozen model actively wrong, not just stale.
+//   - weather: a seasonal weather front over a region's DSLAMs — margins
+//     sag and error counters climb on a ramp that builds and clears.
+//   - aging: plant aging — an affected cohort degrades a little more every
+//     week, with ticket propensity growing alongside.
+//   - outage: a regional DSLAM outage storm — for the storm weeks, lines
+//     behind the hit DSLAMs test as Missing or error-swamped and their
+//     subscribers call in bursts.
+
+// ScenarioKind names one drift scenario pack.
+type ScenarioKind int
+
+const (
+	ScenarioFirmware ScenarioKind = iota
+	ScenarioWeather
+	ScenarioAging
+	ScenarioOutage
+)
+
+func (k ScenarioKind) String() string {
+	switch k {
+	case ScenarioFirmware:
+		return "firmware"
+	case ScenarioWeather:
+		return "weather"
+	case ScenarioAging:
+		return "aging"
+	case ScenarioOutage:
+		return "outage"
+	}
+	return fmt.Sprintf("ScenarioKind(%d)", int(k))
+}
+
+// Scenario parameterises one drift pack.
+type Scenario struct {
+	Kind ScenarioKind
+	// Week is the first disturbed week.
+	Week int
+	// Weeks is the disturbance length for the bounded packs (weather,
+	// outage) and the ramp horizon for aging; firmware persists to the end
+	// of the stream regardless.
+	Weeks int
+	// Frac is the affected fraction — of lines (firmware, aging) or of
+	// DSLAMs (weather, outage).
+	Frac float64
+	// Mag scales every shift and injected-ticket rate (1 = nominal).
+	Mag float64
+	// Seed drives the affected-set hashes and ticket draws.
+	Seed uint64
+}
+
+// DefaultScenario returns the nominal parameters for a pack.
+func DefaultScenario(kind ScenarioKind) Scenario {
+	return Scenario{Kind: kind, Week: 40, Weeks: 8, Frac: 0.5, Mag: 1, Seed: 1}
+}
+
+// ParseScenario parses a scenario spec of the form
+//
+//	kind[:key=value,key=value,...]
+//
+// where kind is firmware, weather, aging or outage, and the keys are week,
+// weeks, frac, mag and seed. Unknown kinds, unknown keys, malformed values
+// and out-of-range parameters are all rejected.
+func ParseScenario(s string) (Scenario, error) {
+	name, params, _ := strings.Cut(s, ":")
+	var kind ScenarioKind
+	switch name {
+	case "firmware":
+		kind = ScenarioFirmware
+	case "weather":
+		kind = ScenarioWeather
+	case "aging":
+		kind = ScenarioAging
+	case "outage":
+		kind = ScenarioOutage
+	default:
+		return Scenario{}, fmt.Errorf("sim: unknown scenario kind %q", name)
+	}
+	sc := DefaultScenario(kind)
+	if params != "" {
+		for _, kv := range strings.Split(params, ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return Scenario{}, fmt.Errorf("sim: scenario parameter %q is not key=value", kv)
+			}
+			var err error
+			switch key {
+			case "week":
+				sc.Week, err = strconv.Atoi(val)
+			case "weeks":
+				sc.Weeks, err = strconv.Atoi(val)
+			case "frac":
+				sc.Frac, err = strconv.ParseFloat(val, 64)
+			case "mag":
+				sc.Mag, err = strconv.ParseFloat(val, 64)
+			case "seed":
+				sc.Seed, err = strconv.ParseUint(val, 10, 64)
+			default:
+				return Scenario{}, fmt.Errorf("sim: unknown scenario parameter %q", key)
+			}
+			if err != nil {
+				return Scenario{}, fmt.Errorf("sim: scenario parameter %s=%q: %v", key, val, err)
+			}
+		}
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// Validate checks the parameter ranges.
+func (sc Scenario) Validate() error {
+	switch sc.Kind {
+	case ScenarioFirmware, ScenarioWeather, ScenarioAging, ScenarioOutage:
+	default:
+		return fmt.Errorf("sim: unknown scenario kind %d", int(sc.Kind))
+	}
+	if sc.Week < 0 || sc.Week >= data.Weeks {
+		return fmt.Errorf("sim: scenario week %d outside [0,%d)", sc.Week, data.Weeks)
+	}
+	if sc.Weeks < 1 {
+		return fmt.Errorf("sim: scenario weeks %d < 1", sc.Weeks)
+	}
+	if sc.Frac <= 0 || sc.Frac > 1 {
+		return fmt.Errorf("sim: scenario frac %v outside (0,1]", sc.Frac)
+	}
+	if sc.Mag <= 0 || math.IsNaN(sc.Mag) || math.IsInf(sc.Mag, 0) {
+		return fmt.Errorf("sim: scenario mag %v must be a positive finite number", sc.Mag)
+	}
+	return nil
+}
+
+// String renders the spec in the form ParseScenario accepts.
+func (sc Scenario) String() string {
+	return fmt.Sprintf("%s:week=%d,weeks=%d,frac=%v,mag=%v,seed=%d",
+		sc.Kind, sc.Week, sc.Weeks, sc.Frac, sc.Mag, sc.Seed)
+}
+
+// Hash-site labels partitioning the scenario seed.
+const (
+	scnSiteLine   uint64 = iota + 0x5c1 // per-line affected draw
+	scnSiteDSLAM                        // per-DSLAM affected draw
+	scnSiteBuggy                        // firmware buggy-subset draw
+	scnSiteTicket                       // per-(line,week) ticket draw
+	scnSiteDay                          // injected ticket day
+	scnSiteDark                         // outage dark-modem draw
+)
+
+// scenarioTicketBase keeps injected ticket ids clear of the simulator's.
+const scenarioTicketBase = 100_000_000
+
+// ScenarioSource rewrites a base stream through a scenario pack. Its Next
+// signature matches serve.Source structurally, so it plugs straight into
+// the pipeline (and under the chaos wrapper, which re-serves a week from
+// its own cache — the transform being a pure function of (line, week) keeps
+// re-pulled weeks identical anyway).
+type ScenarioSource struct {
+	base *Source
+	sc   Scenario
+}
+
+// NewScenarioSource layers a scenario pack over a base stream.
+func NewScenarioSource(base *Source, sc Scenario) (*ScenarioSource, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &ScenarioSource{base: base, sc: sc}, nil
+}
+
+// Remaining reports how many batches Next will still produce.
+func (s *ScenarioSource) Remaining() int { return s.base.Remaining() }
+
+// Next pulls the next base week and applies the scenario to it.
+func (s *ScenarioSource) Next() (Batch, bool, error) {
+	b, ok := s.base.Next()
+	if !ok {
+		return b, false, nil
+	}
+	s.sc.Apply(&b)
+	return b, true, nil
+}
+
+// Apply rewrites one weekly batch in place: feature shifts on the affected
+// tests, plus the regime's injected customer-edge tickets (ids offset by
+// scenarioTicketBase, days inside the batch's week so the stream stays in
+// day order). A batch outside the scenario's active window is untouched.
+func (sc Scenario) Apply(b *Batch) {
+	w := b.Week
+	if w < sc.Week {
+		return
+	}
+	active := w < sc.Week+sc.Weeks
+	var injected []data.Ticket
+	for i := range b.Tests {
+		t := &b.Tests[i]
+		line := uint64(t.M.Line)
+		switch sc.Kind {
+		case ScenarioFirmware:
+			// Firmware persists once rolled out; no end week.
+			if !sc.hit(scnSiteLine, line) || t.M.Missing {
+				continue
+			}
+			f := &t.M.F
+			f[data.FDnNMR] += float32(10 * sc.Mag)
+			f[data.FUpNMR] += float32(6 * sc.Mag)
+			f[data.FDnMaxAttainFBR] += float32(1500 * sc.Mag)
+			if sc.hitAt(scnSiteBuggy, line, 0.5) {
+				// The buggy build: margins read even healthier, the error
+				// counters go dark, and the customers start calling.
+				f[data.FDnNMR] += float32(8 * sc.Mag)
+				f[data.FUpNMR] += float32(5 * sc.Mag)
+				f[data.FDnCVCnt1] = 0
+				f[data.FDnCVCnt2] = 0
+				f[data.FDnCVCnt3] = 0
+				f[data.FDnESCnt1] = 0
+				f[data.FDnESCnt2] = 0
+				f[data.FDnFECCnt1] = 0
+				injected = sc.maybeTicket(injected, t.M.Line, w, 0.30*sc.Mag)
+			}
+		case ScenarioWeather:
+			if !active || !sc.hit(scnSiteDSLAM, uint64(t.DSLAM)) || t.M.Missing {
+				continue
+			}
+			// A front that builds and clears over the window.
+			ramp := sc.Mag * math.Sin(math.Pi*float64(w-sc.Week+1)/float64(sc.Weeks+1))
+			f := &t.M.F
+			f[data.FDnNMR] -= float32(4 * ramp)
+			f[data.FUpNMR] -= float32(3 * ramp)
+			f[data.FDnBR] -= float32(250 * ramp)
+			f[data.FDnCVCnt1] += float32(400 * ramp)
+			f[data.FDnCVCnt2] += float32(150 * ramp)
+			f[data.FDnESCnt1] += float32(30 * ramp)
+			injected = sc.maybeTicket(injected, t.M.Line, w, 0.08*ramp)
+		case ScenarioAging:
+			if !sc.hit(scnSiteLine, line) || t.M.Missing {
+				continue
+			}
+			// Progressive decay: a little worse every week, saturating at
+			// the ramp horizon.
+			age := math.Min(float64(w-sc.Week+1), float64(sc.Weeks)) * sc.Mag
+			f := &t.M.F
+			f[data.FDnNMR] -= float32(0.5 * age)
+			f[data.FUpNMR] -= float32(0.35 * age)
+			f[data.FDnCVCnt1] += float32(60 * age)
+			f[data.FDnESCnt1] += float32(5 * age)
+			if f[data.FDnRelCap] > 0 {
+				f[data.FDnRelCap] += float32(1.2 * age) // less headroom every week
+			}
+			injected = sc.maybeTicket(injected, t.M.Line, w, math.Min(0.02*age, 0.35))
+		case ScenarioOutage:
+			if !active || !sc.hit(scnSiteDSLAM, uint64(t.DSLAM)) {
+				continue
+			}
+			if sc.hitAtWeek(scnSiteDark, line, uint64(w), 0.6*math.Min(sc.Mag, 1)) {
+				// Modem unreachable behind the dead DSLAM: no conversation,
+				// no record.
+				t.M.Missing = true
+				t.M.F = [data.NumBasicFeatures]float32{}
+			} else if !t.M.Missing {
+				f := &t.M.F
+				f[data.FDnCVCnt1] += float32(2000 * sc.Mag)
+				f[data.FDnESCnt1] += float32(120 * sc.Mag)
+				f[data.FDnESCnt2] += float32(40 * sc.Mag)
+			}
+			injected = sc.maybeTicket(injected, t.M.Line, w, 0.35*sc.Mag)
+		}
+	}
+	if len(injected) > 0 {
+		b.Tickets = append(b.Tickets, injected...)
+		sort.SliceStable(b.Tickets, func(i, j int) bool { return b.Tickets[i].Day < b.Tickets[j].Day })
+	}
+}
+
+// hit is the static per-entity affected draw (stable across weeks).
+func (sc Scenario) hit(site, id uint64) bool {
+	return rng.Derive(sc.Seed, site, id).Float64() < sc.Frac
+}
+
+// hitAt draws per entity under an explicit rate.
+func (sc Scenario) hitAt(site, id uint64, rate float64) bool {
+	return rng.Derive(sc.Seed, site, id).Float64() < rate
+}
+
+// hitAtWeek draws per (entity, week) under an explicit rate.
+func (sc Scenario) hitAtWeek(site, id, week uint64, rate float64) bool {
+	return rng.Derive(sc.Seed, site, id, week).Float64() < rate
+}
+
+// maybeTicket appends one injected customer-edge ticket for the line with
+// the given weekly probability. The day lands inside the batch week
+// (Saturday−6 .. Saturday], so ticket day order across batches is preserved
+// — the label windows the drift monitors evaluate depend on it.
+func (sc Scenario) maybeTicket(out []data.Ticket, line data.LineID, week int, rate float64) []data.Ticket {
+	r := rng.Derive(sc.Seed, scnSiteTicket, uint64(line), uint64(week))
+	if r.Float64() >= rate {
+		return out
+	}
+	day := data.SaturdayOf(week) - rng.Derive(sc.Seed, scnSiteDay, uint64(line), uint64(week)).Intn(7)
+	if day < 0 {
+		day = 0
+	}
+	return append(out, data.Ticket{
+		ID:       scenarioTicketBase + week*1_000_000 + int(line),
+		Line:     line,
+		Day:      day,
+		Category: data.CatCustomerEdge,
+	})
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"nevermind/internal/data"
+)
+
+var allScenarioKinds = []ScenarioKind{ScenarioFirmware, ScenarioWeather, ScenarioAging, ScenarioOutage}
+
+func TestScenarioParseRoundTrip(t *testing.T) {
+	for _, kind := range allScenarioKinds {
+		for _, sc := range []Scenario{
+			DefaultScenario(kind),
+			{Kind: kind, Week: 12, Weeks: 3, Frac: 0.25, Mag: 2.5, Seed: 99},
+		} {
+			got, err := ParseScenario(sc.String())
+			if err != nil {
+				t.Fatalf("ParseScenario(%q): %v", sc.String(), err)
+			}
+			if got != sc {
+				t.Fatalf("round trip %q: got %+v want %+v", sc.String(), got, sc)
+			}
+		}
+	}
+	// A bare kind is the default pack.
+	got, err := ParseScenario("weather")
+	if err != nil || got != DefaultScenario(ScenarioWeather) {
+		t.Fatalf("bare kind: %+v, %v", got, err)
+	}
+}
+
+func TestScenarioParseRejects(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"quantum",
+		"firmware:week",
+		"firmware:week=x",
+		"firmware:color=red",
+		"firmware:week=-1",
+		"firmware:week=52",
+		"firmware:weeks=0",
+		"firmware:frac=0",
+		"firmware:frac=1.5",
+		"firmware:mag=0",
+		"firmware:mag=NaN",
+		"outage:seed=-3",
+	} {
+		if _, err := ParseScenario(spec); err == nil {
+			t.Errorf("ParseScenario(%q) accepted", spec)
+		}
+	}
+}
+
+// TestScenarioApplyPure: Apply is a pure function of (scenario, line, week)
+// — applying the same scenario to two copies of a batch yields identical
+// results, and a second application stream over an identical base source
+// matches the first batch for batch. This is what makes chaos re-delivery
+// and replay determinism structural.
+func TestScenarioApplyPure(t *testing.T) {
+	ds := sourceDataset(t)
+	for _, kind := range allScenarioKinds {
+		sc := DefaultScenario(kind)
+		sc.Week = 41
+		sc.Weeks = 4
+
+		mkStream := func() []Batch {
+			src, err := NewSource(ds, 40, 47)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss, err := NewScenarioSource(src, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out []Batch
+			for {
+				b, ok, err := ss.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				out = append(out, b)
+			}
+			return out
+		}
+		a, b := mkStream(), mkStream()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: two replays of the scenario stream differ", kind)
+		}
+
+		// Re-applying to a fresh copy of the same base batch reproduces the
+		// transformed batch exactly (the chaos wrapper's re-pull contract).
+		src, err := NewSource(ds, 42, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, _ := src.Next()
+		c1 := cloneBatch(base)
+		c2 := cloneBatch(base)
+		sc.Apply(&c1)
+		sc.Apply(&c2)
+		if !reflect.DeepEqual(c1, c2) {
+			t.Fatalf("%v: Apply is not deterministic", kind)
+		}
+	}
+}
+
+func cloneBatch(b Batch) Batch {
+	c := b
+	c.Tests = append([]LineTest(nil), b.Tests...)
+	c.Tickets = append([]data.Ticket(nil), b.Tickets...)
+	return c
+}
+
+// TestScenarioPreservesDayOrder: injected tickets stay inside their batch's
+// week, every batch remains day-sorted, and batches never overlap in days —
+// the invariant the ticket index (and so the drift monitors' label windows)
+// depends on.
+func TestScenarioPreservesDayOrder(t *testing.T) {
+	ds := sourceDataset(t)
+	for _, kind := range allScenarioKinds {
+		sc := DefaultScenario(kind)
+		sc.Week = 41
+		sc.Mag = 2 // crank injection rates so every pack actually injects
+		src, err := NewSource(ds, 40, 49)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := NewScenarioSource(src, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevMax := -1
+		injected := 0
+		for {
+			b, ok, err := ss.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			for i, tk := range b.Tickets {
+				if i > 0 && tk.Day < b.Tickets[i-1].Day {
+					t.Fatalf("%v: week %d tickets out of day order", kind, b.Week)
+				}
+				if tk.Day <= prevMax && tk.ID >= scenarioTicketBase {
+					t.Fatalf("%v: week %d injected ticket on day %d overlaps the previous batch (max %d)",
+						kind, b.Week, tk.Day, prevMax)
+				}
+				if tk.Day > data.SaturdayOf(b.Week) {
+					t.Fatalf("%v: week %d ticket past its Saturday", kind, b.Week)
+				}
+				if tk.ID >= scenarioTicketBase {
+					injected++
+					if tk.Category != data.CatCustomerEdge {
+						t.Fatalf("%v: injected ticket with category %v", kind, tk.Category)
+					}
+					if tk.Day <= data.SaturdayOf(b.Week)-7 {
+						t.Fatalf("%v: injected ticket on day %d outside week %d", kind, tk.Day, b.Week)
+					}
+				}
+			}
+			if n := len(b.Tickets); n > 0 && b.Tickets[n-1].Day > prevMax {
+				prevMax = b.Tickets[n-1].Day
+			}
+		}
+		if injected == 0 {
+			t.Fatalf("%v: scenario injected no tickets over its window", kind)
+		}
+	}
+}
+
+// TestScenarioShiftsFeatures: each pack actually disturbs the affected
+// weeks and leaves the weeks before the start untouched.
+func TestScenarioShiftsFeatures(t *testing.T) {
+	ds := sourceDataset(t)
+	for _, kind := range allScenarioKinds {
+		sc := DefaultScenario(kind)
+		sc.Week = 42
+		src, err := NewSource(ds, 41, 44)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := NewScenarioSource(src, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			b, ok, err := ss.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			changed := 0
+			for i := range b.Tests {
+				orig := ds.At(b.Tests[i].M.Line, b.Week)
+				if b.Tests[i].M != *orig {
+					changed++
+				}
+			}
+			if b.Week < sc.Week && changed != 0 {
+				t.Fatalf("%v: week %d before the scenario start has %d modified tests", kind, b.Week, changed)
+			}
+			if b.Week >= sc.Week && changed == 0 {
+				t.Fatalf("%v: active week %d modified no tests", kind, b.Week)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Perf regression gate: rerun the compiled-scoring, serve-score, WAL-ingest,
-# and replica-catch-up benchmarks best-of-3 (-count=3; benchjson keeps each benchmark's fastest
+# replica-catch-up, drift-monitor and shadow-score benchmarks best-of-3
+# (-count=3; benchjson keeps each benchmark's fastest
 # run, since noise only ever adds time), convert with benchjson, and compare
 # ns/op and allocs/op against the committed BENCH_ml.json via benchdiff.
 # Fails on a >50% regression: shared-host neighbor noise measures as ±40%
@@ -17,7 +18,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GO="${GO:-go}"
-MATCH='ScoreCompiled|ServeScore|IngestWAL|ReplicaCatchup'
+MATCH='ScoreCompiled|ServeScore|IngestWAL|ReplicaCatchup|DriftMonitors|ShadowScore'
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 

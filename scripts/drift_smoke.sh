@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the drift/retraining loop: boot nevermindd with
+# a firmware drift scenario and the drift loop armed, let the weekly
+# pipeline run the simulated horizon back to back, then assert over HTTP
+# that the monitors tripped, a challenger was retrained and shadow-scored,
+# and /v1/drift + /healthz surface the loop's state. Used by `make
+# drift-smoke` (part of `make check`); needs only curl and a Go toolchain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+WORK="$(mktemp -d)"
+LOG="$WORK/nevermindd.log"
+PID=""
+
+cleanup() {
+    if [[ -n "$PID" ]] && kill -0 "$PID" 2>/dev/null; then
+        kill -9 "$PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "drift-smoke: FAIL: $*" >&2
+    echo "--- daemon log ---" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+echo "drift-smoke: building nevermindd"
+"$GO" build -o "$WORK/nevermindd" ./cmd/nevermindd
+
+# Small population, few boosting rounds: the daemon trains its boot model
+# and every challenger at this size, and the smoke cares about the loop's
+# trajectory, not model quality. The firmware scenario lands mid-horizon
+# so the PSI monitor has clean baseline weeks first; the thresholds match
+# the in-process soak's operating point (PSI is the first responder at
+# this fixture scale, the AP floor is parked out of the noise).
+"$WORK/nevermindd" -addr 127.0.0.1:0 -lines 700 -seed 11 -rounds 12 \
+    -start-week 30 -end-week 51 -scenario firmware:week=38 \
+    -drift -drift.thresholds psi-ceil=0.2,ap-floor=0.01 \
+    -drift.train-weeks 8 >"$LOG" 2>&1 &
+PID=$!
+
+ADDR=""
+for _ in $(seq 1 600); do
+    ADDR="$(sed -n 's/^nevermindd: listening on //p' "$LOG" | head -n 1)"
+    [[ -n "$ADDR" ]] && break
+    kill -0 "$PID" 2>/dev/null || fail "daemon exited before listening"
+    sleep 0.2
+done
+[[ -n "$ADDR" ]] || fail "daemon never reported its listen address"
+echo "drift-smoke: daemon up at $ADDR"
+
+BASE="http://$ADDR"
+
+grep -q '^nevermindd: scenario armed: firmware' "$LOG" \
+    || fail "scenario was not armed"
+grep -q '^nevermindd: drift loop armed' "$LOG" \
+    || fail "drift loop was not armed"
+
+# The pipeline runs the 22 weeks back to back (tick=0); wait for it to
+# finish, then interrogate the loop's state over the API.
+for _ in $(seq 1 600); do
+    grep -q '^nevermindd: pipeline done' "$LOG" && break
+    kill -0 "$PID" 2>/dev/null || fail "daemon died mid-pipeline"
+    sleep 0.2
+done
+grep -q '^nevermindd: pipeline done' "$LOG" \
+    || fail "pipeline never finished within the wait budget"
+echo "drift-smoke: pipeline finished"
+
+# The loop's own log tells the story: a trip, a retrain, shadow scoring.
+grep -q 'drift: week [0-9]* tripped' "$LOG" \
+    || fail "drift monitors never tripped under the firmware scenario"
+grep -q 'drift: week [0-9]* retrained challenger-' "$LOG" \
+    || fail "no challenger was retrained after the trip"
+grep -q 'drift: week [0-9]* shadow: champion AP' "$LOG" \
+    || fail "the challenger was never shadow-scored"
+
+DRIFT="$(curl -fsS "$BASE/v1/drift")" || fail "/v1/drift errored"
+echo "$DRIFT" | grep -q '"trips_total":' || fail "/v1/drift has no status: $DRIFT"
+echo "$DRIFT" | grep -q '"trips_total":0' && fail "/v1/drift reports zero trips: $DRIFT"
+echo "$DRIFT" | grep -q '"retrains":0' && fail "/v1/drift reports zero retrains: $DRIFT"
+echo "drift-smoke: /v1/drift reports trips + retrains"
+
+# Filtered view: last five weeks with one feature's PSI series.
+FILTERED="$(curl -fsS "$BASE/v1/drift?weeks=5&feature=upnmr")" \
+    || fail "/v1/drift?weeks=5&feature=upnmr errored"
+echo "$FILTERED" | grep -q '"feature_psi":\[{"week":' \
+    || fail "/v1/drift?weeks=5&feature=upnmr has no PSI series: $FILTERED"
+
+HEALTH="$(curl -fsS "$BASE/healthz")" || fail "/healthz errored"
+echo "$HEALTH" | grep -q '"status":"ok"' || fail "/healthz not ok: $HEALTH"
+echo "$HEALTH" | grep -q '"drift":{' || fail "/healthz has no drift block: $HEALTH"
+echo "$HEALTH" | grep -q '"model_id":' || fail "/healthz has no model_id: $HEALTH"
+
+# If the timeline promoted a challenger, the serving model id must agree
+# between the log and /healthz.
+if grep -q 'drift: week [0-9]* promoted challenger-' "$LOG"; then
+    PROMOTED="$(sed -n 's/^nevermindd: drift: week [0-9]* promoted \(challenger-[0-9a-zA-Z-]*\) .*/\1/p' "$LOG" | tail -n 1)"
+    echo "$HEALTH" | grep -q "\"model_id\":\"$PROMOTED\"" \
+        || fail "/healthz model_id does not name promoted $PROMOTED: $HEALTH"
+    echo "drift-smoke: promotion observed ($PROMOTED serving)"
+fi
+
+METRICS="$(curl -fsS "$BASE/metrics")" || fail "/metrics errored"
+echo "$METRICS" | grep -q 'nevermind_drift_trips_total' \
+    || fail "/metrics is missing drift counters"
+
+kill -TERM "$PID"
+DEADLINE=$((SECONDS + 30))
+while kill -0 "$PID" 2>/dev/null; do
+    [[ "$SECONDS" -lt "$DEADLINE" ]] || fail "daemon did not exit within 30s of SIGTERM"
+    sleep 0.2
+done
+wait "$PID" || fail "daemon exited non-zero"
+grep -q 'drained' "$LOG" || fail "daemon log has no drain message"
+PID=""
+
+echo "drift-smoke: PASS"
